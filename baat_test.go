@@ -1,0 +1,202 @@
+package baat_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	baat "github.com/green-dc/baat"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	policy, err := baat.NewPolicy(baat.BAATFull, baat.DefaultPolicyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := baat.NewSimulator(baat.DefaultSimConfig(), policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run([]baat.Weather{baat.Sunny, baat.Cloudy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "BAAT" || res.Throughput <= 0 || len(res.Days) != 2 {
+		t.Errorf("unexpected result: policy=%q throughput=%v days=%d", res.Policy, res.Throughput, len(res.Days))
+	}
+}
+
+func TestPublicPolicyKinds(t *testing.T) {
+	if got := len(baat.PolicyKinds()); got != 4 {
+		t.Fatalf("PolicyKinds() = %d entries, want 4 (Table 4)", got)
+	}
+	for _, k := range baat.PolicyKinds() {
+		p, err := baat.NewPolicy(k, baat.DefaultPolicyConfig())
+		if err != nil {
+			t.Fatalf("NewPolicy(%v): %v", k, err)
+		}
+		if p.Name() == "" {
+			t.Errorf("policy %v has empty name", k)
+		}
+	}
+}
+
+func TestPublicBatteryAndAging(t *testing.T) {
+	pack, err := baat.NewBattery(baat.DefaultBatterySpec(), baat.WithInitialSoC(0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pack.SoC() != 0.8 {
+		t.Errorf("SoC = %v, want 0.8", pack.SoC())
+	}
+	model, err := baat.NewAgingModel(baat.DefaultAgingModelConfig(), baat.DefaultBatterySpec().NominalCapacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pack.Discharge(100, time.Hour, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Observe(baat.AgingSample{
+		Dt: time.Hour, Current: res.Current, SoC: pack.SoC(), Temperature: pack.Temperature(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pack.ApplyDegradation(model.Degradation())
+	if pack.Health() >= 1 {
+		t.Error("no degradation applied")
+	}
+}
+
+func TestPublicWorkloadsAndVMs(t *testing.T) {
+	if got := len(baat.WorkloadKinds()); got != 6 {
+		t.Fatalf("WorkloadKinds() = %d, want 6", got)
+	}
+	p, err := baat.WorkloadProfileFor(baat.KMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := baat.NewVM("vm-1", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State() != baat.VMRunning {
+		t.Errorf("state = %v, want running", v.State())
+	}
+	if len(baat.PrototypeServices()) != 6 {
+		t.Error("prototype services should cover all six workloads")
+	}
+}
+
+func TestPublicCycleLifeAndEquations(t *testing.T) {
+	for _, m := range baat.Manufacturers() {
+		c, err := baat.CycleLife(m, 0.5)
+		if err != nil || c <= 0 {
+			t.Errorf("CycleLife(%v) = (%v, %v)", m, c, err)
+		}
+	}
+	sens := baat.DemandSensitivity(baat.DemandClass{LargePower: true, MoreEnergy: true})
+	w := baat.WeightedAging(baat.Metrics{NAT: 0.5, CF: 0.5, PC: 0.5}, sens)
+	if w <= 0 {
+		t.Errorf("WeightedAging = %v, want positive for a worn battery", w)
+	}
+	goal, err := baat.DoDGoal(7000, 1000, 300, 35)
+	if err != nil || goal <= 0 {
+		t.Errorf("DoDGoal = (%v, %v)", goal, err)
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	ids := baat.Experiments()
+	if len(ids) != 21 {
+		t.Fatalf("Experiments() = %d entries, want 21 (15 figures + 2 tables + 4 extensions)", len(ids))
+	}
+	cfg := baat.DefaultExperimentConfig()
+	cfg.Quick = true
+	table, err := baat.RunExperiment("fig10", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.ID != "fig10" || len(table.Rows) == 0 {
+		t.Errorf("fig10 table malformed: %+v", table)
+	}
+	if table.Render() == "" {
+		t.Error("Render produced nothing")
+	}
+	if _, err := baat.RunExperiment("fig99", cfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestPublicControlPlane(t *testing.T) {
+	ctrl, err := baat.ListenController(baat.DefaultControllerConfig("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ctrl.Close() }()
+
+	n, err := baat.NewNode("edge-1", baat.DefaultNodeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	handle, err := baat.NewLocalNode(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg := baat.DefaultAgentConfig(ctrl.Addr())
+	acfg.ReportInterval = 20 * time.Millisecond
+	agent, err := baat.StartAgent(acfg, handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = agent.Close() }()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && len(ctrl.Snapshot()) == 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	snap := ctrl.Snapshot()
+	if len(snap) != 1 || snap[0].Report.NodeID != "edge-1" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	ack, err := ctrl.SendCommand(context.Background(), "edge-1", baat.NodeCommand{Action: baat.ActionPing})
+	if err != nil || !ack.OK {
+		t.Fatalf("ping: ack=%+v err=%v", ack, err)
+	}
+}
+
+func TestPublicCostModel(t *testing.T) {
+	m := baat.DefaultCostModel()
+	dep, err := m.AnnualBatteryDepreciation(6, 365*24*time.Hour)
+	if err != nil || dep <= 0 {
+		t.Errorf("depreciation = (%v, %v)", dep, err)
+	}
+}
+
+func TestPublicMigration(t *testing.T) {
+	a, err := baat.NewNode("a", baat.DefaultNodeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := baat.NewNode("b", baat.DefaultNodeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := baat.WorkloadProfileFor(baat.WordCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := baat.NewVM("v", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Server().Attach(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := baat.MigrateVM(a, b, "v", baat.DefaultMigrationTime); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Server().VMs()) != 1 {
+		t.Error("VM did not land on destination")
+	}
+}

@@ -1,0 +1,217 @@
+package baat_test
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (DSN'15 §VI). One benchmark per artifact; each reports its
+// headline quantity through b.ReportMetric so `go test -bench=. -benchmem`
+// doubles as the reproduction record (see EXPERIMENTS.md).
+//
+// Benchmarks run the experiments in quick mode to keep iterations bounded;
+// run `go run ./cmd/baatbench` for the full-fidelity sweeps.
+
+import (
+	"testing"
+
+	baat "github.com/green-dc/baat"
+)
+
+// benchExperiment runs one experiment per iteration and reports selected
+// headline values as custom metrics.
+func benchExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	cfg := baat.DefaultExperimentConfig()
+	cfg.Quick = true
+	var last *baat.ExperimentTable
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := baat.RunExperiment(id, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	b.StopTimer()
+	for _, m := range metrics {
+		if v, ok := last.Values[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+// BenchmarkFig03VoltageDrop regenerates Fig 3: six-month loaded-voltage
+// drop with an accelerating slope (paper: ≈9 %, 0.1→0.3 V/month).
+func BenchmarkFig03VoltageDrop(b *testing.B) {
+	benchExperiment(b, "fig3", "voltage_drop", "late_vs_early_slope")
+}
+
+// BenchmarkFig04CapacityDrop regenerates Fig 4: six-month per-cycle energy
+// drop (paper: ≈14 %).
+func BenchmarkFig04CapacityDrop(b *testing.B) {
+	benchExperiment(b, "fig4", "capacity_drop")
+}
+
+// BenchmarkFig05Efficiency regenerates Fig 5: six-month round-trip
+// efficiency degradation (paper: ≈8 %).
+func BenchmarkFig05Efficiency(b *testing.B) {
+	benchExperiment(b, "fig5", "efficiency_drop")
+}
+
+// BenchmarkFig10CycleLife regenerates Fig 10: cycle life vs depth of
+// discharge for the three manufacturers (paper: halves beyond 50 % DoD).
+func BenchmarkFig10CycleLife(b *testing.B) {
+	benchExperiment(b, "fig10", "halving_ratio")
+}
+
+// BenchmarkFig12WeatherProfile regenerates Fig 12: aging metrics under the
+// sunny/cloudy/rainy energy budgets.
+func BenchmarkFig12WeatherProfile(b *testing.B) {
+	benchExperiment(b, "fig12", "rainy_nat", "sunny_nat")
+}
+
+// BenchmarkFig13AgingComparison regenerates Fig 13: worst-node NAT/CF/PC of
+// the four policies (paper: e-Buff throughput ×1.3 of BAAT on average).
+func BenchmarkFig13AgingComparison(b *testing.B) {
+	benchExperiment(b, "fig13", "ebuff_vs_baat_nat_young_cloudy")
+}
+
+// BenchmarkFig14LifetimeVsSunshine regenerates Fig 14: battery lifetime vs
+// sunshine fraction (paper: BAAT +69 %, BAAT-s +37 %, BAAT-h +29 %).
+func BenchmarkFig14LifetimeVsSunshine(b *testing.B) {
+	benchExperiment(b, "fig14", "baat_gain_avg", "baat_s_gain_avg", "baat_h_gain_avg")
+}
+
+// BenchmarkFig15LifetimeVsRatio regenerates Fig 15: lifetime vs
+// server-to-battery ratio (paper: −35 % from 2 to 10 W/Ah; BAAT gain grows).
+func BenchmarkFig15LifetimeVsRatio(b *testing.B) {
+	benchExperiment(b, "fig15", "lifetime_drop_2_to_10", "gain_growth")
+}
+
+// BenchmarkFig16DepreciationCost regenerates Fig 16: annual battery
+// depreciation vs slowdown threshold (paper: −26 % with BAAT).
+func BenchmarkFig16DepreciationCost(b *testing.B) {
+	benchExperiment(b, "fig16", "cost_reduction")
+}
+
+// BenchmarkFig17ServerExpansion regenerates Fig 17: servers addable at
+// constant TCO vs sunshine fraction (paper: up to +15 %).
+func BenchmarkFig17ServerExpansion(b *testing.B) {
+	benchExperiment(b, "fig17", "max_expansion")
+}
+
+// BenchmarkFig18LowSoC regenerates Fig 18: worst-node low-SoC duration
+// (paper: BAAT improves availability by 47 %).
+func BenchmarkFig18LowSoC(b *testing.B) {
+	benchExperiment(b, "fig18", "availability_gain")
+}
+
+// BenchmarkFig19SoCDistribution regenerates Fig 19: the seven-bin SoC
+// distribution per policy (paper: BAAT shifts mass to 90–100 %).
+func BenchmarkFig19SoCDistribution(b *testing.B) {
+	benchExperiment(b, "fig19", "baat_top_bin", "ebuff_top_bin")
+}
+
+// BenchmarkFig20Throughput regenerates Fig 20: one-day throughput per
+// policy (paper: BAAT +28 % over e-Buff in the cloudy+old worst case).
+func BenchmarkFig20Throughput(b *testing.B) {
+	benchExperiment(b, "fig20", "baat_gain_worst_case")
+}
+
+// BenchmarkFig21PerfVsDoD regenerates Fig 21: performance vs regulated
+// depth of discharge (paper: sub-linear improvement).
+func BenchmarkFig21PerfVsDoD(b *testing.B) {
+	benchExperiment(b, "fig21", "gain_dod_90")
+}
+
+// BenchmarkFig22PlannedAging regenerates Fig 22: productivity gain vs
+// expected battery service life (paper: up to +33 %).
+func BenchmarkFig22PlannedAging(b *testing.B) {
+	benchExperiment(b, "fig22", "max_gain")
+}
+
+// BenchmarkTable1UsageScenarios regenerates Table 1: aging speed/variation
+// per battery usage scenario.
+func BenchmarkTable1UsageScenarios(b *testing.B) {
+	benchExperiment(b, "table1", "smoothing_fade", "backup_fade")
+}
+
+// BenchmarkTable3DemandSensitivity regenerates Table 3: metric sensitivity
+// to the workload power/energy class.
+func BenchmarkTable3DemandSensitivity(b *testing.B) {
+	benchExperiment(b, "table3", "class1_nat", "class3_nat")
+}
+
+// Micro-benchmarks for the hot paths of the simulation substrate.
+
+// BenchmarkSimulatedDay measures one full prototype day (1440 ticks × six
+// nodes) under the full BAAT policy.
+func BenchmarkSimulatedDay(b *testing.B) {
+	policy, err := baat.NewPolicy(baat.BAATFull, baat.DefaultPolicyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := baat.DefaultSimConfig()
+	cfg.Services = baat.PrototypeServices()
+	sim, err := baat.NewSimulator(cfg, policy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunDay(baat.Cloudy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBatteryStep measures the electrochemical model's per-tick cost.
+func BenchmarkBatteryStep(b *testing.B) {
+	pack, err := baat.NewBattery(baat.DefaultBatterySpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			_, _ = pack.Discharge(100, 60e9, 25)
+		} else {
+			_, _ = pack.Charge(100, 60e9, 25)
+		}
+	}
+}
+
+// BenchmarkWeightedAging measures the Eq 6 scoring path the scheduler runs
+// for every candidate node.
+func BenchmarkWeightedAging(b *testing.B) {
+	m := baat.Metrics{NAT: 0.3, CF: 0.9, PC: 0.6, DDT: 0.2, DR: 5}
+	sens := baat.DemandSensitivity(baat.DemandClass{LargePower: true, MoreEnergy: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = baat.WeightedAging(m, sens)
+	}
+}
+
+// Benchmarks for the extension experiments (ablations + the Fig 7
+// architecture comparison).
+
+// BenchmarkAblationFloor quantifies the protective-discharge-floor design
+// choice (DESIGN.md): BAAT with vs without the floor.
+func BenchmarkAblationFloor(b *testing.B) {
+	benchExperiment(b, "ablation-floor", "floor_gain")
+}
+
+// BenchmarkAblationMigration quantifies migration cost in the slowdown and
+// hiding arms.
+func BenchmarkAblationMigration(b *testing.B) {
+	benchExperiment(b, "ablation-migration", "throughput_gain")
+}
+
+// BenchmarkArchComparison contrasts per-server batteries with per-rack
+// pools (the two Fig 7 architectures) at equal installed capacity.
+func BenchmarkArchComparison(b *testing.B) {
+	benchExperiment(b, "arch-comparison", "server_spread", "rack_spread")
+}
+
+// BenchmarkDemandResponse quantifies the dual-purposing trade-off: peak-
+// shaving arbitrage savings net of battery wear (§II-A, Table 1, ref [21]).
+func BenchmarkDemandResponse(b *testing.B) {
+	benchExperiment(b, "demand-response", "aggressive_net", "baat_net")
+}

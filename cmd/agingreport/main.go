@@ -1,0 +1,172 @@
+// Command agingreport computes the five BAAT aging metrics (DSN'15 §III) —
+// normalized Ah throughput, charge factor, partial cycling, deep-discharge
+// time, and discharge rate — from a CSV of battery sensor samples, plus the
+// Eq 6 weighted-aging score for a chosen workload demand class.
+//
+// Input format (header optional):
+//
+//	seconds,current_a,soc,temp_c
+//	60,5.2,0.93,25.1
+//	60,5.1,0.91,25.3
+//	...
+//
+// where current_a is terminal current (positive = discharging) and soc is
+// the state of charge in [0, 1].
+//
+// Examples:
+//
+//	agingreport -in battery.csv -lifetime 7000
+//	agingreport -in battery.csv -large-power -more-energy
+//	baatsim -csv day.csv && agingreport -demo | head
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	baat "github.com/green-dc/baat"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "agingreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		inPath     = flag.String("in", "-", "input CSV path ('-' for stdin)")
+		lifetime   = flag.Float64("lifetime", 7000, "battery nominal life-long Ah throughput (NAT denominator)")
+		largePower = flag.Bool("large-power", false, "classify the candidate workload as Large power (Table 3)")
+		moreEnergy = flag.Bool("more-energy", false, "classify the candidate workload as More energy (Table 3)")
+		demo       = flag.Bool("demo", false, "print a synthetic sample CSV instead of analyzing")
+	)
+	flag.Parse()
+
+	if *demo {
+		return printDemo()
+	}
+
+	var r io.Reader = os.Stdin
+	if *inPath != "-" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		r = f
+	}
+
+	tracker, err := baat.NewMetricsTracker(baat.AmpereHour(*lifetime))
+	if err != nil {
+		return err
+	}
+	n, err := feed(tracker, r)
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("no samples in input")
+	}
+
+	m := tracker.Metrics()
+	out, in := tracker.Totals()
+	fmt.Printf("samples analyzed: %d (%.1f h)\n\n", n, tracker.ElapsedTime().Hours())
+	fmt.Printf("NAT  (normalized Ah throughput) : %.4f  (%.1f Ah of %.0f Ah budget)\n", m.NAT, float64(out), *lifetime)
+	fmt.Printf("CF   (charge factor)            : %.3f  (%.1f Ah in / %.1f Ah out; healthy 1.0–1.3)\n", m.CF, float64(in), float64(out))
+	fmt.Printf("PC   (partial cycling)          : %.3f  (1.0 = all cycling at high SoC)\n", m.PC)
+	fmt.Printf("DDT  (deep-discharge time)      : %.1f%% of elapsed time below 40%% SoC\n", m.DDT*100)
+	fmt.Printf("DR   (mean discharge rate)      : %.2f A (peak %.2f A, %.2f A while deep)\n\n", m.DR, m.DRPeak, m.DRLowSoC)
+
+	class := baat.DemandClass{LargePower: *largePower, MoreEnergy: *moreEnergy}
+	sens := baat.DemandSensitivity(class)
+	score := baat.WeightedAging(m, sens)
+	fmt.Printf("weighted aging (Eq 6) for a %s workload: %.4f\n", class, score)
+	fmt.Println("(rank candidate nodes by this score and place load on the lowest)")
+	return nil
+}
+
+// feed parses the CSV into the tracker, tolerating a header row.
+func feed(tracker *baat.MetricsTracker, r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	var n int
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		secs, err1 := strconv.ParseFloat(rec[0], 64)
+		cur, err2 := strconv.ParseFloat(rec[1], 64)
+		soc, err3 := strconv.ParseFloat(rec[2], 64)
+		temp, err4 := strconv.ParseFloat(rec[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			if n == 0 {
+				continue // header row
+			}
+			return n, fmt.Errorf("line %d: malformed sample %v", n+1, rec)
+		}
+		s := baat.AgingSample{
+			Dt:          time.Duration(secs * float64(time.Second)),
+			Current:     baat.Ampere(cur),
+			SoC:         soc,
+			Temperature: baat.Celsius(temp),
+		}
+		if err := tracker.Observe(s); err != nil {
+			return n, fmt.Errorf("line %d: %w", n+1, err)
+		}
+		n++
+	}
+}
+
+// printDemo writes a day of synthetic sensor samples: a morning discharge,
+// a midday solar recharge, and an evening discharge into the night.
+func printDemo() error {
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := w.Write([]string{"seconds", "current_a", "soc", "temp_c"}); err != nil {
+		return err
+	}
+	soc := 0.95
+	write := func(current float64, hours float64) error {
+		steps := int(hours * 60)
+		for i := 0; i < steps; i++ {
+			soc -= current / 35 / 60 // 35 Ah pack
+			if soc > 1 {
+				soc = 1
+			}
+			if soc < 0.02 {
+				soc = 0.02
+			}
+			rec := []string{
+				"60",
+				strconv.FormatFloat(current, 'f', 2, 64),
+				strconv.FormatFloat(soc, 'f', 4, 64),
+				"25.0",
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write(4.5, 3); err != nil { // morning on battery
+		return err
+	}
+	if err := write(-6.0, 4); err != nil { // midday recharge
+		return err
+	}
+	if err := write(5.5, 4); err != nil { // evening discharge
+		return err
+	}
+	return nil
+}

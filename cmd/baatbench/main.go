@@ -1,0 +1,97 @@
+// Command baatbench regenerates the tables and figures of the paper's
+// evaluation (DSN'15 §VI) from the simulated prototype and prints them in
+// paper order.
+//
+// Examples:
+//
+//	baatbench                    # every figure and table
+//	baatbench fig14 fig20        # selected experiments
+//	baatbench -quick             # reduced sweeps (CI-friendly)
+//	baatbench -markdown > out.md # markdown for EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	baat "github.com/green-dc/baat"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "baatbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick    = flag.Bool("quick", false, "reduced sweeps and horizons")
+		seed     = flag.Int64("seed", 42, "random seed")
+		accel    = flag.Float64("accel", 10, "battery aging acceleration factor")
+		markdown = flag.Bool("markdown", false, "emit markdown tables")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range baat.Experiments() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	cfg := baat.ExperimentConfig{Seed: *seed, Accel: *accel, Quick: *quick}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = baat.Experiments()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := baat.RunExperiment(id, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if *markdown {
+			printMarkdown(table)
+		} else {
+			fmt.Println(table.Render())
+		}
+		fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func printMarkdown(t *baat.ExperimentTable) {
+	fmt.Printf("### %s — %s\n\n", strings.ToUpper(t.ID[:1])+t.ID[1:], t.Title)
+	fmt.Println("| " + strings.Join(t.Columns, " | ") + " |")
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Println("| " + strings.Join(seps, " | ") + " |")
+	for _, row := range t.Rows {
+		fmt.Println("| " + strings.Join(row, " | ") + " |")
+	}
+	fmt.Println()
+	if len(t.Values) > 0 {
+		keys := make([]string, 0, len(t.Values))
+		for k := range t.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println("Headline values:")
+		for _, k := range keys {
+			fmt.Printf("- `%s` = %.4f\n", k, t.Values[k])
+		}
+		fmt.Println()
+	}
+	for _, n := range t.Notes {
+		fmt.Printf("> %s\n", n)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,223 @@
+// Command baatsim runs the simulated BAAT prototype under one of the four
+// Table 4 power-management policies and reports per-day and end-of-run
+// statistics.
+//
+// Examples:
+//
+//	baatsim -policy baat -days 10 -sunshine 0.5
+//	baatsim -policy ebuff -weather cloudy -days 3 -csv trace.csv
+//	baatsim -policy baat -until-eol -accel 10 -sunshine 0.6
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	baat "github.com/green-dc/baat"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "baatsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		policyName = flag.String("policy", "baat", "policy: ebuff | baat-s | baat-h | baat")
+		days       = flag.Int("days", 7, "number of days to simulate")
+		weather    = flag.String("weather", "mix", "weather: sunny | cloudy | rainy | mix")
+		sunshine   = flag.Float64("sunshine", 0.5, "sunshine fraction for -weather mix")
+		seed       = flag.Int64("seed", 1, "random seed")
+		nodes      = flag.Int("nodes", 6, "number of battery nodes")
+		accel      = flag.Float64("accel", 1, "battery aging acceleration factor")
+		untilEOL   = flag.Bool("until-eol", false, "run until the first battery reaches end-of-life")
+		maxDays    = flag.Int("max-days", 365, "day cap for -until-eol")
+		prototype  = flag.Bool("prototype-services", true, "deploy the six paper workloads as persistent services")
+		jobsPerDay = flag.Int("jobs", 2, "batch jobs submitted per day")
+		solarScale = flag.Float64("solar-scale", 1.5, "PV array scale relative to the prototype")
+		csvPath    = flag.String("csv", "", "write per-day stats to this CSV file")
+		planned    = flag.Float64("planned-months", 0, "enable planned aging with this expected service life in months (0 = off)")
+	)
+	flag.Parse()
+
+	kind, err := parsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
+	pcfg := baat.DefaultPolicyConfig()
+	if *planned > 0 {
+		pcfg.Planned = baat.PlannedAgingConfig{
+			Enabled:      true,
+			ServiceLife:  monthsToDuration(*planned),
+			CyclesPerDay: 1,
+		}
+	}
+	policy, err := baat.NewPolicy(kind, pcfg)
+	if err != nil {
+		return err
+	}
+
+	scfg := baat.DefaultSimConfig()
+	scfg.Seed = *seed
+	scfg.Nodes = *nodes
+	scfg.JobsPerDay = *jobsPerDay
+	scfg.Solar.Scale = *solarScale
+	scfg.Node.AgingConfig.AccelFactor = *accel
+	if *prototype {
+		scfg.Services = baat.PrototypeServices()
+	}
+	s, err := baat.NewSimulator(scfg, policy)
+	if err != nil {
+		return err
+	}
+
+	var res *baat.SimResult
+	if *untilEOL {
+		res, err = s.RunUntilEndOfLife(baat.Location{SunshineFraction: *sunshine}, *maxDays)
+	} else {
+		seq, serr := weatherSeq(*weather, *sunshine, *days, *seed)
+		if serr != nil {
+			return serr
+		}
+		res, err = s.Run(seq)
+	}
+	if err != nil {
+		return err
+	}
+
+	printResult(res, *accel)
+	printPredictions(s, *accel)
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, res); err != nil {
+			return err
+		}
+		fmt.Printf("per-day stats written to %s\n", *csvPath)
+	}
+	return nil
+}
+
+func parsePolicy(name string) (baat.PolicyKind, error) {
+	switch strings.ToLower(name) {
+	case "ebuff", "e-buff":
+		return baat.EBuff, nil
+	case "baat-s", "baats":
+		return baat.BAATSlowdown, nil
+	case "baat-h", "baath":
+		return baat.BAATHiding, nil
+	case "baat":
+		return baat.BAATFull, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (want ebuff, baat-s, baat-h, or baat)", name)
+	}
+}
+
+func monthsToDuration(months float64) time.Duration {
+	return time.Duration(months * 30 * 24 * float64(time.Hour))
+}
+
+func weatherSeq(name string, frac float64, days int, seed int64) ([]baat.Weather, error) {
+	if days <= 0 {
+		return nil, fmt.Errorf("days must be positive, got %d", days)
+	}
+	fixed := map[string]baat.Weather{
+		"sunny":  baat.Sunny,
+		"cloudy": baat.Cloudy,
+		"rainy":  baat.Rainy,
+	}
+	if w, ok := fixed[strings.ToLower(name)]; ok {
+		seq := make([]baat.Weather, days)
+		for i := range seq {
+			seq[i] = w
+		}
+		return seq, nil
+	}
+	if strings.ToLower(name) != "mix" {
+		return nil, fmt.Errorf("unknown weather %q (want sunny, cloudy, rainy, or mix)", name)
+	}
+	loc := baat.Location{SunshineFraction: frac}
+	if err := loc.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 7))
+	seq := make([]baat.Weather, days)
+	for i := range seq {
+		seq[i] = loc.DrawWeather(rng)
+	}
+	return seq, nil
+}
+
+func printResult(res *baat.SimResult, accel float64) {
+	fmt.Printf("policy: %s\n\n", res.Policy)
+	fmt.Printf("%-5s %-7s %12s %12s %12s %12s\n",
+		"day", "weather", "throughput", "downtime", "low-SoC", "solar kWh")
+	for _, d := range res.Days {
+		fmt.Printf("%-5d %-7s %12.2f %12s %12s %12.2f\n",
+			d.Day, d.Weather, d.Throughput, d.Downtime, d.LowSoCTime, float64(d.SolarEnergy)/1000)
+	}
+	fmt.Println()
+	fmt.Printf("total throughput: %.2f work units\n", res.Throughput)
+	if res.FleetLifetime > 0 {
+		real := time.Duration(float64(res.FleetLifetime) * accel)
+		fmt.Printf("fleet lifetime (first battery at end-of-life): %.1f days (≈%.1f real days at accel %.0fx)\n",
+			res.FleetLifetime.Hours()/24, real.Hours()/24, accel)
+	}
+	fmt.Println("\nnode summary:")
+	fmt.Printf("%-8s %8s %8s %8s %8s %8s %8s %10s\n",
+		"node", "health", "SoC", "NAT", "CF", "PC", "DDT", "downtime")
+	for _, n := range res.Nodes {
+		fmt.Printf("%-8s %8.3f %8.2f %8.4f %8.2f %8.3f %8.3f %10s\n",
+			n.ID, n.Health, n.SoC, n.Metrics.NAT, n.Metrics.CF, n.Metrics.PC, n.Metrics.DDT, n.Downtime)
+	}
+	if worst, ok := res.WorstNode(); ok {
+		fmt.Printf("\nworst node (most Ah throughput): %s (NAT %.4f, health %.3f)\n",
+			worst.ID, worst.Metrics.NAT, worst.Health)
+	}
+}
+
+func printPredictions(s *baat.Simulator, accel float64) {
+	fmt.Println("\nprojected battery end-of-life (at the observed damage rate):")
+	for _, p := range baat.PredictLifetimes(s.Nodes()) {
+		if p.TimeToEndOfLife > 100*365*24*time.Hour {
+			fmt.Printf("  %-8s health %.3f  no measurable wear yet\n", p.NodeID, p.Health)
+			continue
+		}
+		real := time.Duration(float64(p.TimeToEndOfLife) * accel)
+		fmt.Printf("  %-8s health %.3f  ≈%.0f days to end-of-life\n",
+			p.NodeID, p.Health, real.Hours()/24)
+	}
+}
+
+func writeCSV(path string, res *baat.SimResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"day", "weather", "throughput", "downtime_s", "low_soc_s", "solar_wh"}); err != nil {
+		return err
+	}
+	for _, d := range res.Days {
+		rec := []string{
+			strconv.Itoa(d.Day),
+			d.Weather.String(),
+			strconv.FormatFloat(d.Throughput, 'f', 4, 64),
+			strconv.FormatFloat(d.Downtime.Seconds(), 'f', 0, 64),
+			strconv.FormatFloat(d.LowSoCTime.Seconds(), 'f', 0, 64),
+			strconv.FormatFloat(float64(d.SolarEnergy), 'f', 1, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return w.Error()
+}

@@ -1,0 +1,97 @@
+// Capacity planning: how much battery should back each server? This is the
+// scenario behind Figs 15–17 of the paper — the server-to-battery capacity
+// ratio (peak server watts per installed battery ampere-hour) drives both
+// battery lifetime and the economics of the datacenter.
+//
+// The example sweeps the installed battery bank from generous (2 W/Ah) to
+// starved (10 W/Ah), measures fleet lifetime under e-Buff and BAAT, and
+// translates the difference into annual depreciation dollars.
+//
+// Run with:
+//
+//	go run ./examples/capacity-planning
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	baat "github.com/green-dc/baat"
+)
+
+const accel = 10
+
+func main() {
+	model := baat.DefaultCostModel()
+	const nodes = 6
+
+	fmt.Printf("%-12s %12s %12s %14s %14s %10s\n",
+		"ratio (W/Ah)", "e-Buff life", "BAAT life", "e-Buff $/yr", "BAAT $/yr", "saving")
+	for _, ratio := range []float64{2, 4, 6, 8, 10} {
+		eLife, err := lifetimeAtRatio(baat.EBuff, ratio)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bLife, err := lifetimeAtRatio(baat.BAATFull, ratio)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eCost, err := model.AnnualBatteryDepreciation(nodes, eLife)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bCost, err := model.AnnualBatteryDepreciation(nodes, bLife)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12.0f %10.1fmo %10.1fmo %14.0f %14.0f %9.0f%%\n",
+			ratio, eLife.Hours()/(30*24), bLife.Hours()/(30*24),
+			eCost, bCost, (1-bCost/eCost)*100)
+	}
+	fmt.Println("\nfindings to look for (paper §VI-C/D):")
+	fmt.Println(" - heavier server-to-battery ratios shorten battery life;")
+	fmt.Println(" - BAAT's advantage grows as the system becomes power-constrained;")
+	fmt.Println(" - the savings fund scale-out at constant TCO (Fig 17).")
+}
+
+// lifetimeAtRatio sizes the per-node battery bank for the ratio and runs
+// the fleet to first battery end-of-life.
+func lifetimeAtRatio(kind baat.PolicyKind, ratio float64) (time.Duration, error) {
+	policy, err := baat.NewPolicy(kind, baat.DefaultPolicyConfig())
+	if err != nil {
+		return 0, err
+	}
+	cfg := baat.DefaultSimConfig()
+	cfg.Services = baat.PrototypeServices()
+	cfg.JobsPerDay = 2
+	cfg.Solar.Scale = 1.5 // PV sized so sunny days fully recharge the bank
+	cfg.Node.AgingConfig.AccelFactor = accel
+
+	// Size the bank: capacity (Ah) = server peak power / ratio. The spec
+	// scales like parallel units of the base 35 Ah battery.
+	peak := float64(cfg.Node.ServerSpec.PeakPower)
+	base := baat.DefaultBatterySpec()
+	factor := peak / ratio / float64(base.NominalCapacity)
+	spec := base
+	spec.NominalCapacity = baat.AmpereHour(float64(base.NominalCapacity) * factor)
+	spec.MaxChargeCurrent = baat.Ampere(float64(base.MaxChargeCurrent) * factor)
+	spec.LifetimeThroughput = baat.AmpereHour(float64(base.LifetimeThroughput) * factor)
+	spec.ThermalCapacity = base.ThermalCapacity * factor
+	spec.InternalResistance = base.InternalResistance / factor
+	cfg.Node.BatterySpec = spec
+
+	sim, err := baat.NewSimulator(cfg, policy)
+	if err != nil {
+		return 0, err
+	}
+	res, err := sim.RunUntilEndOfLife(baat.Location{SunshineFraction: 0.6}, 150)
+	if err != nil {
+		return 0, err
+	}
+	life := res.FleetLifetime
+	if life == 0 {
+		life = time.Duration(len(res.Days)) * 24 * time.Hour
+	}
+	return time.Duration(float64(life) * accel), nil
+}

@@ -1,0 +1,118 @@
+// Control plane: the distributed sensing/actuation architecture of Fig 7 —
+// a central BAAT controller and one agent per battery node, talking
+// newline-delimited JSON over TCP, the software analogue of the prototype's
+// sensor DAQ + IPDU/SNMP path.
+//
+// The example starts a controller and three agents in one process (they
+// would normally run on different machines), drives the nodes through some
+// battery activity, and shows the controller observing fleet state and
+// throttling a server whose battery runs low.
+//
+// Run with:
+//
+//	go run ./examples/control-plane
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	baat "github.com/green-dc/baat"
+)
+
+func main() {
+	// 1. Central controller on an ephemeral local port.
+	ctrl, err := baat.ListenController(baat.DefaultControllerConfig("127.0.0.1:0"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = ctrl.Close() }()
+	fmt.Println("controller listening on", ctrl.Addr())
+
+	// 2. Three battery nodes, each wrapped in an agent. The second node
+	//    gets a heavy workload so its battery drains visibly.
+	handles := make(map[string]interface {
+		WithLock(func(*baat.Node) error) error
+	})
+	for i, id := range []string{"rack-a", "rack-b", "rack-c"} {
+		n, err := baat.NewNode(id, baat.DefaultNodeConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 1 {
+			profile, err := baat.WorkloadProfileFor(baat.SoftwareTesting)
+			if err != nil {
+				log.Fatal(err)
+			}
+			v, err := baat.NewVM("heavy-job", profile.AsService())
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := n.Server().Attach(v); err != nil {
+				log.Fatal(err)
+			}
+		}
+		handle, err := baat.NewLocalNode(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		handles[id] = handle
+		acfg := baat.DefaultAgentConfig(ctrl.Addr())
+		acfg.ReportInterval = 50 * time.Millisecond
+		agent, err := baat.StartAgent(acfg, handle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() { _ = agent.Close() }()
+
+		// 3. Drive each node in the background: the loaded node discharges
+		//    its battery (no solar), the others idle. WithLock keeps the
+		//    driver and the reporting agent serialized.
+		go func(h interface {
+			WithLock(func(*baat.Node) error) error
+		}) {
+			for j := 0; j < 300; j++ {
+				_ = h.WithLock(func(n *baat.Node) error {
+					_, err := n.Step(2*time.Minute, 0, 0)
+					return err
+				})
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(handle)
+	}
+
+	// 4. Watch the fleet from the controller and intervene like the
+	//    slowdown arm of Fig 9: when a battery sinks below 40 % SoC, cap
+	//    its server's frequency.
+	throttled := map[string]bool{}
+	for round := 0; round < 10; round++ {
+		time.Sleep(300 * time.Millisecond)
+		fmt.Printf("\n-- controller view, round %d --\n", round+1)
+		for _, st := range ctrl.Snapshot() {
+			r := st.Report
+			fmt.Printf("%-7s SoC %5.1f%%  %6.2fV  %5.1fW server  DDT %4.1f%%  stale=%v\n",
+				r.NodeID, r.SoC*100, r.Voltage, r.ServerPowerW, r.Metrics.DDT*100, st.Stale)
+			if r.SoC < baat.DeepDischargeSoC && !throttled[r.NodeID] {
+				ack, err := ctrl.SendCommand(context.Background(), r.NodeID,
+					baat.NodeCommand{Action: baat.ActionSetFrequency, FrequencyIndex: 0})
+				if err != nil {
+					log.Printf("throttle %s failed: %v", r.NodeID, err)
+					continue
+				}
+				throttled[r.NodeID] = true
+				fmt.Printf("        -> battery below 40%%: throttled server (ack %v)\n", ack.OK)
+			}
+		}
+		if len(throttled) > 0 && round >= 5 {
+			break
+		}
+	}
+	if len(throttled) == 0 {
+		fmt.Println("\nno battery crossed the slowdown line during the demo window")
+		return
+	}
+	fmt.Println("\ndone: the controller sensed deep discharge remotely and capped the server,")
+	fmt.Println("exactly the §IV-C slowdown path (sans migration) over a real socket.")
+}

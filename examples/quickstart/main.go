@@ -1,0 +1,61 @@
+// Quickstart: simulate three days of a solar-powered datacenter under the
+// full BAAT policy and print what the controller saw.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	baat "github.com/green-dc/baat"
+)
+
+func main() {
+	// 1. Build the BAAT policy with the paper's parameters: slowdown
+	//    triggers below 40 % SoC, a 2-minute emergency reserve, and a
+	//    protective discharge floor.
+	policy, err := baat.NewPolicy(baat.BAATFull, baat.DefaultPolicyConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build the simulated prototype: six servers, each backed by two
+	//    12 V 35 Ah lead-acid batteries, fed by a shared PV array, running
+	//    the six paper workloads in VMs.
+	cfg := baat.DefaultSimConfig()
+	cfg.Services = baat.PrototypeServices()
+	sim, err := baat.NewSimulator(cfg, policy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run a sunny, a cloudy, and a rainy day (the paper's 8/6/3 kWh
+	//    conditions) and inspect the results.
+	result, err := sim.Run([]baat.Weather{baat.Sunny, baat.Cloudy, baat.Rainy})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("policy: %s\n\n", result.Policy)
+	for _, day := range result.Days {
+		fmt.Printf("day %d (%s): throughput %.1f work units, worst downtime %v, solar %.1f kWh\n",
+			day.Day, day.Weather, day.Throughput, day.Downtime, float64(day.SolarEnergy)/1000)
+	}
+
+	fmt.Println("\nbattery fleet after three days:")
+	for _, n := range result.Nodes {
+		m := n.Metrics
+		fmt.Printf("  %-8s health %.3f  SoC %.2f  NAT %.4f  CF %.2f  PC %.3f  DDT %.1f%%\n",
+			n.ID, n.Health, n.SoC, m.NAT, m.CF, m.PC, m.DDT*100)
+	}
+
+	// 4. The five metrics of §III feed Eq 6: score any battery for a
+	//    candidate workload placement.
+	worst, _ := result.WorstNode()
+	class := baat.DemandClass{LargePower: true, MoreEnergy: true}
+	score := baat.WeightedAging(worst.Metrics, baat.DemandSensitivity(class))
+	fmt.Printf("\nweighted aging of worst node %s for a Large/More workload: %.4f\n", worst.ID, score)
+}

@@ -1,0 +1,43 @@
+package baat
+
+import (
+	"time"
+
+	"github.com/green-dc/baat/internal/core"
+	"github.com/green-dc/baat/internal/experiments"
+	"github.com/green-dc/baat/internal/node"
+)
+
+// coreMigrateVM adapts core.MigrateVM for the façade's MigrateVM variable.
+func coreMigrateVM(src, dst *node.Node, vmID string, transfer time.Duration) error {
+	return core.MigrateVM(src, dst, vmID, transfer)
+}
+
+// ExperimentTable is one regenerated figure/table of the paper's
+// evaluation: formatted rows plus headline values.
+type ExperimentTable = experiments.Table
+
+// ExperimentConfig scales the experiment suite (seed, aging acceleration,
+// quick mode).
+type ExperimentConfig = experiments.Config
+
+// DefaultExperimentConfig returns the full-fidelity configuration.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// Experiments lists every reproducible paper artifact ID in paper order
+// (fig3 … fig22, table1, table3).
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one figure/table by ID.
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentTable, error) {
+	r, err := experiments.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return r(cfg)
+}
+
+// RunAllExperiments regenerates every figure and table in paper order.
+func RunAllExperiments(cfg ExperimentConfig) ([]*ExperimentTable, error) {
+	return experiments.RunAll(cfg)
+}

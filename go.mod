@@ -1,0 +1,3 @@
+module github.com/green-dc/baat
+
+go 1.22

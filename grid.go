@@ -1,0 +1,28 @@
+package baat
+
+import "github.com/green-dc/baat/internal/grid"
+
+// Tariff is a time-of-use electricity price schedule for the
+// demand-response usage scenario (§II-A, Table 1).
+type Tariff = grid.Tariff
+
+// PeakShaver discharges a battery through the tariff peak and recharges it
+// off-peak, keeping a ledger of energy, cost, and arbitrage savings.
+type PeakShaver = grid.Shaver
+
+// PeakShaverConfig parameterizes a PeakShaver.
+type PeakShaverConfig = grid.ShaverConfig
+
+// ShaverLedger is a peak shaver's cost accounting.
+type ShaverLedger = grid.Ledger
+
+// DefaultTariff returns a typical commercial time-of-use schedule with a
+// 17:00–21:00 evening peak at three times the off-peak rate.
+func DefaultTariff() Tariff { return grid.DefaultTariff() }
+
+// DefaultPeakShaverConfig returns a single-battery shaver at the default
+// tariff with an aging-aware 40 % discharge floor.
+func DefaultPeakShaverConfig() PeakShaverConfig { return grid.DefaultShaverConfig() }
+
+// NewPeakShaver builds a peak shaver with a fresh battery.
+func NewPeakShaver(cfg PeakShaverConfig) (*PeakShaver, error) { return grid.NewShaver(cfg) }

@@ -1,0 +1,80 @@
+package aging
+
+import (
+	"fmt"
+
+	"github.com/green-dc/baat/internal/units"
+)
+
+// Manufacturer identifies one of the three battery vendors whose cycle-life
+// data Fig 10 plots.
+type Manufacturer int
+
+// The three manufacturers of Fig 10.
+const (
+	Hoppecke Manufacturer = iota + 1
+	Trojan
+	UPG
+)
+
+// String returns the vendor name.
+func (m Manufacturer) String() string {
+	switch m {
+	case Hoppecke:
+		return "Hoppecke"
+	case Trojan:
+		return "Trojan"
+	case UPG:
+		return "UPG"
+	default:
+		return fmt.Sprintf("Manufacturer(%d)", int(m))
+	}
+}
+
+// Manufacturers lists the vendors in Fig 10 order.
+func Manufacturers() []Manufacturer { return []Manufacturer{Hoppecke, Trojan, UPG} }
+
+// cycleLifeCurves holds piecewise-linear cycle-life vs depth-of-discharge
+// samples digitized to match the qualitative shape of Fig 10: cycle life
+// roughly halves when the battery is routinely discharged beyond 50 % DoD,
+// with vendor-to-vendor spread.
+var cycleLifeCurves = map[Manufacturer]*units.Interpolator{
+	Hoppecke: units.MustInterpolator(
+		[]float64{0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 1.00},
+		[]float64{7200, 3800, 2600, 1950, 1500, 1180, 980, 820, 700, 600},
+	),
+	Trojan: units.MustInterpolator(
+		[]float64{0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 1.00},
+		[]float64{5600, 3000, 2050, 1550, 1200, 950, 780, 650, 560, 480},
+	),
+	UPG: units.MustInterpolator(
+		[]float64{0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 1.00},
+		[]float64{3600, 1950, 1350, 1000, 780, 620, 510, 430, 370, 320},
+	),
+}
+
+// CycleLife returns the rated number of cycles a vendor's battery survives
+// when repeatedly discharged to depth dod (fraction in (0, 1]).
+func CycleLife(m Manufacturer, dod float64) (float64, error) {
+	curve, ok := cycleLifeCurves[m]
+	if !ok {
+		return 0, fmt.Errorf("aging: unknown manufacturer %v", m)
+	}
+	if dod <= 0 || dod > 1 {
+		return 0, fmt.Errorf("aging: depth of discharge must be in (0, 1], got %v", dod)
+	}
+	return curve.At(dod), nil
+}
+
+// LifetimeThroughputAt returns the total Ah a battery of capacity capNom can
+// cycle at depth dod before wear-out: cycles × (dod × capacity). Fig 10's
+// central observation is that this product is *not* constant — shallow
+// cycling yields more lifetime throughput — which is what planned aging
+// exploits.
+func LifetimeThroughputAt(m Manufacturer, capNom units.AmpereHour, dod float64) (units.AmpereHour, error) {
+	cycles, err := CycleLife(m, dod)
+	if err != nil {
+		return 0, err
+	}
+	return units.AmpereHour(cycles * dod * float64(capNom)), nil
+}

@@ -1,0 +1,116 @@
+package aging
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/green-dc/baat/internal/units"
+)
+
+func TestCycleLifeDecreasesWithDoD(t *testing.T) {
+	for _, m := range Manufacturers() {
+		prev := 0.0
+		for i, dod := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			c, err := CycleLife(m, dod)
+			if err != nil {
+				t.Fatalf("CycleLife(%v, %v): %v", m, dod, err)
+			}
+			if i > 0 && c >= prev {
+				t.Errorf("%v: cycle life at DoD %v (%v) not below previous (%v)", m, dod, c, prev)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestCycleLifeHalvesAboveFiftyPercentDoD(t *testing.T) {
+	// Fig 10: "cycle life decreases by 50% if frequently discharged at a
+	// DoD above 50%". Compare the shallow half of the curve (25 %) to the
+	// deep half (~2× depth): the ratio should be near 2.
+	for _, m := range Manufacturers() {
+		shallow, err := CycleLife(m, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deep, err := CycleLife(m, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := shallow / deep
+		if ratio < 1.7 || ratio > 2.6 {
+			t.Errorf("%v: cycle-life ratio 25%%/50%% DoD = %.2f, want ≈2", m, ratio)
+		}
+	}
+}
+
+func TestCycleLifeVendorOrdering(t *testing.T) {
+	// The premium vendor outlasts the budget vendor at every depth.
+	for _, dod := range []float64{0.2, 0.5, 0.8} {
+		h, _ := CycleLife(Hoppecke, dod)
+		u, _ := CycleLife(UPG, dod)
+		if h <= u {
+			t.Errorf("Hoppecke (%v) not above UPG (%v) at DoD %v", h, u, dod)
+		}
+	}
+}
+
+func TestCycleLifeErrors(t *testing.T) {
+	if _, err := CycleLife(Manufacturer(99), 0.5); err == nil {
+		t.Error("unknown manufacturer accepted")
+	}
+	for _, dod := range []float64{0, -0.5, 1.5} {
+		if _, err := CycleLife(Trojan, dod); err == nil {
+			t.Errorf("DoD %v accepted", dod)
+		}
+	}
+}
+
+func TestManufacturerString(t *testing.T) {
+	want := map[Manufacturer]string{Hoppecke: "Hoppecke", Trojan: "Trojan", UPG: "UPG"}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("String() = %q, want %q", m.String(), s)
+		}
+	}
+	if Manufacturer(7).String() == "" {
+		t.Error("unknown manufacturer should render")
+	}
+}
+
+func TestLifetimeThroughputShallowBeatsDeep(t *testing.T) {
+	// The total Ah cyclable is higher at shallow depth — the non-linearity
+	// planned aging exploits (§IV-D).
+	shallow, err := LifetimeThroughputAt(Trojan, 35, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := LifetimeThroughputAt(Trojan, 35, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shallow <= deep {
+		t.Errorf("lifetime throughput at 20%% DoD (%v) not above 80%% DoD (%v)", shallow, deep)
+	}
+}
+
+func TestLifetimeThroughputPositiveProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		dod := units.Clamp(float64(raw)/255, 0.01, 1)
+		for _, m := range Manufacturers() {
+			q, err := LifetimeThroughputAt(m, 35, dod)
+			if err != nil || q <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLifetimeThroughputError(t *testing.T) {
+	if _, err := LifetimeThroughputAt(Manufacturer(99), 35, 0.5); err == nil {
+		t.Error("unknown manufacturer accepted")
+	}
+}

@@ -1,0 +1,207 @@
+// Package aging implements the battery-aging analysis layer of BAAT
+// (DSN'15, §III): the five system-level aging metrics (NAT, CF, PC, DDT,
+// DR), the mechanism-level damage model that converts operating conditions
+// into irreversible degradation (§II-B), manufacturer cycle-life curves
+// (Fig 10), and the weighted-aging / planned-aging formulas (Eq 6, Eq 7).
+package aging
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/green-dc/baat/internal/units"
+)
+
+// SoCRange labels the paper's four partial-cycling bands (Eq 3).
+type SoCRange int
+
+// The four SoC bands of Eq 3. RangeA is the healthiest (100–80 %),
+// RangeD the most damaging (39–0 %).
+const (
+	RangeA SoCRange = iota + 1 // 100–80 %
+	RangeB                     // 79–60 %
+	RangeC                     // 59–40 %
+	RangeD                     // 39–0 %
+)
+
+// String returns the paper's letter for the range.
+func (r SoCRange) String() string {
+	switch r {
+	case RangeA:
+		return "A"
+	case RangeB:
+		return "B"
+	case RangeC:
+		return "C"
+	case RangeD:
+		return "D"
+	default:
+		return fmt.Sprintf("SoCRange(%d)", int(r))
+	}
+}
+
+// RangeOf classifies a state of charge into its band.
+func RangeOf(soc float64) SoCRange {
+	switch {
+	case soc >= 0.80:
+		return RangeA
+	case soc >= 0.60:
+		return RangeB
+	case soc >= 0.40:
+		return RangeC
+	default:
+		return RangeD
+	}
+}
+
+// DeepDischargeSoC is the SoC below which the paper counts deep-discharge
+// time (Eq 5) and below which the slowdown algorithm engages (Fig 9).
+const DeepDischargeSoC = 0.40
+
+// Sample is one sensor reading interval: what the battery did for Dt.
+// It mirrors the power-table row of Table 2 (current, voltage, temperature,
+// time) with SoC derived from voltage by the sensor layer.
+type Sample struct {
+	// Dt is the sampling interval.
+	Dt time.Duration
+	// Current is terminal current; positive discharges, negative charges.
+	Current units.Ampere
+	// SoC is the state of charge during the interval.
+	SoC float64
+	// Temperature is the battery case temperature.
+	Temperature units.Celsius
+}
+
+// Metrics is a snapshot of the five aging metrics of §III.
+type Metrics struct {
+	// NAT is normalized Ah throughput (Eq 1): cumulative discharge Ah over
+	// the battery's nominal life-long throughput. 0 = new, 1 = the cycled
+	// charge budget is spent.
+	NAT float64
+
+	// CF is the charge factor (Eq 2): cumulative charge Ah over cumulative
+	// discharge Ah. Healthy partial cycling sits near 1–1.3; below that
+	// sulphation/stratification dominate, above it shedding/corrosion/
+	// water loss accelerate.
+	CF float64
+
+	// PC is partial cycling (Eq 3–4) with the weighting oriented so that
+	// HIGHER is HEALTHIER (1.0 = all throughput in the 100–80 % band,
+	// 0.25 = all throughput below 40 %). Note: Eq 4 as printed weights the
+	// low band ×4 so that high values would mean *low-SoC* cycling, but
+	// the paper's own evaluation (§VI-A/B) reads PC the other way — sunny
+	// days have high PC and "low PC" marks prone-to-wear-out batteries.
+	// We follow the evaluation semantics and document the discrepancy.
+	PC float64
+
+	// DDT is deep-discharge time (Eq 5): the fraction of wall time spent
+	// below 40 % SoC.
+	DDT float64
+
+	// DR is the mean discharge rate in amperes over discharging intervals.
+	DR float64
+
+	// DRPeak is the highest discharge current observed.
+	DRPeak float64
+
+	// DRLowSoC is the mean discharge rate during deep-discharge intervals,
+	// the combination §III-E singles out as most damaging.
+	DRLowSoC float64
+}
+
+// Tracker accumulates the five aging metrics from a stream of samples.
+// The zero value is unusable; construct with NewTracker.
+type Tracker struct {
+	lifetime units.AmpereHour
+
+	ahOut     float64 // Ah
+	ahIn      float64
+	ahByRange [4]float64 // discharge Ah per SoC band (A..D)
+
+	total    time.Duration
+	deep     time.Duration
+	disTime  time.Duration
+	lowTime  time.Duration
+	drSum    float64 // A·h of discharge time, for mean DR
+	drLowSum float64
+	drPeak   float64
+}
+
+// NewTracker creates a metric tracker for a battery whose nominal life-long
+// throughput (the NAT denominator, CAP_nom in Eq 1) is lifetime.
+func NewTracker(lifetime units.AmpereHour) (*Tracker, error) {
+	if lifetime <= 0 {
+		return nil, fmt.Errorf("aging: lifetime throughput must be positive, got %v", lifetime)
+	}
+	return &Tracker{lifetime: lifetime}, nil
+}
+
+// Observe folds one sample into the running metrics.
+func (t *Tracker) Observe(s Sample) error {
+	if s.Dt <= 0 {
+		return fmt.Errorf("aging: sample duration must be positive, got %v", s.Dt)
+	}
+	soc := units.Clamp01(s.SoC)
+	hours := s.Dt.Hours()
+	t.total += s.Dt
+	if soc < DeepDischargeSoC {
+		t.deep += s.Dt
+	}
+	if s.Current > 0 { // discharging
+		ah := float64(s.Current) * hours
+		t.ahOut += ah
+		t.ahByRange[RangeOf(soc)-RangeA] += ah
+		t.disTime += s.Dt
+		t.drSum += float64(s.Current) * hours
+		if float64(s.Current) > t.drPeak {
+			t.drPeak = float64(s.Current)
+		}
+		if soc < DeepDischargeSoC {
+			t.lowTime += s.Dt
+			t.drLowSum += float64(s.Current) * hours
+		}
+	} else if s.Current < 0 { // charging
+		t.ahIn += -float64(s.Current) * hours
+	}
+	return nil
+}
+
+// Metrics returns the current snapshot.
+func (t *Tracker) Metrics() Metrics {
+	m := Metrics{
+		NAT: t.ahOut / float64(t.lifetime),
+	}
+	if t.ahOut > 0 {
+		m.CF = t.ahIn / t.ahOut
+		// Healthy-high orientation: band A weight 4 … band D weight 1,
+		// normalized by 4 so the value lives in [0.25, 1].
+		m.PC = (t.ahByRange[0]*4 + t.ahByRange[1]*3 + t.ahByRange[2]*2 + t.ahByRange[3]*1) / (4 * t.ahOut)
+	}
+	if t.total > 0 {
+		m.DDT = float64(t.deep) / float64(t.total)
+	}
+	if h := t.disTime.Hours(); h > 0 {
+		m.DR = t.drSum / h
+	}
+	if h := t.lowTime.Hours(); h > 0 {
+		m.DRLowSoC = t.drLowSum / h
+	}
+	m.DRPeak = t.drPeak
+	return m
+}
+
+// Totals returns cumulative Ah flow (out, in) — the raw quantities behind
+// NAT and CF, needed by the planned-aging calculator (Eq 7).
+func (t *Tracker) Totals() (out, in units.AmpereHour) {
+	return units.AmpereHour(t.ahOut), units.AmpereHour(t.ahIn)
+}
+
+// ElapsedTime returns the total observed wall time.
+func (t *Tracker) ElapsedTime() time.Duration { return t.total }
+
+// Reset clears the accumulated state, e.g. at the start of an evaluation
+// window, while keeping the lifetime denominator.
+func (t *Tracker) Reset() {
+	lt := t.lifetime
+	*t = Tracker{lifetime: lt}
+}

@@ -1,0 +1,236 @@
+package aging
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/green-dc/baat/internal/units"
+)
+
+func TestRangeOf(t *testing.T) {
+	tests := []struct {
+		soc  float64
+		want SoCRange
+	}{
+		{1.00, RangeA},
+		{0.80, RangeA},
+		{0.79, RangeB},
+		{0.60, RangeB},
+		{0.59, RangeC},
+		{0.40, RangeC},
+		{0.39, RangeD},
+		{0.00, RangeD},
+	}
+	for _, tt := range tests {
+		if got := RangeOf(tt.soc); got != tt.want {
+			t.Errorf("RangeOf(%v) = %v, want %v", tt.soc, got, tt.want)
+		}
+	}
+}
+
+func TestSoCRangeString(t *testing.T) {
+	if RangeA.String() != "A" || RangeD.String() != "D" {
+		t.Error("range labels wrong")
+	}
+	if SoCRange(9).String() == "" {
+		t.Error("unknown range should still render")
+	}
+}
+
+func TestNewTrackerRejectsNonPositiveLifetime(t *testing.T) {
+	if _, err := NewTracker(0); err == nil {
+		t.Error("NewTracker(0) succeeded, want error")
+	}
+	if _, err := NewTracker(-5); err == nil {
+		t.Error("NewTracker(-5) succeeded, want error")
+	}
+}
+
+func mustTracker(t *testing.T) *Tracker {
+	t.Helper()
+	tr, err := NewTracker(7000)
+	if err != nil {
+		t.Fatalf("NewTracker: %v", err)
+	}
+	return tr
+}
+
+func TestTrackerNAT(t *testing.T) {
+	tr := mustTracker(t)
+	// 70 Ah out of a 7000 Ah budget => NAT 0.01.
+	if err := tr.Observe(Sample{Dt: 10 * time.Hour, Current: 7, SoC: 0.9, Temperature: 25}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Metrics().NAT; !units.NearlyEqual(got, 0.01, 1e-12) {
+		t.Errorf("NAT = %v, want 0.01", got)
+	}
+}
+
+func TestTrackerChargeFactor(t *testing.T) {
+	tr := mustTracker(t)
+	steps := []Sample{
+		{Dt: time.Hour, Current: 10, SoC: 0.7, Temperature: 25},  // 10 Ah out
+		{Dt: time.Hour, Current: -12, SoC: 0.6, Temperature: 25}, // 12 Ah in
+	}
+	for _, s := range steps {
+		if err := tr.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tr.Metrics().CF; !units.NearlyEqual(got, 1.2, 1e-12) {
+		t.Errorf("CF = %v, want 1.2", got)
+	}
+	out, in := tr.Totals()
+	if out != 10 || in != 12 {
+		t.Errorf("Totals() = (%v, %v), want (10, 12)", out, in)
+	}
+}
+
+func TestTrackerPartialCycling(t *testing.T) {
+	tests := []struct {
+		name    string
+		samples []Sample
+		want    float64
+	}{
+		{
+			"all in band A is healthiest",
+			[]Sample{{Dt: time.Hour, Current: 5, SoC: 0.9, Temperature: 25}},
+			1.0,
+		},
+		{
+			"all in band D is worst",
+			[]Sample{{Dt: time.Hour, Current: 5, SoC: 0.1, Temperature: 25}},
+			0.25,
+		},
+		{
+			"even split across A and D",
+			[]Sample{
+				{Dt: time.Hour, Current: 5, SoC: 0.9, Temperature: 25},
+				{Dt: time.Hour, Current: 5, SoC: 0.2, Temperature: 25},
+			},
+			(4 + 1) / 8.0,
+		},
+		{
+			"bands B and C take middle weights",
+			[]Sample{
+				{Dt: time.Hour, Current: 5, SoC: 0.7, Temperature: 25},
+				{Dt: time.Hour, Current: 5, SoC: 0.5, Temperature: 25},
+			},
+			(3 + 2) / 8.0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := mustTracker(t)
+			for _, s := range tt.samples {
+				if err := tr.Observe(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if got := tr.Metrics().PC; !units.NearlyEqual(got, tt.want, 1e-12) {
+				t.Errorf("PC = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTrackerDDTTimeBasedNotAhBased(t *testing.T) {
+	tr := mustTracker(t)
+	// An hour resting at low SoC counts toward DDT even with zero current
+	// (Eq 5 is based only on time, §III-D).
+	if err := tr.Observe(Sample{Dt: time.Hour, Current: 0, SoC: 0.2, Temperature: 25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Observe(Sample{Dt: 3 * time.Hour, Current: 0, SoC: 0.9, Temperature: 25}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Metrics().DDT; !units.NearlyEqual(got, 0.25, 1e-12) {
+		t.Errorf("DDT = %v, want 0.25", got)
+	}
+}
+
+func TestTrackerDischargeRate(t *testing.T) {
+	tr := mustTracker(t)
+	samples := []Sample{
+		{Dt: time.Hour, Current: 4, SoC: 0.9, Temperature: 25},
+		{Dt: time.Hour, Current: 8, SoC: 0.3, Temperature: 25}, // low-SoC high draw
+		{Dt: time.Hour, Current: -5, SoC: 0.5, Temperature: 25},
+	}
+	for _, s := range samples {
+		if err := tr.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := tr.Metrics()
+	if !units.NearlyEqual(m.DR, 6, 1e-12) {
+		t.Errorf("DR = %v, want 6 (mean of 4 and 8)", m.DR)
+	}
+	if m.DRPeak != 8 {
+		t.Errorf("DRPeak = %v, want 8", m.DRPeak)
+	}
+	if !units.NearlyEqual(m.DRLowSoC, 8, 1e-12) {
+		t.Errorf("DRLowSoC = %v, want 8", m.DRLowSoC)
+	}
+}
+
+func TestTrackerRejectsBadSample(t *testing.T) {
+	tr := mustTracker(t)
+	if err := tr.Observe(Sample{Dt: 0, Current: 1, SoC: 0.5}); err == nil {
+		t.Error("zero-duration sample accepted")
+	}
+	if err := tr.Observe(Sample{Dt: -time.Second, Current: 1, SoC: 0.5}); err == nil {
+		t.Error("negative-duration sample accepted")
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	tr := mustTracker(t)
+	if err := tr.Observe(Sample{Dt: time.Hour, Current: 5, SoC: 0.5, Temperature: 25}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Reset()
+	m := tr.Metrics()
+	if m.NAT != 0 || m.CF != 0 || m.PC != 0 || m.DDT != 0 || m.DR != 0 {
+		t.Errorf("metrics after Reset = %+v, want zeros", m)
+	}
+	// Lifetime denominator survives the reset.
+	if err := tr.Observe(Sample{Dt: time.Hour, Current: 70, SoC: 0.5, Temperature: 25}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Metrics().NAT; !units.NearlyEqual(got, 0.01, 1e-12) {
+		t.Errorf("NAT after reset = %v, want 0.01", got)
+	}
+}
+
+func TestTrackerMetricsBoundsProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		tr, err := NewTracker(7000)
+		if err != nil {
+			return false
+		}
+		for _, r := range raw {
+			s := Sample{
+				Dt:          time.Minute,
+				Current:     units.Ampere(float64(r%40) / 2),
+				SoC:         math.Abs(float64(r%100)) / 100,
+				Temperature: 25,
+			}
+			if err := tr.Observe(s); err != nil {
+				return false
+			}
+		}
+		m := tr.Metrics()
+		if m.NAT < 0 || m.CF < 0 || m.DDT < 0 || m.DDT > 1 || m.DR < 0 || m.DRPeak < 0 {
+			return false
+		}
+		if m.PC != 0 && (m.PC < 0.25 || m.PC > 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

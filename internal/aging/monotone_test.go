@@ -1,0 +1,101 @@
+package aging
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/green-dc/baat/internal/units"
+)
+
+// TestDamageMonotoneProperty: whatever the sample stream, accumulated
+// damage never decreases — aging is irreversible (§II-B).
+func TestDamageMonotoneProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		m, err := NewModel(DefaultModelConfig(), 35)
+		if err != nil {
+			return false
+		}
+		prevFade := 0.0
+		prevRes := 0.0
+		prevEff := 0.0
+		for _, r := range raw {
+			s := Sample{
+				Dt:          time.Minute,
+				Current:     units.Ampere(float64(r % 40)), // charge and discharge
+				SoC:         math.Abs(float64(r%100)) / 100,
+				Temperature: units.Celsius(20 + float64(r%30)),
+			}
+			if err := m.Observe(s); err != nil {
+				return false
+			}
+			d := m.Degradation()
+			if d.CapacityFade < prevFade || d.ResistanceGrowth < prevRes || d.EfficiencyLoss < prevEff {
+				return false
+			}
+			prevFade, prevRes, prevEff = d.CapacityFade, d.ResistanceGrowth, d.EfficiencyLoss
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMechanismTotalsConsistent: the per-mechanism decomposition is always
+// non-negative and only grows.
+func TestMechanismTotalsConsistent(t *testing.T) {
+	m, err := NewModel(DefaultModelConfig(), 35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := map[Mechanism]float64{}
+	for i := 0; i < 200; i++ {
+		s := Sample{
+			Dt:          15 * time.Minute,
+			Current:     units.Ampere(float64(i%21) - 10),
+			SoC:         float64(i%100) / 100,
+			Temperature: 30,
+		}
+		if err := m.Observe(s); err != nil {
+			t.Fatal(err)
+		}
+		cur := m.ByMechanism()
+		for mech, v := range cur {
+			if v < 0 {
+				t.Fatalf("%v went negative: %v", mech, v)
+			}
+			if v < prev[mech] {
+				t.Fatalf("%v decreased: %v -> %v", mech, prev[mech], v)
+			}
+		}
+		prev = cur
+	}
+	// All five mechanisms must appear in the decomposition.
+	if len(prev) != NumMechanisms {
+		t.Errorf("decomposition has %d mechanisms, want %d", len(prev), NumMechanisms)
+	}
+}
+
+// TestLowSoCStressShape pins the nonlinearity every lifetime result rests
+// on: 1 at the 40% line, monotone increasing below it, bounded at empty.
+func TestLowSoCStressShape(t *testing.T) {
+	if got := lowSoCStress(0.40); got != 1 {
+		t.Errorf("stress at the deep-discharge line = %v, want 1", got)
+	}
+	if got := lowSoCStress(0.80); got != 1 {
+		t.Errorf("stress above the line = %v, want 1", got)
+	}
+	prev := 1.0
+	for soc := 0.39; soc >= 0; soc -= 0.01 {
+		cur := lowSoCStress(soc)
+		if cur < prev {
+			t.Fatalf("stress not monotone at SoC %.2f: %v < %v", soc, cur, prev)
+		}
+		prev = cur
+	}
+	if empty := lowSoCStress(0); empty < 3 || empty > 10 {
+		t.Errorf("stress at empty = %v, want within the calibrated 3–10 band", empty)
+	}
+}

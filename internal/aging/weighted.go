@@ -1,0 +1,159 @@
+package aging
+
+import (
+	"fmt"
+
+	"github.com/green-dc/baat/internal/units"
+)
+
+// Impact is the qualitative sensitivity of an aging metric to a workload's
+// power/energy demand (Table 3 cells).
+type Impact int
+
+// Impact levels and their Eq 6 weighting factors (§IV-B: 50 % High,
+// 30 % Medium, 20 % Low).
+const (
+	ImpactLow Impact = iota + 1
+	ImpactMedium
+	ImpactHigh
+)
+
+// Weight returns the Eq 6 weighting factor for the impact level.
+func (im Impact) Weight() float64 {
+	switch im {
+	case ImpactHigh:
+		return 0.5
+	case ImpactMedium:
+		return 0.3
+	default:
+		return 0.2
+	}
+}
+
+// String returns the Table 3 label.
+func (im Impact) String() string {
+	switch im {
+	case ImpactLow:
+		return "Low"
+	case ImpactMedium:
+		return "Medium"
+	case ImpactHigh:
+		return "High"
+	default:
+		return fmt.Sprintf("Impact(%d)", int(im))
+	}
+}
+
+// DemandClass is the paper's coarse classification of a workload's power and
+// energy demand (§IV-B): power is "Large" when consumption exceeds 50 % of
+// peak, energy is "More" when the total energy request / running length is
+// high.
+type DemandClass struct {
+	LargePower bool
+	MoreEnergy bool
+}
+
+// String renders the class as in Table 3.
+func (c DemandClass) String() string {
+	p, e := "Small", "Less"
+	if c.LargePower {
+		p = "Large"
+	}
+	if c.MoreEnergy {
+		e = "More"
+	}
+	return p + "/" + e
+}
+
+// Sensitivity gives the Table 3 impact levels for the three placement
+// metrics (ΔNAT, ΔCF, ΔPC).
+type Sensitivity struct {
+	NAT Impact
+	CF  Impact
+	PC  Impact
+}
+
+// DemandSensitivity returns the Table 3 row for a demand class:
+//
+//	Power  Energy  ΔNAT    ΔCF   ΔPC
+//	Large  Less    Medium  High  High
+//	Large  More    High    High  High
+//	Small  More    High    Low   Medium
+//	Small  Less    Low     Low   Low
+func DemandSensitivity(c DemandClass) Sensitivity {
+	switch {
+	case c.LargePower && !c.MoreEnergy:
+		return Sensitivity{NAT: ImpactMedium, CF: ImpactHigh, PC: ImpactHigh}
+	case c.LargePower && c.MoreEnergy:
+		return Sensitivity{NAT: ImpactHigh, CF: ImpactHigh, PC: ImpactHigh}
+	case !c.LargePower && c.MoreEnergy:
+		return Sensitivity{NAT: ImpactHigh, CF: ImpactLow, PC: ImpactMedium}
+	default:
+		return Sensitivity{NAT: ImpactLow, CF: ImpactLow, PC: ImpactLow}
+	}
+}
+
+// Badness normalizations: each metric is converted to a [0, 1] "aging
+// pressure" so Eq 6 can combine them. The BAAT controller ranks nodes by the
+// weighted sum and places load on the *lowest* score (slowest-aging) node.
+
+// natBadness is the fraction of the cycled-charge budget already consumed.
+func natBadness(nat float64) float64 { return units.Clamp01(nat) }
+
+// cfBadness penalizes charge factors outside the healthy 1.05–1.30 window
+// (§III-B): low CF marks under-recharge (sulphation/stratification), high CF
+// marks float-charge abuse (shedding/corrosion/water loss).
+func cfBadness(cf float64) float64 {
+	const lo, hi = 1.05, 1.30
+	switch {
+	case cf <= 0:
+		return 1 // nothing ever recharged: worst case
+	case cf < lo:
+		return units.Clamp01((lo - cf) / lo)
+	case cf > hi:
+		return units.Clamp01((cf - hi) / hi)
+	default:
+		return 0
+	}
+}
+
+// pcBadness converts healthy-high PC (1 = all cycling at high SoC) into an
+// aging pressure (0 = healthy, 1 = all cycling below 40 % SoC).
+func pcBadness(pc float64) float64 {
+	if pc <= 0 {
+		return 0 // no throughput yet — nothing to penalize
+	}
+	return units.Clamp01((1 - pc) / 0.75)
+}
+
+// WeightedAging computes Eq 6 for one battery: the sensitivity-weighted
+// combination of the three placement metrics, each normalized to [0, 1]
+// aging pressure. Larger values indicate faster expected aging if the
+// candidate workload lands on this battery.
+func WeightedAging(m Metrics, s Sensitivity) float64 {
+	return s.CF.Weight()*cfBadness(m.CF) +
+		s.PC.Weight()*pcBadness(m.PC) +
+		s.NAT.Weight()*natBadness(m.NAT)
+}
+
+// DoDGoal computes Eq 7: the depth of discharge that spends the remaining
+// lifetime Ah budget evenly over the planned number of remaining cycles.
+//
+//	DoD_goal = (C_total − C_used) / Cycle_plan   (as a fraction of capNom)
+//
+// The result is clamped to [0.05, 0.9]: the paper notes discharge beyond
+// 90 % DoD is not usable (§VI-G).
+func DoDGoal(total, used units.AmpereHour, cyclePlan float64, capNom units.AmpereHour) (float64, error) {
+	if total <= 0 || capNom <= 0 {
+		return 0, fmt.Errorf("aging: total throughput and capacity must be positive (total=%v, cap=%v)", total, capNom)
+	}
+	if cyclePlan <= 0 {
+		return 0, fmt.Errorf("aging: planned cycles must be positive, got %v", cyclePlan)
+	}
+	remaining := float64(total) - float64(used)
+	if remaining < 0 {
+		remaining = 0
+	}
+	perCycle := remaining / cyclePlan
+	return units.Clamp(perCycle/float64(capNom), 0.05, 0.90), nil
+}

@@ -1,0 +1,175 @@
+package aging
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/green-dc/baat/internal/units"
+)
+
+func TestImpactWeights(t *testing.T) {
+	tests := []struct {
+		im   Impact
+		want float64
+	}{
+		{ImpactHigh, 0.5},
+		{ImpactMedium, 0.3},
+		{ImpactLow, 0.2},
+	}
+	for _, tt := range tests {
+		if got := tt.im.Weight(); got != tt.want {
+			t.Errorf("%v.Weight() = %v, want %v", tt.im, got, tt.want)
+		}
+	}
+}
+
+func TestImpactString(t *testing.T) {
+	if ImpactHigh.String() != "High" || ImpactMedium.String() != "Medium" || ImpactLow.String() != "Low" {
+		t.Error("impact labels wrong")
+	}
+	if Impact(0).String() == "" {
+		t.Error("unknown impact should render")
+	}
+}
+
+func TestDemandSensitivityTable3(t *testing.T) {
+	tests := []struct {
+		class DemandClass
+		want  Sensitivity
+	}{
+		{DemandClass{LargePower: true, MoreEnergy: false}, Sensitivity{NAT: ImpactMedium, CF: ImpactHigh, PC: ImpactHigh}},
+		{DemandClass{LargePower: true, MoreEnergy: true}, Sensitivity{NAT: ImpactHigh, CF: ImpactHigh, PC: ImpactHigh}},
+		{DemandClass{LargePower: false, MoreEnergy: true}, Sensitivity{NAT: ImpactHigh, CF: ImpactLow, PC: ImpactMedium}},
+		{DemandClass{LargePower: false, MoreEnergy: false}, Sensitivity{NAT: ImpactLow, CF: ImpactLow, PC: ImpactLow}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.class.String(), func(t *testing.T) {
+			if got := DemandSensitivity(tt.class); got != tt.want {
+				t.Errorf("DemandSensitivity(%v) = %+v, want %+v", tt.class, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDemandClassString(t *testing.T) {
+	if got := (DemandClass{LargePower: true, MoreEnergy: true}).String(); got != "Large/More" {
+		t.Errorf("String() = %q, want Large/More", got)
+	}
+	if got := (DemandClass{}).String(); got != "Small/Less" {
+		t.Errorf("String() = %q, want Small/Less", got)
+	}
+}
+
+func TestWeightedAgingOrdersNodesByHealthiness(t *testing.T) {
+	sens := DemandSensitivity(DemandClass{LargePower: true, MoreEnergy: true})
+	healthy := Metrics{NAT: 0.05, CF: 1.15, PC: 0.95}
+	tired := Metrics{NAT: 0.60, CF: 0.85, PC: 0.40}
+	if WeightedAging(healthy, sens) >= WeightedAging(tired, sens) {
+		t.Error("healthy battery scored worse than tired battery")
+	}
+}
+
+func TestWeightedAgingComponents(t *testing.T) {
+	sens := Sensitivity{NAT: ImpactHigh, CF: ImpactHigh, PC: ImpactHigh}
+	tests := []struct {
+		name string
+		m    Metrics
+		want float64
+	}{
+		{"pristine", Metrics{NAT: 0, CF: 1.15, PC: 1}, 0},
+		{"budget spent", Metrics{NAT: 1, CF: 1.15, PC: 1}, 0.5},
+		{"no recharge ever", Metrics{NAT: 0, CF: 0, PC: 1}, 0.5},
+		{"all low-SoC cycling", Metrics{NAT: 0, CF: 1.15, PC: 0.25}, 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := WeightedAging(tt.m, sens); !units.NearlyEqual(got, tt.want, 1e-9) {
+				t.Errorf("WeightedAging = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCFBadnessWindow(t *testing.T) {
+	// Inside the healthy window there is no penalty; both directions out
+	// of it are penalized (§III-B).
+	if cfBadness(1.1) != 0 || cfBadness(1.3) != 0 || cfBadness(1.05) != 0 {
+		t.Error("healthy CF window penalized")
+	}
+	if cfBadness(0.8) <= 0 {
+		t.Error("under-recharge CF not penalized")
+	}
+	if cfBadness(1.6) <= 0 {
+		t.Error("float-charge CF not penalized")
+	}
+	if cfBadness(0) != 1 {
+		t.Error("never-recharged battery should be worst case")
+	}
+}
+
+func TestWeightedAgingBoundedProperty(t *testing.T) {
+	f := func(nat, cf, pc float64, largePower, moreEnergy bool) bool {
+		m := Metrics{
+			NAT: units.Clamp(nat, 0, 2),
+			CF:  units.Clamp(cf, 0, 3),
+			PC:  units.Clamp(pc, 0.25, 1),
+		}
+		s := DemandSensitivity(DemandClass{LargePower: largePower, MoreEnergy: moreEnergy})
+		w := WeightedAging(m, s)
+		return w >= 0 && w <= 1.5 // three weights each ≤ 0.5, badness ≤ 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDoDGoal(t *testing.T) {
+	tests := []struct {
+		name    string
+		total   units.AmpereHour
+		used    units.AmpereHour
+		cycles  float64
+		want    float64
+		wantErr bool
+	}{
+		{"even spend", 7000, 0, 400, 0.5, false},      // 7000/400/35 = 0.5
+		{"half used", 7000, 3500, 200, 0.5, false},    // 3500/200/35 = 0.5
+		{"clamped high", 7000, 0, 100, 0.9, false},    // 2.0 → 0.9
+		{"clamped low", 7000, 6900, 500, 0.05, false}, // 0.0057 → 0.05
+		{"overdrawn", 7000, 9000, 100, 0.05, false},   // negative remaining → floor
+		{"zero total", 0, 0, 100, 0, true},
+		{"zero cycles", 7000, 0, 0, 0, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := DoDGoal(tt.total, tt.used, tt.cycles, 35)
+			if tt.wantErr {
+				if err == nil {
+					t.Error("DoDGoal succeeded, want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("DoDGoal: %v", err)
+			}
+			if !units.NearlyEqual(got, tt.want, 1e-9) {
+				t.Errorf("DoDGoal = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDoDGoalMonotoneInRemainingBudget(t *testing.T) {
+	f := func(usedRaw uint16) bool {
+		used := units.AmpereHour(usedRaw % 7000)
+		g1, err1 := DoDGoal(7000, used, 300, 35)
+		g2, err2 := DoDGoal(7000, used+100, 300, 35)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return g2 <= g1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

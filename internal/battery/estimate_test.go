@@ -1,0 +1,96 @@
+package battery
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/green-dc/baat/internal/units"
+)
+
+func TestEstimateSoCInvertsVoltageModel(t *testing.T) {
+	tests := []struct {
+		soc float64
+		i   units.Ampere
+	}{
+		{1.0, 0},
+		{0.8, 5},
+		{0.5, 10},
+		{0.3, 2},
+		{0.1, 1},
+	}
+	for _, tt := range tests {
+		p, err := New(DefaultSpec(), WithInitialSoC(tt.soc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := p.TerminalVoltage(tt.i)
+		got := p.EstimateSoC(v, tt.i)
+		if !units.NearlyEqual(got, tt.soc, 0.02) {
+			t.Errorf("EstimateSoC(V at SoC %.2f, %.0fA) = %.3f", tt.soc, float64(tt.i), got)
+		}
+	}
+}
+
+func TestEstimateSoCOnAgedPack(t *testing.T) {
+	// The estimator must use the aged resistance, or the IR compensation
+	// under load would skew the reading.
+	p, err := New(DefaultSpec(), WithInitialSoC(0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ApplyDegradation(Degradation{ResistanceGrowth: 4})
+	v := p.TerminalVoltage(8)
+	if got := p.EstimateSoC(v, 8); !units.NearlyEqual(got, 0.6, 0.02) {
+		t.Errorf("EstimateSoC on aged pack = %.3f, want ≈0.6", got)
+	}
+}
+
+func TestEstimateSoCClamped(t *testing.T) {
+	p, err := New(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.EstimateSoC(20, 0); got != 1 {
+		t.Errorf("absurdly high voltage => SoC %v, want 1", got)
+	}
+	if got := p.EstimateSoC(5, 0); got != 0 {
+		t.Errorf("absurdly low voltage => SoC %v, want 0", got)
+	}
+}
+
+func TestEstimateSoCRoundTripProperty(t *testing.T) {
+	f := func(rawSoC uint8, rawI uint8) bool {
+		soc := units.Clamp(float64(rawSoC)/255, 0.05, 1)
+		i := units.Ampere(float64(rawI % 15))
+		p, err := New(DefaultSpec(), WithInitialSoC(soc))
+		if err != nil {
+			return false
+		}
+		got := p.EstimateSoC(p.TerminalVoltage(i), i)
+		return units.NearlyEqual(got, soc, 0.03)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateSoCTracksDischarge(t *testing.T) {
+	// Sensor-style usage: periodically estimate SoC from the loaded
+	// terminal voltage while discharging; the estimate must track the true
+	// state within a couple of points.
+	p, err := New(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		res, err := p.Discharge(80, time.Minute, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := p.EstimateSoC(res.Voltage, res.Current)
+		if !units.NearlyEqual(est, p.SoC(), 0.05) {
+			t.Fatalf("minute %d: estimate %.3f vs true %.3f", i, est, p.SoC())
+		}
+	}
+}

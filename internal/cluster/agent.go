@@ -1,0 +1,344 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/units"
+)
+
+// NodeHandle is what an agent senses and actuates. It must be safe for the
+// agent's single goroutine; LocalNode adapts a *node.Node with a mutex so a
+// co-resident simulation loop can share it.
+type NodeHandle interface {
+	// ID returns the node identifier.
+	ID() string
+	// Snapshot produces the current sensor report.
+	Snapshot() Report
+	// Apply executes one actuation command.
+	Apply(Command) error
+}
+
+// LocalNode adapts a *node.Node as a NodeHandle.
+type LocalNode struct {
+	mu sync.Mutex
+	n  *node.Node
+}
+
+// NewLocalNode wraps a node. The returned handle serializes all access; a
+// driver that steps the node should do so through WithLock.
+func NewLocalNode(n *node.Node) (*LocalNode, error) {
+	if n == nil {
+		return nil, errors.New("cluster: node must not be nil")
+	}
+	return &LocalNode{n: n}, nil
+}
+
+// WithLock runs fn with exclusive access to the underlying node, letting a
+// simulation loop step the node without racing the agent.
+func (l *LocalNode) WithLock(fn func(*node.Node) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return fn(l.n)
+}
+
+// ID returns the node identifier.
+func (l *LocalNode) ID() string { return l.n.ID() }
+
+// Snapshot produces the current sensor report.
+func (l *LocalNode) Snapshot() Report {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	pack := l.n.Battery()
+	srv := l.n.Server()
+	var reading Report
+	reading.NodeID = l.n.ID()
+	reading.SentAt = time.Now()
+	reading.SoC = pack.SoC()
+	reading.Health = pack.Health()
+	reading.Voltage = float64(pack.OpenCircuitVoltage())
+	reading.TemperatureC = float64(pack.Temperature())
+	if last, ok := l.n.PowerTable().Last(); ok {
+		reading.Current = float64(last.Current)
+		reading.Voltage = float64(last.Voltage)
+	}
+	reading.Metrics = l.n.Metrics()
+	reading.ServerPowerW = float64(srv.Power())
+	reading.FrequencyIndex = srv.FrequencyIndex()
+	reading.SoCFloor = l.n.SoCFloor()
+	return reading
+}
+
+// Apply executes one actuation command.
+func (l *LocalNode) Apply(cmd Command) error {
+	if err := cmd.Validate(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch cmd.Action {
+	case ActionSetFrequency:
+		return l.n.Server().SetFrequencyIndex(cmd.FrequencyIndex)
+	case ActionSetFloor:
+		return l.n.SetSoCFloor(units.Clamp(cmd.Floor, 0, 0.99))
+	case ActionSetPowered:
+		l.n.Server().SetPowered(cmd.Powered)
+		return nil
+	case ActionPing:
+		return nil
+	default:
+		return fmt.Errorf("cluster: unknown action %q", cmd.Action)
+	}
+}
+
+// AgentConfig parameterizes an agent.
+type AgentConfig struct {
+	// ControllerAddr is the controller's TCP address.
+	ControllerAddr string
+	// ReportInterval is how often sensor reports are pushed.
+	ReportInterval time.Duration
+	// DialTimeout bounds the initial connection.
+	DialTimeout time.Duration
+	// Reconnect keeps the agent alive across controller restarts and
+	// network blips: after a transport failure it redials with exponential
+	// backoff instead of terminating. The initial dial must still succeed.
+	Reconnect bool
+	// MaxBackoff caps the reconnect backoff (default 5 s when zero).
+	MaxBackoff time.Duration
+}
+
+// DefaultAgentConfig returns sensible local defaults.
+func DefaultAgentConfig(addr string) AgentConfig {
+	return AgentConfig{
+		ControllerAddr: addr,
+		ReportInterval: 200 * time.Millisecond,
+		DialTimeout:    2 * time.Second,
+		MaxBackoff:     5 * time.Second,
+	}
+}
+
+// Validate checks the configuration.
+func (c AgentConfig) Validate() error {
+	if c.ControllerAddr == "" {
+		return errors.New("cluster: controller address must not be empty")
+	}
+	if c.ReportInterval <= 0 {
+		return fmt.Errorf("cluster: report interval must be positive, got %v", c.ReportInterval)
+	}
+	if c.DialTimeout <= 0 {
+		return fmt.Errorf("cluster: dial timeout must be positive, got %v", c.DialTimeout)
+	}
+	if c.MaxBackoff < 0 {
+		return fmt.Errorf("cluster: max backoff must be non-negative, got %v", c.MaxBackoff)
+	}
+	return nil
+}
+
+// Agent connects one battery node to the controller.
+type Agent struct {
+	cfg    AgentConfig
+	handle NodeHandle
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	mu     sync.Mutex
+	conn   net.Conn
+	err    error
+}
+
+// StartAgent connects to the controller, registers the node, and starts
+// the report/command loops. Stop with Agent.Close.
+func StartAgent(cfg AgentConfig, handle NodeHandle) (*Agent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if handle == nil {
+		return nil, errors.New("cluster: node handle must not be nil")
+	}
+	conn, err := net.DialTimeout("tcp", cfg.ControllerAddr, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dialing controller: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	a := &Agent{
+		cfg:    cfg,
+		handle: handle,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		conn:   conn,
+	}
+	if err := a.send(Envelope{Type: MsgHello, Hello: &Hello{NodeID: handle.ID()}}); err != nil {
+		cancel()
+		_ = conn.Close()
+		return nil, err
+	}
+	go a.run(ctx)
+	return a, nil
+}
+
+// send writes one envelope; safe for concurrent use.
+func (a *Agent) send(e Envelope) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding envelope: %w", err)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.conn == nil {
+		return errors.New("cluster: agent connection closed")
+	}
+	_, err = a.conn.Write(append(data, '\n'))
+	return err
+}
+
+// run drives connection sessions until ctx ends. With Reconnect set, a
+// failed session is followed by a redial with exponential backoff.
+func (a *Agent) run(ctx context.Context) {
+	defer close(a.done)
+
+	backoff := 50 * time.Millisecond
+	maxBackoff := a.cfg.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 5 * time.Second
+	}
+	for {
+		err := a.session(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		a.setErr(err)
+		if !a.cfg.Reconnect {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		if rerr := a.redial(); rerr != nil {
+			continue // keep backing off
+		}
+		backoff = 50 * time.Millisecond
+	}
+}
+
+// redial replaces the connection and re-registers the node.
+func (a *Agent) redial() error {
+	conn, err := net.DialTimeout("tcp", a.cfg.ControllerAddr, a.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	old := a.conn
+	a.conn = conn
+	a.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	return a.send(Envelope{Type: MsgHello, Hello: &Hello{NodeID: a.handle.ID()}})
+}
+
+// session runs one connection's report ticker and command reader until the
+// transport fails or ctx ends.
+func (a *Agent) session(ctx context.Context) error {
+	a.mu.Lock()
+	conn := a.conn
+	a.mu.Unlock()
+	if conn == nil {
+		return errors.New("cluster: agent connection closed")
+	}
+	readerDone := make(chan error, 1)
+	go func() { readerDone <- a.readCommands(conn) }()
+
+	ticker := time.NewTicker(a.cfg.ReportInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case err := <-readerDone:
+			if err == nil {
+				// A clean EOF still means the controller went away.
+				err = errors.New("cluster: controller closed the connection")
+			}
+			return err
+		case <-ticker.C:
+			report := a.handle.Snapshot()
+			if err := a.send(Envelope{Type: MsgReport, Report: &report}); err != nil {
+				// Drain the reader before returning so its goroutine does
+				// not leak into the next session.
+				_ = conn.Close()
+				<-readerDone
+				return err
+			}
+		}
+	}
+}
+
+// readCommands processes controller commands until the connection closes.
+func (a *Agent) readCommands(conn net.Conn) error {
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for scanner.Scan() {
+		var env Envelope
+		if err := json.Unmarshal(scanner.Bytes(), &env); err != nil {
+			return fmt.Errorf("cluster: decoding controller message: %w", err)
+		}
+		if err := env.Validate(); err != nil {
+			return err
+		}
+		if env.Type != MsgCommand {
+			continue // agents only consume commands
+		}
+		ack := Ack{ID: env.Command.ID, OK: true}
+		if err := a.handle.Apply(*env.Command); err != nil {
+			ack.OK = false
+			ack.Error = err.Error()
+		}
+		if err := a.send(Envelope{Type: MsgAck, Ack: &ack}); err != nil {
+			return err
+		}
+	}
+	return scanner.Err()
+}
+
+func (a *Agent) setErr(err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.err == nil {
+		a.err = err
+	}
+}
+
+// Err returns the first transport error the agent hit, if any.
+func (a *Agent) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// Close stops the agent and releases the connection.
+func (a *Agent) Close() error {
+	a.cancel()
+	a.mu.Lock()
+	conn := a.conn
+	a.conn = nil
+	a.mu.Unlock()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	<-a.done
+	return err
+}

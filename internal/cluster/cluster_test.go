@@ -1,0 +1,323 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/vm"
+	"github.com/green-dc/baat/internal/workload"
+)
+
+func newHandle(t *testing.T, id string) *LocalNode {
+	t.Helper()
+	n, err := node.New(id, node.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewLocalNode(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func startPair(t *testing.T, ids ...string) (*Controller, map[string]*LocalNode) {
+	t.Helper()
+	ctrl, err := ListenController(DefaultControllerConfig("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ctrl.Close() })
+	handles := map[string]*LocalNode{}
+	for _, id := range ids {
+		h := newHandle(t, id)
+		handles[id] = h
+		cfg := DefaultAgentConfig(ctrl.Addr())
+		cfg.ReportInterval = 20 * time.Millisecond
+		a, err := StartAgent(cfg, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = a.Close() })
+	}
+	return ctrl, handles
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within deadline")
+}
+
+func TestEnvelopeValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		env     Envelope
+		wantErr bool
+	}{
+		{"valid hello", Envelope{Type: MsgHello, Hello: &Hello{NodeID: "a"}}, false},
+		{"hello missing payload", Envelope{Type: MsgHello}, true},
+		{"report missing payload", Envelope{Type: MsgReport}, true},
+		{"command missing payload", Envelope{Type: MsgCommand}, true},
+		{"ack missing payload", Envelope{Type: MsgAck}, true},
+		{"unknown type", Envelope{Type: "bogus"}, true},
+		{"valid ack", Envelope{Type: MsgAck, Ack: &Ack{ID: 1, OK: true}}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.env.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCommandValidate(t *testing.T) {
+	if err := (Command{Action: ActionPing}).Validate(); err != nil {
+		t.Errorf("ping invalid: %v", err)
+	}
+	if err := (Command{Action: "noop"}).Validate(); err == nil {
+		t.Error("unknown action accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultControllerConfig("").Validate(); err == nil {
+		t.Error("empty controller addr accepted")
+	}
+	bad := DefaultControllerConfig("x")
+	bad.StaleAfter = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero stale-after accepted")
+	}
+	if err := DefaultAgentConfig("").Validate(); err == nil {
+		t.Error("empty agent addr accepted")
+	}
+	ba := DefaultAgentConfig("x")
+	ba.ReportInterval = 0
+	if err := ba.Validate(); err == nil {
+		t.Error("zero report interval accepted")
+	}
+	if _, err := StartAgent(DefaultAgentConfig("127.0.0.1:1"), nil); err == nil {
+		t.Error("nil handle accepted")
+	}
+	if _, err := NewLocalNode(nil); err == nil {
+		t.Error("nil node accepted")
+	}
+}
+
+func TestReportsReachController(t *testing.T) {
+	ctrl, _ := startPair(t, "node-a", "node-b")
+	waitFor(t, func() bool { return len(ctrl.Snapshot()) == 2 })
+	snap := ctrl.Snapshot()
+	if snap[0].Report.NodeID != "node-a" || snap[1].Report.NodeID != "node-b" {
+		t.Fatalf("snapshot order/IDs wrong: %+v", snap)
+	}
+	for _, st := range snap {
+		if st.Stale {
+			t.Errorf("node %s reported stale while alive", st.Report.NodeID)
+		}
+		if st.Report.SoC <= 0 || st.Report.Health <= 0 {
+			t.Errorf("node %s report empty: %+v", st.Report.NodeID, st.Report)
+		}
+		if st.Report.Voltage < 10 || st.Report.Voltage > 16 {
+			t.Errorf("node %s voltage implausible: %v", st.Report.NodeID, st.Report.Voltage)
+		}
+	}
+	if ids := ctrl.AgentIDs(); len(ids) != 2 || ids[0] != "node-a" {
+		t.Errorf("AgentIDs = %v", ids)
+	}
+}
+
+func TestSetFrequencyCommand(t *testing.T) {
+	ctrl, handles := startPair(t, "node-a")
+	waitFor(t, func() bool { return len(ctrl.AgentIDs()) == 1 })
+	ack, err := ctrl.SendCommand(context.Background(), "node-a", Command{
+		Action:         ActionSetFrequency,
+		FrequencyIndex: 0,
+	})
+	if err != nil {
+		t.Fatalf("SendCommand: %v", err)
+	}
+	if !ack.OK {
+		t.Fatalf("ack not OK: %+v", ack)
+	}
+	if err := handles["node-a"].WithLock(func(n *node.Node) error {
+		if n.Server().FrequencyIndex() != 0 {
+			t.Errorf("frequency index = %d, want 0", n.Server().FrequencyIndex())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetFloorCommand(t *testing.T) {
+	ctrl, handles := startPair(t, "node-a")
+	waitFor(t, func() bool { return len(ctrl.AgentIDs()) == 1 })
+	if _, err := ctrl.SendCommand(context.Background(), "node-a", Command{
+		Action: ActionSetFloor,
+		Floor:  0.42,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := handles["node-a"].WithLock(func(n *node.Node) error {
+		if n.SoCFloor() != 0.42 {
+			t.Errorf("floor = %v, want 0.42", n.SoCFloor())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetPoweredCommand(t *testing.T) {
+	ctrl, handles := startPair(t, "node-a")
+	waitFor(t, func() bool { return len(ctrl.AgentIDs()) == 1 })
+	if _, err := ctrl.SendCommand(context.Background(), "node-a", Command{
+		Action:  ActionSetPowered,
+		Powered: false,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := handles["node-a"].WithLock(func(n *node.Node) error {
+		if n.Server().Powered() {
+			t.Error("server still powered")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandRejectionPropagates(t *testing.T) {
+	ctrl, _ := startPair(t, "node-a")
+	waitFor(t, func() bool { return len(ctrl.AgentIDs()) == 1 })
+	// DVFS index out of range: the agent must NACK it.
+	ack, err := ctrl.SendCommand(context.Background(), "node-a", Command{
+		Action:         ActionSetFrequency,
+		FrequencyIndex: 99,
+	})
+	if err == nil {
+		t.Fatal("out-of-range frequency accepted")
+	}
+	if ack.OK {
+		t.Error("ack marked OK despite rejection")
+	}
+}
+
+func TestUnknownAgent(t *testing.T) {
+	ctrl, _ := startPair(t, "node-a")
+	_, err := ctrl.SendCommand(context.Background(), "ghost", Command{Action: ActionPing})
+	if !errors.Is(err, ErrUnknownAgent) {
+		t.Errorf("error = %v, want ErrUnknownAgent", err)
+	}
+}
+
+func TestInvalidCommandRejectedLocally(t *testing.T) {
+	ctrl, _ := startPair(t, "node-a")
+	waitFor(t, func() bool { return len(ctrl.AgentIDs()) == 1 })
+	if _, err := ctrl.SendCommand(context.Background(), "node-a", Command{Action: "bogus"}); err == nil {
+		t.Error("invalid action accepted")
+	}
+}
+
+func TestAgentDisconnectCleansUp(t *testing.T) {
+	ccfg := DefaultControllerConfig("127.0.0.1:0")
+	ccfg.StaleAfter = 100 * time.Millisecond
+	ctrl, err := ListenController(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ctrl.Close() }()
+	h := newHandle(t, "node-x")
+	cfg := DefaultAgentConfig(ctrl.Addr())
+	cfg.ReportInterval = 20 * time.Millisecond
+	a, err := StartAgent(cfg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(ctrl.AgentIDs()) == 1 })
+	waitFor(t, func() bool { return len(ctrl.Snapshot()) == 1 }) // first report landed
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(ctrl.AgentIDs()) == 0 })
+	// The last report survives; a later snapshot marks it stale.
+	waitFor(t, func() bool {
+		snap := ctrl.Snapshot()
+		return len(snap) == 1 && snap[0].Stale
+	})
+	// Commands to the gone agent fail fast.
+	if _, err := ctrl.SendCommand(context.Background(), "node-x", Command{Action: ActionPing}); !errors.Is(err, ErrUnknownAgent) {
+		t.Errorf("command to gone agent: %v, want ErrUnknownAgent", err)
+	}
+}
+
+func TestControllerCloseIdempotent(t *testing.T) {
+	ctrl, err := ListenController(DefaultControllerConfig("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestLocalNodeSnapshotWhileStepping(t *testing.T) {
+	// The agent snapshots while a driver steps the node: WithLock must
+	// keep them serialized (run with -race to verify).
+	h := newHandle(t, "node-r")
+	p, err := workload.ProfileFor(workload.KMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.New("v", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.WithLock(func(n *node.Node) error { return n.Server().Attach(v) }); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = h.WithLock(func(n *node.Node) error {
+				_, err := n.Step(time.Minute, 100, 0)
+				return err
+			})
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		_ = h.Snapshot()
+	}
+	<-done
+	if got := h.Snapshot(); got.NodeID != "node-r" {
+		t.Errorf("snapshot NodeID = %q", got.NodeID)
+	}
+}
+
+func TestPingRoundTrip(t *testing.T) {
+	ctrl, _ := startPair(t, "node-a")
+	waitFor(t, func() bool { return len(ctrl.AgentIDs()) == 1 })
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	ack, err := ctrl.SendCommand(ctx, "node-a", Command{Action: ActionPing})
+	if err != nil || !ack.OK {
+		t.Fatalf("ping failed: ack=%+v err=%v", ack, err)
+	}
+}

@@ -1,0 +1,312 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ControllerConfig parameterizes the central BAAT controller.
+type ControllerConfig struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for tests).
+	Addr string
+	// StaleAfter marks agents whose last report is older than this as
+	// stale in snapshots.
+	StaleAfter time.Duration
+	// CommandTimeout bounds how long SendCommand waits for an Ack.
+	CommandTimeout time.Duration
+}
+
+// DefaultControllerConfig returns local defaults.
+func DefaultControllerConfig(addr string) ControllerConfig {
+	return ControllerConfig{
+		Addr:           addr,
+		StaleAfter:     2 * time.Second,
+		CommandTimeout: 2 * time.Second,
+	}
+}
+
+// Validate checks the configuration.
+func (c ControllerConfig) Validate() error {
+	if c.Addr == "" {
+		return errors.New("cluster: controller address must not be empty")
+	}
+	if c.StaleAfter <= 0 || c.CommandTimeout <= 0 {
+		return errors.New("cluster: timeouts must be positive")
+	}
+	return nil
+}
+
+// NodeState is the controller's view of one agent.
+type NodeState struct {
+	// Report is the latest sensor report.
+	Report Report
+	// LastSeen is when the report arrived.
+	LastSeen time.Time
+	// Stale marks agents that have missed their reporting deadline.
+	Stale bool
+}
+
+// Controller is the central monitoring and actuation endpoint (Fig 7's
+// "BAAT controller" box).
+type Controller struct {
+	cfg ControllerConfig
+	ln  net.Listener
+
+	mu      sync.Mutex
+	conns   map[string]*agentConn
+	states  map[string]NodeState
+	nextCmd uint64
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// agentConn is one connected agent.
+type agentConn struct {
+	nodeID  string
+	conn    net.Conn
+	writeMu sync.Mutex
+	pending map[uint64]chan Ack
+	mu      sync.Mutex
+}
+
+// ListenController starts a controller on cfg.Addr.
+func ListenController(cfg ControllerConfig) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listening: %w", err)
+	}
+	c := &Controller{
+		cfg:    cfg,
+		ln:     ln,
+		conns:  map[string]*agentConn{},
+		states: map[string]NodeState{},
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the bound listen address.
+func (c *Controller) Addr() string { return c.ln.Addr().String() }
+
+func (c *Controller) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.serve(conn)
+		}()
+	}
+}
+
+// serve handles one agent connection: a Hello registers it, then reports
+// update the state table and acks complete pending commands.
+func (c *Controller) serve(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+
+	var ac *agentConn
+	defer func() {
+		if ac == nil {
+			return
+		}
+		c.mu.Lock()
+		if cur, ok := c.conns[ac.nodeID]; ok && cur == ac {
+			delete(c.conns, ac.nodeID)
+		}
+		c.mu.Unlock()
+		ac.failPending()
+	}()
+
+	for scanner.Scan() {
+		var env Envelope
+		if err := json.Unmarshal(scanner.Bytes(), &env); err != nil {
+			return
+		}
+		if env.Validate() != nil {
+			return
+		}
+		switch env.Type {
+		case MsgHello:
+			ac = &agentConn{
+				nodeID:  env.Hello.NodeID,
+				conn:    conn,
+				pending: map[uint64]chan Ack{},
+			}
+			c.mu.Lock()
+			c.conns[env.Hello.NodeID] = ac
+			c.mu.Unlock()
+		case MsgReport:
+			if ac == nil {
+				return // report before hello: protocol violation
+			}
+			c.mu.Lock()
+			c.states[env.Report.NodeID] = NodeState{
+				Report:   *env.Report,
+				LastSeen: time.Now(),
+			}
+			c.mu.Unlock()
+		case MsgAck:
+			if ac == nil {
+				return
+			}
+			ac.complete(*env.Ack)
+		case MsgCommand:
+			return // agents do not send commands
+		}
+	}
+}
+
+// complete resolves a pending command.
+func (a *agentConn) complete(ack Ack) {
+	a.mu.Lock()
+	ch, ok := a.pending[ack.ID]
+	if ok {
+		delete(a.pending, ack.ID)
+	}
+	a.mu.Unlock()
+	if ok {
+		ch <- ack
+	}
+}
+
+// failPending unblocks all waiters after a disconnect.
+func (a *agentConn) failPending() {
+	a.mu.Lock()
+	pending := a.pending
+	a.pending = map[uint64]chan Ack{}
+	a.mu.Unlock()
+	for id, ch := range pending {
+		ch <- Ack{ID: id, OK: false, Error: "agent disconnected"}
+	}
+}
+
+// Snapshot returns the latest view of every known node, sorted by ID, with
+// staleness computed against the configured deadline.
+func (c *Controller) Snapshot() []NodeState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeState, 0, len(c.states))
+	ids := make([]string, 0, len(c.states))
+	for id := range c.states {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	now := time.Now()
+	for _, id := range ids {
+		st := c.states[id]
+		st.Stale = now.Sub(st.LastSeen) > c.cfg.StaleAfter
+		out = append(out, st)
+	}
+	return out
+}
+
+// AgentIDs lists currently connected agents, sorted.
+func (c *Controller) AgentIDs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.conns))
+	for id := range c.conns {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ErrUnknownAgent is returned when a command targets a node that is not
+// connected.
+var ErrUnknownAgent = errors.New("cluster: unknown agent")
+
+// SendCommand pushes a command to a node's agent and waits for its ack (or
+// ctx/config timeout).
+func (c *Controller) SendCommand(ctx context.Context, nodeID string, cmd Command) (Ack, error) {
+	if err := cmd.Validate(); err != nil {
+		return Ack{}, err
+	}
+	c.mu.Lock()
+	ac, ok := c.conns[nodeID]
+	if !ok {
+		c.mu.Unlock()
+		return Ack{}, fmt.Errorf("%w: %s", ErrUnknownAgent, nodeID)
+	}
+	c.nextCmd++
+	cmd.ID = c.nextCmd
+	c.mu.Unlock()
+
+	ch := make(chan Ack, 1)
+	ac.mu.Lock()
+	ac.pending[cmd.ID] = ch
+	ac.mu.Unlock()
+
+	data, err := json.Marshal(Envelope{Type: MsgCommand, Command: &cmd})
+	if err != nil {
+		return Ack{}, err
+	}
+	ac.writeMu.Lock()
+	_, err = ac.conn.Write(append(data, '\n'))
+	ac.writeMu.Unlock()
+	if err != nil {
+		ac.mu.Lock()
+		delete(ac.pending, cmd.ID)
+		ac.mu.Unlock()
+		return Ack{}, fmt.Errorf("cluster: sending command: %w", err)
+	}
+
+	timeout := time.NewTimer(c.cfg.CommandTimeout)
+	defer timeout.Stop()
+	select {
+	case ack := <-ch:
+		if !ack.OK {
+			return ack, fmt.Errorf("cluster: command %d rejected: %s", ack.ID, ack.Error)
+		}
+		return ack, nil
+	case <-ctx.Done():
+		ac.mu.Lock()
+		delete(ac.pending, cmd.ID)
+		ac.mu.Unlock()
+		return Ack{}, ctx.Err()
+	case <-timeout.C:
+		ac.mu.Lock()
+		delete(ac.pending, cmd.ID)
+		ac.mu.Unlock()
+		return Ack{}, fmt.Errorf("cluster: command to %s timed out", nodeID)
+	}
+}
+
+// Close shuts the controller down and waits for connection handlers.
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]*agentConn, 0, len(c.conns))
+	for _, ac := range c.conns {
+		conns = append(conns, ac)
+	}
+	c.mu.Unlock()
+	err := c.ln.Close()
+	for _, ac := range conns {
+		_ = ac.conn.Close()
+	}
+	c.wg.Wait()
+	return err
+}

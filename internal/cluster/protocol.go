@@ -1,0 +1,140 @@
+// Package cluster implements the distributed control plane of the BAAT
+// prototype (DSN'15 Fig 7, Fig 11): node agents attached to each battery
+// node stream sensor reports to a central BAAT controller, and the
+// controller pushes actuation commands (DVFS setting, SoC floor, power
+// state) back — the software analogue of the prototype's IPDU/SNMP path.
+//
+// The wire format is newline-delimited JSON over TCP: one Envelope per
+// line. Agents report periodically; commands are acknowledged with a
+// correlated Ack. The package is transport-honest (real sockets, real
+// serialization) so it can be exercised in integration tests and deployed
+// across machines, while the simulation engine keeps using direct calls.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/green-dc/baat/internal/aging"
+)
+
+// MessageType discriminates Envelope payloads.
+type MessageType string
+
+// Message types.
+const (
+	MsgHello   MessageType = "hello"
+	MsgReport  MessageType = "report"
+	MsgCommand MessageType = "command"
+	MsgAck     MessageType = "ack"
+)
+
+// Envelope is one wire message.
+type Envelope struct {
+	Type    MessageType `json:"type"`
+	Hello   *Hello      `json:"hello,omitempty"`
+	Report  *Report     `json:"report,omitempty"`
+	Command *Command    `json:"command,omitempty"`
+	Ack     *Ack        `json:"ack,omitempty"`
+}
+
+// Validate checks the envelope's shape: exactly the payload matching its
+// type must be present.
+func (e Envelope) Validate() error {
+	switch e.Type {
+	case MsgHello:
+		if e.Hello == nil {
+			return fmt.Errorf("cluster: hello envelope without payload")
+		}
+	case MsgReport:
+		if e.Report == nil {
+			return fmt.Errorf("cluster: report envelope without payload")
+		}
+	case MsgCommand:
+		if e.Command == nil {
+			return fmt.Errorf("cluster: command envelope without payload")
+		}
+	case MsgAck:
+		if e.Ack == nil {
+			return fmt.Errorf("cluster: ack envelope without payload")
+		}
+	default:
+		return fmt.Errorf("cluster: unknown message type %q", e.Type)
+	}
+	return nil
+}
+
+// Hello registers an agent with the controller.
+type Hello struct {
+	NodeID string `json:"node_id"`
+}
+
+// Report is one sensor-table row plus derived state, as the controller's
+// power tables record it (Table 2 plus the five metrics of §III).
+type Report struct {
+	NodeID string `json:"node_id"`
+	// SentAt is the agent's wall-clock send time.
+	SentAt time.Time `json:"sent_at"`
+	// SoC, Health describe the battery.
+	SoC    float64 `json:"soc"`
+	Health float64 `json:"health"`
+	// Voltage (V), Current (A, positive discharging), and TemperatureC
+	// mirror the front-sensor fields of Table 2.
+	Voltage      float64 `json:"voltage"`
+	Current      float64 `json:"current"`
+	TemperatureC float64 `json:"temperature_c"`
+	// Metrics carries the five aging metrics.
+	Metrics aging.Metrics `json:"metrics"`
+	// ServerPowerW is the IPDU reading for the attached server.
+	ServerPowerW float64 `json:"server_power_w"`
+	// FrequencyIndex is the server's DVFS ladder position.
+	FrequencyIndex int `json:"frequency_index"`
+	// SoCFloor is the presently enforced discharge floor.
+	SoCFloor float64 `json:"soc_floor"`
+}
+
+// Action is a controller actuation.
+type Action string
+
+// Actions the controller can push to an agent.
+const (
+	// ActionSetFrequency moves the server's DVFS ladder (Fig 9's capping).
+	ActionSetFrequency Action = "set_frequency"
+	// ActionSetFloor updates the protective SoC floor (planned aging).
+	ActionSetFloor Action = "set_floor"
+	// ActionSetPowered turns the server on or off (checkpoint/restore).
+	ActionSetPowered Action = "set_powered"
+	// ActionPing verifies liveness.
+	ActionPing Action = "ping"
+)
+
+// Command is one actuation request.
+type Command struct {
+	// ID correlates the Ack.
+	ID uint64 `json:"id"`
+	// Action selects the actuation.
+	Action Action `json:"action"`
+	// FrequencyIndex applies to ActionSetFrequency.
+	FrequencyIndex int `json:"frequency_index,omitempty"`
+	// Floor applies to ActionSetFloor.
+	Floor float64 `json:"floor,omitempty"`
+	// Powered applies to ActionSetPowered.
+	Powered bool `json:"powered,omitempty"`
+}
+
+// Validate checks the command.
+func (c Command) Validate() error {
+	switch c.Action {
+	case ActionSetFrequency, ActionSetFloor, ActionSetPowered, ActionPing:
+		return nil
+	default:
+		return fmt.Errorf("cluster: unknown action %q", c.Action)
+	}
+}
+
+// Ack answers a command.
+type Ack struct {
+	ID    uint64 `json:"id"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestAgentReconnectsAfterControllerRestart injects a controller failure:
+// the controller goes away and comes back on the same address, and a
+// reconnect-enabled agent must re-register and resume reporting without
+// operator intervention.
+func TestAgentReconnectsAfterControllerRestart(t *testing.T) {
+	ctrl1, err := ListenController(DefaultControllerConfig("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ctrl1.Addr()
+
+	h := newHandle(t, "node-r")
+	acfg := DefaultAgentConfig(addr)
+	acfg.ReportInterval = 20 * time.Millisecond
+	acfg.Reconnect = true
+	acfg.MaxBackoff = 200 * time.Millisecond
+	agent, err := StartAgent(acfg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = agent.Close() }()
+
+	waitFor(t, func() bool { return len(ctrl1.Snapshot()) == 1 })
+
+	// Controller crashes.
+	if err := ctrl1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the agent notice and start backing off
+
+	// Controller comes back on the same address.
+	ctrl2, err := ListenController(DefaultControllerConfig(addr))
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	defer func() { _ = ctrl2.Close() }()
+
+	// The agent must re-register and resume reports.
+	waitFor(t, func() bool { return len(ctrl2.Snapshot()) == 1 })
+	snap := ctrl2.Snapshot()
+	if snap[0].Report.NodeID != "node-r" {
+		t.Fatalf("wrong node after reconnect: %+v", snap)
+	}
+	// Commands work again too.
+	ack, err := ctrl2.SendCommand(context.Background(), "node-r", Command{Action: ActionPing})
+	if err != nil || !ack.OK {
+		t.Fatalf("ping after reconnect: ack=%+v err=%v", ack, err)
+	}
+}
+
+// TestAgentWithoutReconnectStaysDown is the control case: the default agent
+// terminates after a transport failure.
+func TestAgentWithoutReconnectStaysDown(t *testing.T) {
+	ctrl, err := ListenController(DefaultControllerConfig("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ctrl.Addr()
+	h := newHandle(t, "node-n")
+	acfg := DefaultAgentConfig(addr)
+	acfg.ReportInterval = 20 * time.Millisecond
+	agent, err := StartAgent(acfg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = agent.Close() }()
+
+	waitFor(t, func() bool { return len(ctrl.Snapshot()) == 1 })
+	if err := ctrl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The agent records the transport failure and does not redial.
+	waitFor(t, func() bool { return agent.Err() != nil })
+
+	ctrl2, err := ListenController(DefaultControllerConfig(addr))
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	defer func() { _ = ctrl2.Close() }()
+	time.Sleep(300 * time.Millisecond)
+	if got := len(ctrl2.AgentIDs()); got != 0 {
+		t.Errorf("non-reconnecting agent reappeared: %d agents", got)
+	}
+}
+
+func TestAgentConfigBackoffValidation(t *testing.T) {
+	cfg := DefaultAgentConfig("127.0.0.1:1")
+	cfg.MaxBackoff = -time.Second
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative backoff accepted")
+	}
+}

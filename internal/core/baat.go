@@ -1,0 +1,176 @@
+package core
+
+import (
+	"time"
+
+	"github.com/green-dc/baat/internal/aging"
+	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/units"
+	"github.com/green-dc/baat/internal/vm"
+)
+
+// baat is the full BAAT framework (Table 4): it coordinates aging hiding
+// (weighted-aging-driven placement and rebalancing, Fig 8), aging slowdown
+// (migration-first, DVFS-second response to DDT/DR violations, Fig 9), and
+// optional planned aging (DoD-goal regulation, Eq 7).
+type baat struct {
+	cfg Config
+}
+
+// balanceImbalanceFactor is how far above the fleet-average weighted aging
+// a node must score before the hiding arm rebalances load away from it.
+const balanceImbalanceFactor = 1.25
+
+// balanceMinScore avoids churning migrations between near-pristine nodes.
+const balanceMinScore = 0.05
+
+// Name returns the Table 4 scheme name.
+func (*baat) Name() string { return BAATFull.String() }
+
+// PlaceVM implements the aging-driven scheduler of Fig 8: classify the
+// workload per Table 3, evaluate Eq 6 on every candidate, and place on the
+// slowest-aging node.
+func (*baat) PlaceVM(ctx *Context, v *vm.VM) (*node.Node, error) {
+	if best := minWeightedAging(ctx.Nodes, v, nil, aging.DeepDischargeSoC); best != nil {
+		return best, nil
+	}
+	return nil, ErrNoCapacity
+}
+
+// Control coordinates planned aging, slowdown, hiding, and recovery.
+func (p *baat) Control(ctx *Context) error {
+	trigger := p.cfg.Slowdown.TriggerSoC
+	if p.cfg.Planned.Enabled {
+		// Planned aging sets both trigger and floors from Eq 7.
+		trigger = p.plannedTrigger(ctx)
+	} else {
+		// BAAT's operating discipline: no battery discharges below the
+		// protective floor — the server checkpoints instead of dragging
+		// the pack into the steep region of the cycle-life curve.
+		for _, n := range ctx.Nodes {
+			if n.SoCFloor() != p.cfg.Slowdown.FloorSoC {
+				_ = n.SetSoCFloor(p.cfg.Slowdown.FloorSoC)
+			}
+		}
+	}
+	slowCfg := p.cfg.Slowdown
+	slowCfg.TriggerSoC = trigger
+
+	// Slowdown arm (Fig 9): migration first, DVFS as the fallback when
+	// resources elsewhere are constrained.
+	for _, n := range ctx.Nodes {
+		if !slowdownNeeded(n, slowCfg) {
+			if recovered(n, slowCfg) {
+				n.Server().StepUpFrequency()
+			}
+			continue
+		}
+		if v := migratableVM(n); v != nil {
+			if dst := minWeightedAging(ctx.Nodes, v, n, slowCfg.TriggerSoC+slowCfg.Hysteresis); dst != nil {
+				if err := MigrateVM(n, dst, v.ID(), p.cfg.MigrationTime); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		n.Server().StepDownFrequency()
+	}
+
+	// Hiding arm (Fig 8): rebalance when a node's weighted aging runs far
+	// ahead of the fleet. Scores use the all-High sensitivity so balance
+	// reflects the battery state rather than any single workload.
+	if len(ctx.Nodes) >= 2 {
+		sens := aging.DemandSensitivity(aging.DemandClass{LargePower: true, MoreEnergy: true})
+		var sum float64
+		scores := make([]float64, len(ctx.Nodes))
+		for i, n := range ctx.Nodes {
+			scores[i] = aging.WeightedAging(n.Metrics(), sens)
+			sum += scores[i]
+		}
+		avg := sum / float64(len(ctx.Nodes))
+		for i, src := range ctx.Nodes {
+			if scores[i] < balanceMinScore || scores[i] <= avg*balanceImbalanceFactor {
+				continue
+			}
+			v := migratableVM(src)
+			if v == nil {
+				continue
+			}
+			dst := minWeightedAging(ctx.Nodes, v, src, p.cfg.Slowdown.TriggerSoC)
+			if dst == nil {
+				continue
+			}
+			// Only move if the destination is actually meaningfully
+			// healthier; otherwise the migration cost buys nothing.
+			if aging.WeightedAging(dst.Metrics(), sens) >= scores[i] {
+				continue
+			}
+			if err := MigrateVM(src, dst, v.ID(), p.cfg.MigrationTime); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// plannedTrigger computes the slowdown trigger under planned aging: Eq 7's
+// DoD goal from the fleet's remaining throughput budget and the cycles left
+// until datacenter end-of-life, with the trigger set to 1 − DoD_goal
+// (§IV-D). The fleet floors follow so the charge controller enforces the
+// plan even between control periods.
+func (p *baat) plannedTrigger(ctx *Context) float64 {
+	remaining := p.cfg.Planned.ServiceLife - ctx.Clock
+	if remaining <= 0 {
+		remaining = 24 * time.Hour // end of plan: keep one day's headroom
+	}
+	cyclePlan := remaining.Hours() / 24 * p.cfg.Planned.CyclesPerDay
+	trigger := p.cfg.Slowdown.TriggerSoC
+	var sum float64
+	var count int
+	for _, n := range ctx.Nodes {
+		spec := n.Battery().Spec()
+		used := usedThroughput(n)
+		goal, err := aging.DoDGoal(spec.LifetimeThroughput, used, cyclePlan, spec.NominalCapacity)
+		if err != nil {
+			continue
+		}
+		sum += goal
+		count++
+		// The node-level floor tracks the plan so discharge stops at the
+		// planned depth even between control invocations.
+		_ = n.SetSoCFloor(clampFloor(1 - goal))
+	}
+	if count > 0 {
+		trigger = clampTrigger(1 - sum/float64(count))
+	}
+	return trigger
+}
+
+// usedThroughput returns the node's cumulative discharge Ah (C_used in
+// Eq 7), recovered from NAT and the lifetime budget.
+func usedThroughput(n *node.Node) units.AmpereHour {
+	spec := n.Battery().Spec()
+	return units.AmpereHour(n.Metrics().NAT * float64(spec.LifetimeThroughput))
+}
+
+// clampFloor keeps planned floors inside a sane protective band.
+func clampFloor(f float64) float64 {
+	if f < 0.05 {
+		return 0.05
+	}
+	if f > 0.6 {
+		return 0.6
+	}
+	return f
+}
+
+// clampTrigger keeps the planned trigger inside (0, 1).
+func clampTrigger(t float64) float64 {
+	if t < 0.10 {
+		return 0.10
+	}
+	if t > 0.95 {
+		return 0.95
+	}
+	return t
+}

@@ -1,0 +1,361 @@
+// Package core implements the paper's contribution: the BAAT battery
+// anti-aging treatment framework (DSN'15 §IV) and the baseline power-
+// management policies it is evaluated against (Table 4):
+//
+//	e-Buff  — aggressively use the battery as a green-energy buffer
+//	BAAT-s  — aging-aware CPU frequency throttling only (slowdown)
+//	BAAT-h  — aging-aware VM migration only (hiding)
+//	BAAT    — coordinated hiding + slowdown (+ optional planned aging)
+//
+// A policy interacts with the fleet through two hooks the simulator calls:
+// PlaceVM when a new workload arrives (aging-driven scheduling, Fig 8) and
+// Control every control period (slowdown checks, Fig 9).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/green-dc/baat/internal/aging"
+	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/vm"
+	"github.com/green-dc/baat/internal/workload"
+)
+
+// Context is the fleet view a policy acts on. The simulator owns the nodes;
+// policies mutate them synchronously inside the hooks.
+type Context struct {
+	// Nodes is the battery-node fleet.
+	Nodes []*node.Node
+	// Clock is the simulation time.
+	Clock time.Duration
+	// Rng drives any randomized decision (BAAT-h's non-holistic target
+	// selection); it is seeded by the simulation for reproducibility.
+	Rng *rand.Rand
+}
+
+// Policy is a battery power-management scheme.
+type Policy interface {
+	// Name returns the Table 4 scheme name.
+	Name() string
+	// PlaceVM selects a node for a new workload. Implementations must
+	// only return nodes that can host the VM.
+	PlaceVM(ctx *Context, v *vm.VM) (*node.Node, error)
+	// Control runs management actions (migration, DVFS, floor updates)
+	// once per control period.
+	Control(ctx *Context) error
+}
+
+// ErrNoCapacity is returned by PlaceVM when no node can host the VM.
+var ErrNoCapacity = errors.New("core: no node has capacity for the VM")
+
+// Kind enumerates the four Table 4 policies.
+type Kind int
+
+// The four policies of Table 4.
+const (
+	EBuff Kind = iota + 1
+	BAATSlowdown
+	BAATHiding
+	BAATFull
+)
+
+// Kinds lists all policies in Table 4 order.
+func Kinds() []Kind { return []Kind{EBuff, BAATSlowdown, BAATHiding, BAATFull} }
+
+// String returns the Table 4 scheme name.
+func (k Kind) String() string {
+	switch k {
+	case EBuff:
+		return "e-Buff"
+	case BAATSlowdown:
+		return "BAAT-s"
+	case BAATHiding:
+		return "BAAT-h"
+	case BAATFull:
+		return "BAAT"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// SlowdownConfig parameterizes the aging-slowdown algorithm (Fig 9).
+type SlowdownConfig struct {
+	// TriggerSoC is the state of charge below which DDT/DR checks run
+	// (40 % in §IV-C; planned aging replaces it with 1 − DoD_goal).
+	TriggerSoC float64
+	// DDTThreshold is the deep-discharge time fraction above which the
+	// policy intervenes.
+	DDTThreshold float64
+	// ReserveTime is T_threshold: the discharge the battery must be able
+	// to sustain for emergency handling (2 minutes, §IV-C / §VI-E).
+	ReserveTime time.Duration
+	// Hysteresis is the SoC margin above TriggerSoC at which capped
+	// frequencies are restored.
+	Hysteresis float64
+
+	// FloorSoC is the protective discharge floor the full BAAT scheme
+	// enforces on every battery: rather than letting an at-risk battery
+	// discharge to its hardware cutoff (the e-Buff failure mode), BAAT
+	// checkpoints the server at this state of charge and waits for supply.
+	// This is the slowdown-optimization threshold Fig 16 sweeps —
+	// raising it extends battery life at some performance cost.
+	FloorSoC float64
+}
+
+// DefaultSlowdownConfig returns the paper's parameters.
+func DefaultSlowdownConfig() SlowdownConfig {
+	return SlowdownConfig{
+		TriggerSoC:   aging.DeepDischargeSoC,
+		DDTThreshold: 0.15,
+		ReserveTime:  2 * time.Minute,
+		Hysteresis:   0.10,
+		FloorSoC:     0.35,
+	}
+}
+
+// Validate checks the slowdown parameters.
+func (c SlowdownConfig) Validate() error {
+	if c.TriggerSoC <= 0 || c.TriggerSoC >= 1 {
+		return fmt.Errorf("core: trigger SoC must be in (0, 1), got %v", c.TriggerSoC)
+	}
+	if c.DDTThreshold < 0 || c.DDTThreshold > 1 {
+		return fmt.Errorf("core: DDT threshold must be in [0, 1], got %v", c.DDTThreshold)
+	}
+	if c.ReserveTime <= 0 {
+		return fmt.Errorf("core: reserve time must be positive, got %v", c.ReserveTime)
+	}
+	if c.Hysteresis < 0 || c.Hysteresis >= 1 {
+		return fmt.Errorf("core: hysteresis must be in [0, 1), got %v", c.Hysteresis)
+	}
+	if c.FloorSoC < 0 || c.FloorSoC >= c.TriggerSoC {
+		return fmt.Errorf("core: floor SoC must be in [0, trigger %v), got %v", c.TriggerSoC, c.FloorSoC)
+	}
+	return nil
+}
+
+// PlannedAgingConfig enables DoD-goal regulation (§IV-D, Eq 7).
+type PlannedAgingConfig struct {
+	// Enabled turns planned aging on.
+	Enabled bool
+	// ServiceLife is the expected duration from battery installation to
+	// datacenter end-of-life the batteries should be synchronized with.
+	ServiceLife time.Duration
+	// CyclesPerDay estimates how many charge/discharge cycles a day of
+	// operation produces (1 for the prototype's daily solar cycle).
+	CyclesPerDay float64
+}
+
+// Validate checks the planned-aging parameters.
+func (c PlannedAgingConfig) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	if c.ServiceLife <= 0 {
+		return fmt.Errorf("core: planned-aging service life must be positive, got %v", c.ServiceLife)
+	}
+	if c.CyclesPerDay <= 0 {
+		return fmt.Errorf("core: planned-aging cycles/day must be positive, got %v", c.CyclesPerDay)
+	}
+	return nil
+}
+
+// Config assembles a policy.
+type Config struct {
+	Slowdown SlowdownConfig
+	Planned  PlannedAgingConfig
+	// MigrationTime is the VM pause incurred by one migration.
+	MigrationTime time.Duration
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		Slowdown:      DefaultSlowdownConfig(),
+		MigrationTime: vm.DefaultMigrationTime,
+	}
+}
+
+// Validate checks the policy configuration.
+func (c Config) Validate() error {
+	if err := c.Slowdown.Validate(); err != nil {
+		return err
+	}
+	if err := c.Planned.Validate(); err != nil {
+		return err
+	}
+	if c.MigrationTime <= 0 {
+		return fmt.Errorf("core: migration time must be positive, got %v", c.MigrationTime)
+	}
+	return nil
+}
+
+// New constructs one of the Table 4 policies.
+func New(kind Kind, cfg Config) (Policy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch kind {
+	case EBuff:
+		return &eBuff{}, nil
+	case BAATSlowdown:
+		return &baatS{cfg: cfg}, nil
+	case BAATHiding:
+		return &baatH{cfg: cfg}, nil
+	case BAATFull:
+		return &baat{cfg: cfg}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown policy kind %v", kind)
+	}
+}
+
+// MigrateVM moves the named VM from src to dst, charging the transfer pause
+// to the VM (§IV-C prefers migration; §VI-F charges its overhead).
+func MigrateVM(src, dst *node.Node, vmID string, transfer time.Duration) error {
+	if src == nil || dst == nil {
+		return errors.New("core: migration needs both source and destination")
+	}
+	if src == dst {
+		return fmt.Errorf("core: VM %s is already on %s", vmID, src.ID())
+	}
+	v, err := src.Server().Detach(vmID)
+	if err != nil {
+		return err
+	}
+	if !dst.Server().CanHost(v) {
+		// Roll back: the VM stays where it was.
+		if aerr := src.Server().Attach(v); aerr != nil {
+			return fmt.Errorf("core: migration rollback failed: %w", aerr)
+		}
+		return fmt.Errorf("core: node %s cannot host VM %s", dst.ID(), vmID)
+	}
+	if err := v.BeginMigration(transfer); err != nil {
+		if aerr := src.Server().Attach(v); aerr != nil {
+			return fmt.Errorf("core: migration rollback failed: %w", aerr)
+		}
+		return err
+	}
+	return dst.Server().Attach(v)
+}
+
+// leastReserved returns the node with the most spare peak-utilization
+// headroom that can host v, or nil.
+func leastReserved(nodes []*node.Node, v *vm.VM) *node.Node {
+	var best *node.Node
+	bestLoad := 0.0
+	for _, n := range nodes {
+		if !n.Server().CanHost(v) {
+			continue
+		}
+		load := reservedLoad(n)
+		if best == nil || load < bestLoad {
+			best, bestLoad = n, load
+		}
+	}
+	return best
+}
+
+// reservedLoad sums hosted VM peak demands.
+func reservedLoad(n *node.Node) float64 {
+	var u float64
+	for _, v := range n.Server().VMs() {
+		if v.State() != vm.Completed {
+			u += v.Profile().PeakUtilization
+		}
+	}
+	return u
+}
+
+// weightedAgingOf evaluates Eq 6 for a node against a workload profile's
+// Table 3 demand class.
+func weightedAgingOf(n *node.Node, p workload.Profile) float64 {
+	return aging.WeightedAging(n.Metrics(), aging.DemandSensitivity(p.DemandClass()))
+}
+
+// minWeightedAging returns the hostable node with the lowest Eq 6 score —
+// "the aging slowest battery node" of §IV-B — or nil. Candidates whose
+// battery is currently below minSoC are considered only if nothing better
+// exists (moving load onto an at-risk battery would just mint a new victim).
+// Near-ties are broken by the highest present state of charge.
+func minWeightedAging(nodes []*node.Node, v *vm.VM, exclude *node.Node, minSoC float64) *node.Node {
+	const tie = 1e-3
+	pick := func(requireSoC bool) *node.Node {
+		var best *node.Node
+		bestScore, bestSoC := 0.0, 0.0
+		for _, n := range nodes {
+			if n == exclude || !n.Server().CanHost(v) {
+				continue
+			}
+			soc := n.Battery().SoC()
+			if requireSoC && soc < minSoC {
+				continue
+			}
+			score := weightedAgingOf(n, v.Profile())
+			better := best == nil ||
+				score < bestScore-tie ||
+				(score < bestScore+tie && soc > bestSoC)
+			if better {
+				best, bestScore, bestSoC = n, score, soc
+			}
+		}
+		return best
+	}
+	if best := pick(true); best != nil {
+		return best
+	}
+	return pick(false)
+}
+
+// LifetimePrediction is one node's projected battery end-of-life.
+type LifetimePrediction struct {
+	// NodeID identifies the battery node.
+	NodeID string
+	// Health is the present remaining-capacity fraction.
+	Health float64
+	// TimeToEndOfLife extrapolates when health crosses the 80 % line at
+	// the damage rate observed so far; 0 when already there.
+	TimeToEndOfLife time.Duration
+}
+
+// PredictLifetimes projects battery end-of-life for every node from its
+// observed damage rate (§I: BAAT "proactively predicts battery lifetime and
+// trades off unnecessary battery service life for better datacenter
+// productivity"). The planner consumes these to choose DoD goals; operators
+// consume them for replacement scheduling.
+func PredictLifetimes(ctx *Context) []LifetimePrediction {
+	out := make([]LifetimePrediction, 0, len(ctx.Nodes))
+	for _, n := range ctx.Nodes {
+		var remaining time.Duration
+		if n.Clock() == 0 {
+			// No operating history yet: nothing to extrapolate from, so
+			// the projection is unbounded rather than zero.
+			remaining = time.Duration(math.MaxInt64)
+		} else {
+			remaining = n.AgingModel().EstimateLifetime(n.Clock()) - n.Clock()
+			if remaining < 0 {
+				remaining = 0
+			}
+		}
+		out = append(out, LifetimePrediction{
+			NodeID:          n.ID(),
+			Health:          n.Battery().Health(),
+			TimeToEndOfLife: remaining,
+		})
+	}
+	return out
+}
+
+// reserveCurrentLimit returns P_threshold as a current: the draw the pack
+// could sustain for the reserve time from its energy above the floor.
+func reserveCurrentLimit(n *node.Node, reserve time.Duration) float64 {
+	soc := n.Battery().SoC()
+	floor := n.SoCFloor()
+	if soc <= floor {
+		return 0
+	}
+	usable := (soc - floor) * float64(n.Battery().EffectiveCapacity()) // Ah
+	return usable / reserve.Hours()
+}

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/vm"
+)
+
+// eBuff is the aggressive energy-buffer baseline (Table 4): it places VMs by
+// load balance alone, never throttles, never migrates, and lets every
+// battery discharge to its protection cutoff. It represents the prior-work
+// designs of [4, 7] that manage supply/demand mismatch with no awareness of
+// battery aging.
+type eBuff struct{}
+
+// Name returns the Table 4 scheme name.
+func (*eBuff) Name() string { return EBuff.String() }
+
+// PlaceVM picks the least-loaded node with capacity.
+func (*eBuff) PlaceVM(ctx *Context, v *vm.VM) (*node.Node, error) {
+	if best := leastReserved(ctx.Nodes, v); best != nil {
+		return best, nil
+	}
+	return nil, ErrNoCapacity
+}
+
+// Control restores any external frequency caps to full speed — e-Buff
+// always runs servers flat out, spending battery as needed.
+func (*eBuff) Control(ctx *Context) error {
+	for _, n := range ctx.Nodes {
+		for n.Server().StepUpFrequency() {
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/vm"
+)
+
+// baatH is BAAT-h (Table 4): aging-aware VM migration only. It watches a
+// single aging signal — deep-discharge exposure (DDT), the most direct
+// symptom of a weak or overloaded battery — and migrates load off batteries
+// that sit visibly deeper than the fleet. Per §VI-B it lacks the holistic
+// weighted-aging view: migration *targets* are drawn at random from nodes
+// with capacity rather than ranked by Eq 6, which makes its migrations
+// "random and low efficiency" and costs throughput (§VI-F).
+type baatH struct {
+	cfg Config
+}
+
+// ddtImbalanceFactor is how far above the fleet-average deep-discharge time
+// a node must be before BAAT-h migrates load away from it.
+const ddtImbalanceFactor = 1.15
+
+// natImbalanceFactor is the bootstrap criterion before any battery has seen
+// deep discharge: throughput imbalance.
+const natImbalanceFactor = 1.15
+
+// Name returns the Table 4 scheme name.
+func (*baatH) Name() string { return BAATHiding.String() }
+
+// PlaceVM places new VMs on the node with the least deep-discharge exposure
+// (falling back to load on ties) — aging-aware but single-metric.
+func (*baatH) PlaceVM(ctx *Context, v *vm.VM) (*node.Node, error) {
+	const tie = 1e-4
+	var best *node.Node
+	bestDDT, bestLoad := 0.0, 0.0
+	for _, n := range ctx.Nodes {
+		if !n.Server().CanHost(v) {
+			continue
+		}
+		ddt := n.Metrics().DDT
+		load := reservedLoad(n)
+		better := best == nil ||
+			ddt < bestDDT-tie ||
+			(ddt < bestDDT+tie && load < bestLoad)
+		if better {
+			best, bestDDT, bestLoad = n, ddt, load
+		}
+	}
+	if best == nil {
+		return nil, ErrNoCapacity
+	}
+	return best, nil
+}
+
+// Control migrates one VM off every node whose deep-discharge exposure
+// (or, before any deep discharge exists, Ah throughput) exceeds the fleet
+// average by the imbalance factor, to a random node with capacity.
+func (p *baatH) Control(ctx *Context) error {
+	if len(ctx.Nodes) < 2 {
+		return nil
+	}
+	var sumDDT, sumNAT float64
+	for _, n := range ctx.Nodes {
+		m := n.Metrics()
+		sumDDT += m.DDT
+		sumNAT += m.NAT
+	}
+	avgDDT := sumDDT / float64(len(ctx.Nodes))
+	avgNAT := sumNAT / float64(len(ctx.Nodes))
+	if avgDDT <= 0 && avgNAT <= 0 {
+		return nil
+	}
+	for _, src := range ctx.Nodes {
+		m := src.Metrics()
+		overloaded := false
+		if avgDDT > 0 {
+			overloaded = m.DDT > avgDDT*ddtImbalanceFactor
+		} else {
+			overloaded = m.NAT > avgNAT*natImbalanceFactor
+		}
+		if !overloaded {
+			continue
+		}
+		v := migratableVM(src)
+		if v == nil {
+			continue
+		}
+		// Non-holistic target choice: a random permutation of the other
+		// nodes, first fit.
+		for _, idx := range ctx.Rng.Perm(len(ctx.Nodes)) {
+			dst := ctx.Nodes[idx]
+			if dst == src || !dst.Server().CanHost(v) {
+				continue
+			}
+			if err := MigrateVM(src, dst, v.ID(), p.cfg.MigrationTime); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// migratableVM returns a running or paused VM on the node, or nil.
+func migratableVM(n *node.Node) *vm.VM {
+	for _, v := range n.Server().VMs() {
+		if s := v.State(); s == vm.Running || s == vm.Paused {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/vm"
+)
+
+// baatS is BAAT-s (Table 4): aging-aware CPU frequency throttling only.
+// It runs the slowdown checks of Fig 9 but, lacking the migration arm,
+// always answers an at-risk battery with DVFS — the "passive solution"
+// whose performance cost §VI-B calls out.
+type baatS struct {
+	cfg Config
+}
+
+// Name returns the Table 4 scheme name.
+func (*baatS) Name() string { return BAATSlowdown.String() }
+
+// PlaceVM is load-balance placement: BAAT-s has no aging-aware scheduler.
+func (*baatS) PlaceVM(ctx *Context, v *vm.VM) (*node.Node, error) {
+	if best := leastReserved(ctx.Nodes, v); best != nil {
+		return best, nil
+	}
+	return nil, ErrNoCapacity
+}
+
+// Control applies the Fig 9 loop with power capping as the only actuator:
+// DVFS throttling while the battery is at risk, and the protective
+// discharge floor that checkpoints the server instead of dragging the pack
+// to its hardware cutoff (§I: "power capping mechanisms at critical points
+// to avoid aggressively discharging batteries").
+func (p *baatS) Control(ctx *Context) error {
+	for _, n := range ctx.Nodes {
+		if n.SoCFloor() != p.cfg.Slowdown.FloorSoC {
+			_ = n.SetSoCFloor(p.cfg.Slowdown.FloorSoC)
+		}
+		if slowdownNeeded(n, p.cfg.Slowdown) {
+			n.Server().StepDownFrequency()
+		} else if recovered(n, p.cfg.Slowdown) {
+			n.Server().StepUpFrequency()
+		}
+	}
+	return nil
+}
+
+// slowdownNeeded evaluates the Fig 9 trigger: the battery is below the
+// trigger SoC and either its deep-discharge time exceeded the threshold or
+// its recent discharge rate exceeds P_threshold — the current the pack can
+// sustain for the 2-minute reserve (§IV-C, §VI-E).
+func slowdownNeeded(n *node.Node, cfg SlowdownConfig) bool {
+	if n.Battery().SoC() >= cfg.TriggerSoC {
+		return false
+	}
+	m := n.Metrics()
+	if m.DDT > cfg.DDTThreshold {
+		return true
+	}
+	limit := reserveCurrentLimit(n, cfg.ReserveTime)
+	if m.DRLowSoC > limit || m.DRPeak > limit {
+		return true
+	}
+	// Voltage headroom: an aged pack (grown internal resistance) may be
+	// unable to hold the server's draw with the 20 % emergency margin even
+	// when charge remains — the under-voltage disconnect scenario of §II-B.
+	return float64(n.Battery().MaxDischargePower()) < 1.2*float64(n.Server().Power())
+}
+
+// recovered reports the battery climbed comfortably above the trigger, so a
+// previously capped server may take one step back up the DVFS ladder.
+func recovered(n *node.Node, cfg SlowdownConfig) bool {
+	return n.Battery().SoC() > cfg.TriggerSoC+cfg.Hysteresis
+}

@@ -1,0 +1,148 @@
+// Package cost models the economics of battery provisioning in a green
+// datacenter (DSN'15 §VI-D): battery depreciation driven by service life,
+// total cost of ownership, and the scale-out head-room that longer battery
+// life buys (Figs 16 and 17).
+package cost
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/green-dc/baat/internal/units"
+)
+
+// Model carries the price book and planning horizon.
+type Model struct {
+	// BatteryUnitCost is the price of one battery unit in dollars
+	// (inexpensive VRLA 12 V 35 Ah units run ~$70).
+	BatteryUnitCost float64
+	// BatteriesPerNode is how many units back each server (two in the
+	// prototype).
+	BatteriesPerNode int
+	// ServerCost is the price of one server in dollars.
+	ServerCost float64
+	// DatacenterLife is the planning horizon (10–15 years, [44]).
+	DatacenterLife time.Duration
+}
+
+// DefaultModel returns prototype-scale prices.
+func DefaultModel() Model {
+	return Model{
+		BatteryUnitCost:  70,
+		BatteriesPerNode: 2,
+		ServerCost:       2000,
+		DatacenterLife:   12 * 365 * 24 * time.Hour,
+	}
+}
+
+// Validate checks the model.
+func (m Model) Validate() error {
+	if m.BatteryUnitCost <= 0 || m.ServerCost <= 0 {
+		return fmt.Errorf("cost: prices must be positive")
+	}
+	if m.BatteriesPerNode <= 0 {
+		return fmt.Errorf("cost: batteries per node must be positive, got %d", m.BatteriesPerNode)
+	}
+	if m.DatacenterLife <= 0 {
+		return fmt.Errorf("cost: datacenter life must be positive")
+	}
+	return nil
+}
+
+// hoursPerYear converts durations to years.
+const hoursPerYear = 365 * 24
+
+// AnnualBatteryDepreciation returns the yearly battery depreciation cost
+// for a fleet of nodes whose batteries last batteryLife: the installed
+// battery capital spread over its service life (Fig 16's y-axis).
+func (m Model) AnnualBatteryDepreciation(nodes int, batteryLife time.Duration) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if nodes <= 0 {
+		return 0, fmt.Errorf("cost: need a positive node count, got %d", nodes)
+	}
+	if batteryLife <= 0 {
+		return 0, fmt.Errorf("cost: battery life must be positive, got %v", batteryLife)
+	}
+	capital := float64(nodes*m.BatteriesPerNode) * m.BatteryUnitCost
+	years := batteryLife.Hours() / hoursPerYear
+	return capital / years, nil
+}
+
+// TCO returns capital spent over the datacenter's life on servers plus
+// battery replacements: servers are bought once; batteries are repurchased
+// every batteryLife (fractional replacements prorated).
+func (m Model) TCO(nodes int, batteryLife time.Duration) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if nodes <= 0 {
+		return 0, fmt.Errorf("cost: need a positive node count, got %d", nodes)
+	}
+	if batteryLife <= 0 {
+		return 0, fmt.Errorf("cost: battery life must be positive, got %v", batteryLife)
+	}
+	servers := float64(nodes) * m.ServerCost
+	replacements := m.DatacenterLife.Hours() / batteryLife.Hours()
+	batteries := float64(nodes*m.BatteriesPerNode) * m.BatteryUnitCost * replacements
+	return servers + batteries, nil
+}
+
+// ExpansionResult reports how far a datacenter can scale out at constant
+// TCO when battery life improves (Fig 17).
+type ExpansionResult struct {
+	// CostLimited is the extra-server fraction the savings afford.
+	CostLimited float64
+	// PowerLimited is the extra-server fraction the solar budget carries.
+	PowerLimited float64
+	// Allowed is the binding constraint: min(CostLimited, PowerLimited).
+	Allowed float64
+}
+
+// ServerExpansion computes the fraction of extra servers that can be added
+// without increasing TCO when battery life improves from baseLife to
+// newLife, bounded by the available surplus solar energy (§VI-D: "the
+// actual server that can be installed depends on the available solar power
+// budget").
+func (m Model) ServerExpansion(nodes int, baseLife, newLife time.Duration,
+	surplusPerDay, perServerPerDay units.WattHour) (ExpansionResult, error) {
+	if err := m.Validate(); err != nil {
+		return ExpansionResult{}, err
+	}
+	if nodes <= 0 {
+		return ExpansionResult{}, fmt.Errorf("cost: need a positive node count, got %d", nodes)
+	}
+	if baseLife <= 0 || newLife <= 0 {
+		return ExpansionResult{}, fmt.Errorf("cost: battery lives must be positive (%v, %v)", baseLife, newLife)
+	}
+	if perServerPerDay <= 0 {
+		return ExpansionResult{}, fmt.Errorf("cost: per-server energy must be positive, got %v", perServerPerDay)
+	}
+	baseTCO, err := m.TCO(nodes, baseLife)
+	if err != nil {
+		return ExpansionResult{}, err
+	}
+	newTCO, err := m.TCO(nodes, newLife)
+	if err != nil {
+		return ExpansionResult{}, err
+	}
+	savings := baseTCO - newTCO
+	if savings < 0 {
+		savings = 0
+	}
+	// Each added server costs its capital plus its batteries' replacements
+	// over the datacenter life at the improved battery lifetime.
+	replacements := m.DatacenterLife.Hours() / newLife.Hours()
+	perServer := m.ServerCost + float64(m.BatteriesPerNode)*m.BatteryUnitCost*replacements
+	res := ExpansionResult{
+		CostLimited: savings / perServer / float64(nodes),
+	}
+	if surplusPerDay < 0 {
+		surplusPerDay = 0
+	}
+	res.PowerLimited = float64(surplusPerDay) / float64(perServerPerDay) / float64(nodes)
+	res.Allowed = math.Min(res.CostLimited, res.PowerLimited)
+	return res, nil
+}

@@ -1,0 +1,159 @@
+package cost
+
+import (
+	"testing"
+	"time"
+)
+
+const year = 365 * 24 * time.Hour
+
+func TestModelValidate(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Model)
+	}{
+		{"zero battery cost", func(m *Model) { m.BatteryUnitCost = 0 }},
+		{"zero server cost", func(m *Model) { m.ServerCost = 0 }},
+		{"zero batteries per node", func(m *Model) { m.BatteriesPerNode = 0 }},
+		{"zero dc life", func(m *Model) { m.DatacenterLife = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := DefaultModel()
+			tt.mutate(&m)
+			if err := m.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestAnnualBatteryDepreciation(t *testing.T) {
+	m := DefaultModel()
+	// 6 nodes × 2 units × $70 = $840 capital. A one-year life costs
+	// $840/yr; a two-year life halves it.
+	oneYr, err := m.AnnualBatteryDepreciation(6, year)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneYr != 840 {
+		t.Errorf("depreciation at 1y = %v, want 840", oneYr)
+	}
+	twoYr, err := m.AnnualBatteryDepreciation(6, 2*year)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twoYr != 420 {
+		t.Errorf("depreciation at 2y = %v, want 420", twoYr)
+	}
+}
+
+func TestAnnualBatteryDepreciationErrors(t *testing.T) {
+	m := DefaultModel()
+	if _, err := m.AnnualBatteryDepreciation(0, year); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := m.AnnualBatteryDepreciation(6, 0); err == nil {
+		t.Error("zero life accepted")
+	}
+	bad := DefaultModel()
+	bad.ServerCost = -1
+	if _, err := bad.AnnualBatteryDepreciation(6, year); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestTCOLongerBatteryLifeIsCheaper(t *testing.T) {
+	m := DefaultModel()
+	short, err := m.TCO(6, year)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := m.TCO(6, 3*year)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long >= short {
+		t.Errorf("TCO with 3y batteries (%v) not below 1y (%v)", long, short)
+	}
+	// Server capital is identical in both: the difference is purely
+	// battery replacements. 12-year DC life: 12 vs 4 replacements of
+	// $840 => difference $6720.
+	if diff := short - long; diff != 840*(12-4) {
+		t.Errorf("TCO difference = %v, want %v", diff, 840*8)
+	}
+}
+
+func TestTCOErrors(t *testing.T) {
+	m := DefaultModel()
+	if _, err := m.TCO(0, year); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := m.TCO(6, -year); err == nil {
+		t.Error("negative life accepted")
+	}
+}
+
+func TestServerExpansion(t *testing.T) {
+	m := DefaultModel()
+	res, err := m.ServerExpansion(6, year, 2*year, 4000, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostLimited <= 0 {
+		t.Error("longer battery life bought no servers")
+	}
+	if res.PowerLimited <= 0 {
+		t.Error("surplus energy carried no servers")
+	}
+	if res.Allowed > res.CostLimited || res.Allowed > res.PowerLimited {
+		t.Error("Allowed exceeds a constraint")
+	}
+}
+
+func TestServerExpansionPowerBound(t *testing.T) {
+	m := DefaultModel()
+	// Huge cost savings but no surplus solar: expansion must be zero.
+	res, err := m.ServerExpansion(6, year/2, 10*year, 0, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Allowed != 0 {
+		t.Errorf("expansion with no surplus = %v, want 0", res.Allowed)
+	}
+	// Negative surplus is treated as zero.
+	res, err = m.ServerExpansion(6, year/2, 10*year, -100, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PowerLimited != 0 {
+		t.Error("negative surplus not clamped")
+	}
+}
+
+func TestServerExpansionNoImprovementNoSavings(t *testing.T) {
+	m := DefaultModel()
+	res, err := m.ServerExpansion(6, 2*year, year, 4000, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CostLimited != 0 {
+		t.Errorf("worse battery life produced savings: %v", res.CostLimited)
+	}
+}
+
+func TestServerExpansionErrors(t *testing.T) {
+	m := DefaultModel()
+	if _, err := m.ServerExpansion(0, year, year, 0, 1500); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := m.ServerExpansion(6, 0, year, 0, 1500); err == nil {
+		t.Error("zero base life accepted")
+	}
+	if _, err := m.ServerExpansion(6, year, year, 0, 0); err == nil {
+		t.Error("zero per-server energy accepted")
+	}
+}

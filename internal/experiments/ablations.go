@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"math/rand"
+
+	"github.com/green-dc/baat/internal/core"
+	"github.com/green-dc/baat/internal/rack"
+	"github.com/green-dc/baat/internal/solar"
+	"github.com/green-dc/baat/internal/units"
+	"github.com/green-dc/baat/internal/vm"
+	"github.com/green-dc/baat/internal/workload"
+)
+
+// AblationFloor isolates the protective-discharge-floor mechanism: full
+// BAAT with the floor effectively disabled (protection-only, 5 %) against
+// the default 35 % floor. The floor is the design choice DESIGN.md calls
+// load-bearing for every lifetime result; this quantifies it.
+func AblationFloor(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablation-floor",
+		Title:   "Ablation: BAAT with and without the protective SoC floor",
+		Columns: []string{"variant", "lifetime (mo)", "per-day throughput"},
+		Values:  map[string]float64{},
+	}
+	const frac = 0.6
+	variants := []struct {
+		name  string
+		key   string
+		floor float64
+	}{
+		{"floor disabled (0.05)", "nofloor", 0.05},
+		{"default floor (0.35)", "floor", 0.35},
+	}
+	for _, v := range variants {
+		ccfg := core.DefaultConfig()
+		ccfg.Slowdown.FloorSoC = v.floor
+		life, thr, err := fleetLifetime(cfg, core.BAATFull, ccfg, frac, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name, fmt.Sprintf("%.1f", life.Hours()/(30*24)), fmt.Sprintf("%.1f", thr),
+		})
+		t.Values[v.key+"_months"] = life.Hours() / (30 * 24)
+		t.Values[v.key+"_throughput"] = thr
+	}
+	if base := t.Values["nofloor_months"]; base > 0 {
+		t.Values["floor_gain"] = t.Values["floor_months"]/base - 1
+	}
+	t.Notes = append(t.Notes,
+		"the floor keeps batteries out of the steep region of the cycle-life curve;",
+		"without it BAAT degenerates toward e-Buff lifetimes")
+	return t, nil
+}
+
+// AblationMigration isolates the migration arm: full BAAT with cheap live
+// migration (the default 2-minute pause) against migration so expensive it
+// is effectively self-defeating — the pathology the paper attributes to
+// BAAT-h's uncoordinated migrations (§VI-F).
+func AblationMigration(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "ablation-migration",
+		Title:   "Ablation: migration cost in the slowdown/hiding arms",
+		Columns: []string{"variant", "lifetime (mo)", "per-day throughput"},
+		Values:  map[string]float64{},
+	}
+	const frac = 0.6
+	variants := []struct {
+		name     string
+		key      string
+		transfer time.Duration
+	}{
+		{"live migration (2 min)", "cheap", 2 * time.Minute},
+		{"stop-and-copy (30 min)", "costly", 30 * time.Minute},
+	}
+	for _, v := range variants {
+		ccfg := core.DefaultConfig()
+		ccfg.MigrationTime = v.transfer
+		life, thr, err := fleetLifetime(cfg, core.BAATFull, ccfg, frac, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			v.name, fmt.Sprintf("%.1f", life.Hours()/(30*24)), fmt.Sprintf("%.1f", thr),
+		})
+		t.Values[v.key+"_months"] = life.Hours() / (30 * 24)
+		t.Values[v.key+"_throughput"] = thr
+	}
+	if base := t.Values["costly_throughput"]; base > 0 {
+		t.Values["throughput_gain"] = t.Values["cheap_throughput"]/base - 1
+	}
+	t.Notes = append(t.Notes,
+		"expensive migration pauses eat the throughput the slowdown arm tries to protect")
+	return t, nil
+}
+
+// ArchitectureComparison contrasts the two distributed energy-storage
+// architectures of Fig 7 under identical capacity, weather, and load:
+// per-server batteries (two 35 Ah units per server, the Google style) vs
+// per-rack pools (three servers sharing six units, the Open Rack style),
+// both used aggressively (no aging management), over a multi-day window.
+func ArchitectureComparison(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	days := 10
+	if cfg.Quick {
+		days = 4
+	}
+	seq := weatherSequence(cfg.Seed+13, 0.4, days)
+
+	t := &Table{
+		ID:      "arch-comparison",
+		Title:   "Per-server batteries vs per-rack pools (equal capacity, e-Buff usage)",
+		Columns: []string{"architecture", "throughput", "worst health", "health spread", "worst downtime"},
+		Values:  map[string]float64{},
+	}
+
+	// Per-server: the standard simulated prototype under e-Buff.
+	s, err := prototypeSimWithScale(cfg, core.EBuff, core.DefaultConfig(), tightScale)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run(seq)
+	if err != nil {
+		return nil, err
+	}
+	worst, best := 1.0, 0.0
+	var worstDown time.Duration
+	for _, n := range res.Nodes {
+		if n.Health < worst {
+			worst = n.Health
+		}
+		if n.Health > best {
+			best = n.Health
+		}
+		if n.Downtime > worstDown {
+			worstDown = n.Downtime
+		}
+	}
+	t.Rows = append(t.Rows, []string{
+		"per-server (6 × 2 units)",
+		fmt.Sprintf("%.1f", res.Throughput),
+		f3(worst), f3(best - worst), worstDown.Round(time.Minute).String(),
+	})
+	t.Values["server_throughput"] = res.Throughput
+	t.Values["server_worst_health"] = worst
+	t.Values["server_spread"] = best - worst
+
+	// Per-rack: two racks of three servers, each sharing a six-unit pool —
+	// the same twelve units total — driven through the same weather.
+	rackThr, rackWorst, rackSpread, rackDown, err := runRacks(cfg, seq)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"per-rack (2 × 6-unit pool)",
+		fmt.Sprintf("%.1f", rackThr),
+		f3(rackWorst), f3(rackSpread), rackDown.Round(time.Minute).String(),
+	})
+	t.Values["rack_throughput"] = rackThr
+	t.Values["rack_worst_health"] = rackWorst
+	t.Values["rack_spread"] = rackSpread
+
+	t.Notes = append(t.Notes,
+		"pooling smooths unit-to-unit aging variation (smaller spread) but couples",
+		"failure domains: a deep pool event sheds several servers at once (§II-A)")
+	return t, nil
+}
+
+// runRacks drives two shared-pool racks through the weather sequence with a
+// simple aggressive (e-Buff-like) allocator mirroring the node simulator's
+// operating window.
+func runRacks(cfg Config, seq []solar.Weather) (thr, worstHealth, spread float64, worstDown time.Duration, err error) {
+	rcfg := rack.DefaultConfig()
+	rcfg.AgingConfig.AccelFactor = cfg.Accel
+	racks := make([]*rack.Rack, 2)
+	for i := range racks {
+		racks[i], err = rack.New(fmt.Sprintf("rack-%d", i), rcfg)
+		if err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	// The six prototype services, one per server across the racks.
+	services := workload.PrototypeServices()
+	for i, p := range services {
+		v, verr := vm.New(fmt.Sprintf("svc-%d", i), p)
+		if verr != nil {
+			return 0, 0, 0, 0, verr
+		}
+		if aerr := racks[i/3].Servers()[i%3].Attach(v); aerr != nil {
+			return 0, 0, 0, 0, aerr
+		}
+	}
+
+	scfg := solar.DefaultConfig()
+	scfg.Scale = tightScale
+	rng := rand.New(rand.NewSource(cfg.Seed + 13))
+	const (
+		tick        = time.Minute
+		windowStart = 8*time.Hour + 30*time.Minute
+		windowEnd   = 18*time.Hour + 30*time.Minute
+	)
+	for _, w := range seq {
+		day, derr := solar.NewDay(w, scfg, rng)
+		if derr != nil {
+			return 0, 0, 0, 0, derr
+		}
+		for tod := time.Duration(0); tod < 24*time.Hour; tod += tick {
+			power := float64(day.PowerAt(tod))
+			inWindow := tod >= windowStart && tod < windowEnd
+			if !inWindow {
+				// Overnight: servers are off by schedule; split any
+				// generation between the pools.
+				for _, r := range racks {
+					grant := maxf(0, minf(power, float64(r.ChargeRequest())))
+					if _, serr := r.StepOffline(tick, units.Watt(grant)); serr != nil {
+						return 0, 0, 0, 0, serr
+					}
+					power -= grant
+				}
+				continue
+			}
+			// Loads first, proportional to demand; surplus charges pools.
+			demands := [2]float64{}
+			var total float64
+			for i, r := range racks {
+				demands[i] = float64(r.Demand()) / rcfg.Losses.SolarDirectEfficiency
+				total += demands[i]
+			}
+			scale := 1.0
+			if total > power && total > 0 {
+				scale = power / total
+			}
+			surplus := maxf(0, power-total*scale)
+			for i, r := range racks {
+				charge := maxf(0, minf(surplus/2, float64(r.ChargeRequest())))
+				if _, serr := r.Step(tick, units.Watt(demands[i]*scale), units.Watt(charge)); serr != nil {
+					return 0, 0, 0, 0, serr
+				}
+			}
+		}
+	}
+
+	worstHealth = 1
+	best := 0.0
+	for _, r := range racks {
+		st := r.Stats()
+		thr += st.Throughput
+		if st.Health < worstHealth {
+			worstHealth = st.Health
+		}
+		if st.Health > best {
+			best = st.Health
+		}
+		if st.WorstServerDowntime > worstDown {
+			worstDown = st.WorstServerDowntime
+		}
+	}
+	return thr, worstHealth, best - worstHealth, worstDown, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+func TestAblationFloorShape(t *testing.T) {
+	tab, err := AblationFloor(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The protective floor must buy battery lifetime.
+	if g := tab.Values["floor_gain"]; g <= 0 {
+		t.Errorf("floor lifetime gain = %v, want positive", g)
+	}
+}
+
+func TestAblationMigrationShape(t *testing.T) {
+	tab, err := AblationMigration(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cheap migration must not yield less throughput than stop-and-copy.
+	if g := tab.Values["throughput_gain"]; g < 0 {
+		t.Errorf("cheap-migration throughput gain = %v, want >= 0", g)
+	}
+}
+
+func TestArchitectureComparisonShape(t *testing.T) {
+	tab, err := ArchitectureComparison(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pooling smooths unit-to-unit aging variation.
+	if tab.Values["rack_spread"] > tab.Values["server_spread"] {
+		t.Errorf("rack health spread %v above per-server %v — pooling should smooth variation",
+			tab.Values["rack_spread"], tab.Values["server_spread"])
+	}
+	// Both architectures must actually do work.
+	if tab.Values["rack_throughput"] <= 0 || tab.Values["server_throughput"] <= 0 {
+		t.Errorf("throughput missing: %v", tab.Values)
+	}
+}
+
+func TestDemandResponseShape(t *testing.T) {
+	tab, err := DemandResponse(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gross savings rise with aggressiveness; wear rises too.
+	if tab.Values["aggressive_savings"] < tab.Values["baat_savings"] {
+		t.Errorf("aggressive savings %v below BAAT floor %v",
+			tab.Values["aggressive_savings"], tab.Values["baat_savings"])
+	}
+	if tab.Values["aggressive_wear"] <= tab.Values["timid_wear"] {
+		t.Errorf("aggressive wear %v not above timid %v",
+			tab.Values["aggressive_wear"], tab.Values["timid_wear"])
+	}
+}

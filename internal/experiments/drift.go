@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/green-dc/baat/internal/aging"
+	"github.com/green-dc/baat/internal/battery"
+)
+
+// driftRun replays the measurement study of §II-B: one 12 V 35 Ah unit
+// cycled daily behind a solar-powered server for six months, sampling the
+// observables monthly. It is the same usage pattern the damage-model
+// calibration pins.
+type driftRun struct {
+	months     []int
+	voltage    []float64 // loaded terminal voltage at the 10 A test load
+	capacity   []float64 // per-cycle deliverable energy, Wh
+	efficiency []float64 // per-month round-trip efficiency
+}
+
+func runDrift(cfg Config) (*driftRun, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pack, err := battery.New(battery.DefaultSpec())
+	if err != nil {
+		return nil, err
+	}
+	model, err := aging.NewModel(aging.DefaultModelConfig(), battery.DefaultSpec().NominalCapacity)
+	if err != nil {
+		return nil, err
+	}
+
+	months := 6
+	daysPerMonth := 30
+	if cfg.Quick {
+		daysPerMonth = 10
+	}
+
+	run := &driftRun{}
+	record := func(month int, whOut, whIn float64) {
+		run.months = append(run.months, month)
+		run.voltage = append(run.voltage, float64(pack.TerminalVoltage(10)))
+		// Deliverable per-cycle energy at present health: the Fig 4
+		// "stored energy in each charging cycle".
+		run.capacity = append(run.capacity, float64(pack.StoredEnergy()))
+		eff := 0.0
+		if whIn > 0 {
+			eff = whOut / whIn
+		}
+		run.efficiency = append(run.efficiency, eff)
+	}
+
+	observe := func(res battery.StepResult, dt time.Duration) error {
+		return model.Observe(aging.Sample{
+			Dt:          dt,
+			Current:     res.Current,
+			SoC:         pack.SoC(),
+			Temperature: pack.Temperature(),
+		})
+	}
+
+	// Month 0 baseline uses the first month's in/out for efficiency, so
+	// record after each month including an initial pseudo-sample.
+	for month := 1; month <= months; month++ {
+		var whOut, whIn float64
+		for day := 0; day < daysPerMonth; day++ {
+			for h := 0; h < 4; h++ { // ~57 % DoD discharge at ~5 A
+				res, err := pack.Discharge(60, time.Hour, 25)
+				if err != nil {
+					return nil, err
+				}
+				whOut += float64(res.Energy)
+				if err := observe(res, time.Hour); err != nil {
+					return nil, err
+				}
+			}
+			for h := 0; h < 6; h++ { // solar recharge
+				res, err := pack.Charge(60, time.Hour, 25)
+				if err != nil {
+					return nil, err
+				}
+				whIn += -float64(res.Energy)
+				if err := observe(res, time.Hour); err != nil {
+					return nil, err
+				}
+			}
+			pack.Rest(14*time.Hour, 25)
+			if err := observe(battery.StepResult{}, 14*time.Hour); err != nil {
+				return nil, err
+			}
+			pack.ApplyDegradation(model.Degradation())
+		}
+		record(month, whOut, whIn)
+	}
+	return run, nil
+}
+
+// VoltageDrop reproduces Fig 3: measured battery terminal voltage (under a
+// standard 10 A test load) over six months of cyclic use, with the dropping
+// rate accelerating as the battery ages.
+func VoltageDrop(cfg Config) (*Table, error) {
+	run, err := runDrift(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig3",
+		Title:   "Battery voltage drop due to aging over 6 months",
+		Columns: []string{"month", "loaded voltage (V)", "drop vs month 1"},
+		Values:  map[string]float64{},
+	}
+	v0 := run.voltage[0]
+	for i, m := range run.months {
+		drop := (v0 - run.voltage[i]) / v0
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", m), f2(run.voltage[i]), pct(drop),
+		})
+	}
+	last := len(run.voltage) - 1
+	t.Values["voltage_drop"] = (v0 - run.voltage[last]) / v0
+	// Aging acceleration: late-half slope over early-half slope
+	// (the paper measures 0.1 V/month early, 0.3 V/month late).
+	half := len(run.voltage) / 2
+	early := (run.voltage[0] - run.voltage[half]) / float64(half)
+	late := (run.voltage[half] - run.voltage[last]) / float64(last-half)
+	if early > 0 {
+		t.Values["late_vs_early_slope"] = late / early
+	}
+	t.Notes = append(t.Notes,
+		"paper: ≈9% drop, rate accelerating from 0.1 to 0.3 V/month",
+		"measured under a standard 10 A test load on the simulated pack")
+	return t, nil
+}
+
+// CapacityDrop reproduces Fig 4: per-cycle stored energy over six months.
+func CapacityDrop(cfg Config) (*Table, error) {
+	run, err := runDrift(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig4",
+		Title:   "Battery capacity drop due to aging over 6 months",
+		Columns: []string{"month", "per-cycle energy (Wh)", "drop vs month 1"},
+		Values:  map[string]float64{},
+	}
+	c0 := run.capacity[0]
+	for i, m := range run.months {
+		drop := (c0 - run.capacity[i]) / c0
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", m), fmt.Sprintf("%.0f", run.capacity[i]), pct(drop),
+		})
+	}
+	t.Values["capacity_drop"] = (c0 - run.capacity[len(run.capacity)-1]) / c0
+	t.Notes = append(t.Notes, "paper: ≈14% drop under aggressive usage")
+	return t, nil
+}
+
+// EfficiencyDegradation reproduces Fig 5: monthly round-trip energy
+// efficiency over six months.
+func EfficiencyDegradation(cfg Config) (*Table, error) {
+	run, err := runDrift(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig5",
+		Title:   "Energy efficiency degradation due to aging over 6 months",
+		Columns: []string{"month", "round-trip efficiency", "drop vs month 1"},
+		Values:  map[string]float64{},
+	}
+	e0 := run.efficiency[0]
+	for i, m := range run.months {
+		drop := (e0 - run.efficiency[i]) / e0
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", m), pct(run.efficiency[i]), pct(drop),
+		})
+	}
+	t.Values["efficiency_drop"] = (e0 - run.efficiency[len(run.efficiency)-1]) / e0
+	t.Values["final_efficiency"] = run.efficiency[len(run.efficiency)-1]
+	t.Notes = append(t.Notes, "paper: ≈8% round-trip efficiency drop")
+	return t, nil
+}

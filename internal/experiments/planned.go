@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/green-dc/baat/internal/core"
+	"github.com/green-dc/baat/internal/sim"
+	"github.com/green-dc/baat/internal/workload"
+)
+
+// plannedScale is the PV sizing for the planned-aging experiments: tight
+// enough that the depth-of-discharge regulation visibly gates how much
+// stored energy reaches compute.
+const plannedScale = 1.15
+
+// plannedWindowDays is the measurement window for the planned-aging
+// experiments in compressed days.
+func plannedWindowDays(cfg Config) int {
+	days := int(150 / cfg.Accel)
+	if days < 3 {
+		days = 3
+	}
+	if cfg.Quick && days > 5 {
+		days = 5
+	}
+	return days
+}
+
+// runWindowThroughput measures total throughput and worst-node health over
+// a fixed multi-day window at sunshine fraction 0.5.
+func runWindowThroughput(cfg Config, kind core.Kind, coreCfg core.Config) (thr float64, minHealth float64, err error) {
+	policy, err := core.New(kind, coreCfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	scfg := sim.DefaultConfig()
+	scfg.Seed = cfg.Seed
+	scfg.Node.AgingConfig.AccelFactor = cfg.Accel
+	scfg.Services = workload.PrototypeServices()
+	scfg.JobsPerDay = 2
+	scfg.Solar.Scale = plannedScale
+	s, err := sim.New(scfg, policy)
+	if err != nil {
+		return 0, 0, err
+	}
+	seq := weatherSequence(cfg.Seed+9, 0.5, plannedWindowDays(cfg))
+	res, err := s.Run(seq)
+	if err != nil {
+		return 0, 0, err
+	}
+	minHealth = 1
+	for _, n := range res.Nodes {
+		if n.Health < minHealth {
+			minHealth = n.Health
+		}
+	}
+	return res.Throughput, minHealth, nil
+}
+
+// PerfVsDoD reproduces Fig 21: workload performance as the regulated depth
+// of discharge grows from 40 % to 90 %. Deeper regulation frees more stored
+// energy for compute — but sub-linearly, because very deep cycling erodes
+// the battery that delivers it.
+func PerfVsDoD(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	dods := []float64{0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	if cfg.Quick {
+		dods = []float64{0.4, 0.9}
+	}
+	t := &Table{
+		ID:      "fig21",
+		Title:   "Performance under regulated depth of discharge",
+		Columns: []string{"DoD", "throughput", "gain vs 40%", "worst health"},
+		Values:  map[string]float64{},
+	}
+	var base float64
+	var prev float64
+	var firstStep, lastStep float64
+	for i, dod := range dods {
+		ccfg := core.DefaultConfig()
+		// Planned aging regulates discharge depth: floor = 1 − DoD, with
+		// the slowdown trigger just above it (§IV-D replaces the 40 %
+		// trigger with 1 − DoD_goal).
+		ccfg.Slowdown.FloorSoC = 1 - dod
+		ccfg.Slowdown.TriggerSoC = clampTriggerAbove(1 - dod + 0.10)
+		thr, health, err := runWindowThroughput(cfg, core.BAATFull, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			base = thr
+		}
+		gain := 0.0
+		if base > 0 {
+			gain = thr/base - 1
+		}
+		t.Rows = append(t.Rows, []string{
+			pct(dod), fmt.Sprintf("%.1f", thr), pct(gain), f3(health),
+		})
+		t.Values[fmt.Sprintf("gain_dod_%.0f", dod*100)] = gain
+		if i == 1 {
+			firstStep = thr - prev
+		}
+		if i == len(dods)-1 && i > 0 {
+			lastStep = thr - prev
+		}
+		prev = thr
+	}
+	t.Values["first_step"] = firstStep
+	t.Values["last_step"] = lastStep
+	t.Notes = append(t.Notes,
+		"paper: performance improvement is not linear in DoD — the 40→60% step",
+		"is more visible than 70→90%")
+	return t, nil
+}
+
+func clampTriggerAbove(x float64) float64 {
+	if x < 0.15 {
+		return 0.15
+	}
+	if x > 0.95 {
+		return 0.95
+	}
+	return x
+}
+
+// PlannedAgingBenefit reproduces Fig 22: the productivity benefit of
+// planning battery aging against the expected battery service life (the
+// time from battery installation to datacenter end-of-life). The benefit
+// peaks at intermediate horizons: very short horizons are capped by the
+// 90 % DoD bound, very long horizons leave no unused lifetime to shift.
+func PlannedAgingBenefit(cfg Config) (*Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Service lives in real months, converted to compressed sim time.
+	monthsList := []float64{3, 6, 12, 24, 48}
+	if cfg.Quick {
+		monthsList = []float64{6, 48}
+	}
+	t := &Table{
+		ID:      "fig22",
+		Title:   "Performance benefits of planned aging vs expected service life",
+		Columns: []string{"service life (mo)", "planned throughput", "e-Buff throughput", "gain", "worst health"},
+		Values:  map[string]float64{},
+	}
+	eThr, _, err := runWindowThroughput(cfg, core.EBuff, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	var maxGain float64
+	for _, months := range monthsList {
+		ccfg := core.DefaultConfig()
+		ccfg.Planned = core.PlannedAgingConfig{
+			Enabled: true,
+			// The Ah budget Eq 7 divides is not accelerated (only damage
+			// rates are), so the planner receives the real service life:
+			// its cycle plan must count real cycles.
+			ServiceLife:  time.Duration(months * 30 * 24 * float64(time.Hour)),
+			CyclesPerDay: 1,
+		}
+		thr, health, err := runWindowThroughput(cfg, core.BAATFull, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		gain := 0.0
+		if eThr > 0 {
+			gain = thr/eThr - 1
+		}
+		if gain > maxGain {
+			maxGain = gain
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", months), fmt.Sprintf("%.1f", thr),
+			fmt.Sprintf("%.1f", eThr), pct(gain), f3(health),
+		})
+		t.Values[fmt.Sprintf("gain_months_%.0f", months)] = gain
+	}
+	t.Values["max_gain"] = maxGain
+	t.Notes = append(t.Notes,
+		"paper: planned aging improves productivity by up to 33% vs e-Buff,",
+		"with benefits shrinking at both horizon extremes")
+	return t, nil
+}

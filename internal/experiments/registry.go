@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment.
+type Runner func(Config) (*Table, error)
+
+// registry maps experiment IDs to their harnesses, in paper order.
+var registry = []struct {
+	ID     string
+	Runner Runner
+}{
+	{"fig3", VoltageDrop},
+	{"fig4", CapacityDrop},
+	{"fig5", EfficiencyDegradation},
+	{"fig10", CycleLifeCurves},
+	{"fig12", WeatherProfile},
+	{"fig13", AgingComparison},
+	{"fig14", LifetimeVsSunshine},
+	{"fig15", LifetimeVsRatio},
+	{"fig16", DepreciationCost},
+	{"fig17", ServerExpansion},
+	{"fig18", LowSoCDuration},
+	{"fig19", SoCDistribution},
+	{"fig20", Throughput},
+	{"fig21", PerfVsDoD},
+	{"fig22", PlannedAgingBenefit},
+	{"table1", UsageScenarios},
+	{"table3", DemandSensitivity},
+	// Extensions beyond the paper's artifact list: ablations of BAAT's
+	// design choices and the Fig 7 architecture comparison.
+	{"ablation-floor", AblationFloor},
+	{"ablation-migration", AblationMigration},
+	{"arch-comparison", ArchitectureComparison},
+	{"demand-response", DemandResponse},
+}
+
+// IDs lists all experiment IDs in paper order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// Lookup returns the runner for an experiment ID.
+func Lookup(id string) (Runner, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e.Runner, nil
+		}
+	}
+	known := IDs()
+	sort.Strings(known)
+	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, known)
+}
+
+// RunAll executes every experiment and returns the tables in paper order.
+// It stops at the first error.
+func RunAll(cfg Config) ([]*Table, error) {
+	out := make([]*Table, 0, len(registry))
+	for _, e := range registry {
+		t, err := e.Runner(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

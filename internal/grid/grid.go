@@ -1,0 +1,286 @@
+// Package grid models the utility-side economics behind the demand-response
+// battery usage scenario of DSN'15 §II-A and Table 1: a time-of-use tariff,
+// a peak-shaving controller that discharges the battery through the evening
+// tariff peak and recharges it off-peak, and the cost ledger that says
+// whether the energy-arbitrage savings outrun the battery wear they cause.
+//
+// This is the "Demand Response" row of Table 1 made concrete: occasional
+// cycling, medium aging speed — and the package quantifies the trade the
+// paper warns about, battery depreciation silently eating demand-response
+// savings.
+package grid
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/green-dc/baat/internal/aging"
+	"github.com/green-dc/baat/internal/battery"
+	"github.com/green-dc/baat/internal/units"
+)
+
+// Tariff is a time-of-use electricity price schedule.
+type Tariff struct {
+	// OffPeakPerKWh is the base price in $/kWh.
+	OffPeakPerKWh float64
+	// PeakPerKWh is the price during the peak window.
+	PeakPerKWh float64
+	// PeakStart and PeakEnd bound the daily peak window (offsets from
+	// midnight; PeakStart < PeakEnd).
+	PeakStart time.Duration
+	PeakEnd   time.Duration
+}
+
+// DefaultTariff returns a typical commercial time-of-use schedule: a 17:00
+// to 21:00 evening peak at three times the off-peak rate.
+func DefaultTariff() Tariff {
+	return Tariff{
+		OffPeakPerKWh: 0.08,
+		PeakPerKWh:    0.24,
+		PeakStart:     17 * time.Hour,
+		PeakEnd:       21 * time.Hour,
+	}
+}
+
+// Validate checks the tariff.
+func (t Tariff) Validate() error {
+	if t.OffPeakPerKWh <= 0 || t.PeakPerKWh <= 0 {
+		return fmt.Errorf("grid: prices must be positive")
+	}
+	if t.PeakPerKWh < t.OffPeakPerKWh {
+		return fmt.Errorf("grid: peak price %v below off-peak %v", t.PeakPerKWh, t.OffPeakPerKWh)
+	}
+	if t.PeakStart < 0 || t.PeakEnd > 24*time.Hour || t.PeakEnd <= t.PeakStart {
+		return fmt.Errorf("grid: need 0 <= peak start < end <= 24h (got %v, %v)", t.PeakStart, t.PeakEnd)
+	}
+	return nil
+}
+
+// PriceAt returns the $/kWh price at a time of day.
+func (t Tariff) PriceAt(tod time.Duration) float64 {
+	for tod < 0 {
+		tod += 24 * time.Hour
+	}
+	tod %= 24 * time.Hour
+	if tod >= t.PeakStart && tod < t.PeakEnd {
+		return t.PeakPerKWh
+	}
+	return t.OffPeakPerKWh
+}
+
+// InPeak reports whether a time of day falls in the peak window.
+func (t Tariff) InPeak(tod time.Duration) bool {
+	return t.PriceAt(tod) == t.PeakPerKWh
+}
+
+// ShaverConfig parameterizes the peak-shaving controller.
+type ShaverConfig struct {
+	// Tariff is the price schedule being arbitraged.
+	Tariff Tariff
+	// BatterySpec describes the installed battery.
+	BatterySpec battery.Spec
+	// AgingConfig parameterizes battery wear accounting.
+	AgingConfig aging.ModelConfig
+	// FloorSoC stops peak-shave discharge (an aging-aware shaver keeps
+	// this at 0.4+; an aggressive one runs to the protection limit).
+	FloorSoC float64
+	// RechargeRate is the off-peak charger power.
+	RechargeRate units.Watt
+	// InverterEfficiency applies to battery→load delivery.
+	InverterEfficiency float64
+	// ChargerEfficiency applies to grid→battery charging.
+	ChargerEfficiency float64
+	// Ambient is the battery-room temperature.
+	Ambient units.Celsius
+}
+
+// DefaultShaverConfig returns a single-unit shaver at the default tariff.
+func DefaultShaverConfig() ShaverConfig {
+	return ShaverConfig{
+		Tariff:             DefaultTariff(),
+		BatterySpec:        battery.DefaultSpec(),
+		AgingConfig:        aging.DefaultModelConfig(),
+		FloorSoC:           0.40,
+		RechargeRate:       120,
+		InverterEfficiency: 0.90,
+		ChargerEfficiency:  0.93,
+		Ambient:            25,
+	}
+}
+
+// Validate checks the configuration.
+func (c ShaverConfig) Validate() error {
+	if err := c.Tariff.Validate(); err != nil {
+		return err
+	}
+	if err := c.BatterySpec.Validate(); err != nil {
+		return err
+	}
+	if err := c.AgingConfig.Validate(); err != nil {
+		return err
+	}
+	if c.FloorSoC < 0 || c.FloorSoC >= 1 {
+		return fmt.Errorf("grid: floor SoC must be in [0, 1), got %v", c.FloorSoC)
+	}
+	if c.RechargeRate <= 0 {
+		return fmt.Errorf("grid: recharge rate must be positive, got %v", c.RechargeRate)
+	}
+	if c.InverterEfficiency <= 0 || c.InverterEfficiency > 1 ||
+		c.ChargerEfficiency <= 0 || c.ChargerEfficiency > 1 {
+		return fmt.Errorf("grid: efficiencies must be in (0, 1]")
+	}
+	return nil
+}
+
+// Ledger is the running cost accounting of a shaver.
+type Ledger struct {
+	// GridEnergyKWh is total energy bought from the grid.
+	GridEnergyKWh float64
+	// GridCost is total dollars paid for it.
+	GridCost float64
+	// ShavedKWh is peak-window load energy served from the battery.
+	ShavedKWh float64
+	// ArbitrageSavings is the tariff differential earned by shaving
+	// (peak price avoided minus the off-peak cost of the recharge energy,
+	// including conversion losses).
+	ArbitrageSavings float64
+}
+
+// Shaver runs a load against the grid with battery peak shaving. Not safe
+// for concurrent use.
+type Shaver struct {
+	cfg    ShaverConfig
+	pack   *battery.Pack
+	model  *aging.Model
+	ledger Ledger
+	clock  time.Duration
+}
+
+// NewShaver builds a peak shaver with a fresh battery.
+func NewShaver(cfg ShaverConfig) (*Shaver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pack, err := battery.New(cfg.BatterySpec)
+	if err != nil {
+		return nil, err
+	}
+	model, err := aging.NewModel(cfg.AgingConfig, cfg.BatterySpec.NominalCapacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Shaver{cfg: cfg, pack: pack, model: model}, nil
+}
+
+// Battery exposes the pack for inspection.
+func (s *Shaver) Battery() *battery.Pack { return s.pack }
+
+// Ledger returns the cost accounting so far.
+func (s *Shaver) Ledger() Ledger { return s.ledger }
+
+// Clock returns elapsed simulated time.
+func (s *Shaver) Clock() time.Duration { return s.clock }
+
+// Step serves the given load for dt at time-of-day tod. During the tariff
+// peak the battery carries as much of the load as it can down to the floor;
+// off-peak the load runs on grid power and the battery recharges.
+func (s *Shaver) Step(tod time.Duration, dt time.Duration, load units.Watt) error {
+	if dt <= 0 {
+		return fmt.Errorf("grid: step duration must be positive, got %v", dt)
+	}
+	if load < 0 {
+		return fmt.Errorf("grid: negative load %v", load)
+	}
+	price := s.cfg.Tariff.PriceAt(tod)
+	inPeak := s.cfg.Tariff.InPeak(tod)
+
+	gridPower := float64(load)
+	var res battery.StepResult
+	var err error
+	switch {
+	case inPeak && load > 0 && s.pack.SoC() > s.cfg.FloorSoC && !s.pack.CutOff():
+		// Shave: the battery carries the load through the inverter.
+		need := units.Watt(float64(load) / s.cfg.InverterEfficiency)
+		if max := s.pack.MaxDischargePower(); need > max {
+			need = max
+		}
+		res, err = s.pack.Discharge(need, dt, s.cfg.Ambient)
+		if err != nil {
+			return err
+		}
+		served := float64(res.Energy) * s.cfg.InverterEfficiency // Wh at the load
+		shaved := served
+		if lim := float64(load) * dt.Hours(); shaved > lim {
+			shaved = lim
+		}
+		gridPower = float64(load) - shaved/dt.Hours()
+		if gridPower < 0 {
+			gridPower = 0
+		}
+		s.ledger.ShavedKWh += shaved / 1000
+		// Savings: peak price avoided now, minus what the recharge energy
+		// will cost off-peak including round-trip losses.
+		rechargeKWh := shaved / 1000 / s.cfg.InverterEfficiency / s.cfg.ChargerEfficiency
+		s.ledger.ArbitrageSavings += shaved/1000*s.cfg.Tariff.PeakPerKWh -
+			rechargeKWh*s.cfg.Tariff.OffPeakPerKWh
+	case !inPeak && s.pack.SoC() < 1:
+		// Off-peak: recharge from the grid alongside the load.
+		res, err = s.pack.Charge(units.Watt(float64(s.cfg.RechargeRate)*s.cfg.ChargerEfficiency), dt, s.cfg.Ambient)
+		if err != nil {
+			return err
+		}
+		boughtWh := -float64(res.Energy) / s.cfg.ChargerEfficiency
+		s.ledger.GridEnergyKWh += boughtWh / 1000
+		s.ledger.GridCost += boughtWh / 1000 * price
+	default:
+		s.pack.Rest(dt, s.cfg.Ambient)
+	}
+
+	// The load itself always draws whatever the battery did not cover.
+	loadWh := gridPower * dt.Hours()
+	s.ledger.GridEnergyKWh += loadWh / 1000
+	s.ledger.GridCost += loadWh / 1000 * price
+
+	s.clock += dt
+	sample := aging.Sample{
+		Dt:          dt,
+		Current:     res.Current,
+		SoC:         s.pack.SoC(),
+		Temperature: s.pack.Temperature(),
+	}
+	if err := s.model.Observe(sample); err != nil {
+		return err
+	}
+	s.pack.ApplyDegradation(s.model.Degradation())
+	return nil
+}
+
+// RunDays drives the shaver through whole days of a constant load.
+func (s *Shaver) RunDays(days int, load units.Watt, tick time.Duration) error {
+	if days <= 0 {
+		return fmt.Errorf("grid: days must be positive, got %d", days)
+	}
+	if tick <= 0 {
+		tick = time.Minute
+	}
+	for d := 0; d < days; d++ {
+		for tod := time.Duration(0); tod < 24*time.Hour; tod += tick {
+			if err := s.Step(tod, tick, load); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// NetBenefit returns arbitrage savings minus battery depreciation over the
+// elapsed period, given the battery's unit cost: the quantity that decides
+// whether dual-purposing backup batteries for demand response pays off
+// (the question of [21] in the paper's related work).
+func (s *Shaver) NetBenefit(batteryCost float64) float64 {
+	wear := 1 - s.pack.Health()
+	// Depreciate the battery linearly over the capacity it may lose
+	// before end-of-life (20 %).
+	depreciation := batteryCost * wear / (1 - battery.EndOfLifeHealth)
+	return s.ledger.ArbitrageSavings - depreciation
+}

@@ -1,0 +1,250 @@
+package grid
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTariffValidate(t *testing.T) {
+	if err := DefaultTariff().Validate(); err != nil {
+		t.Fatalf("default tariff invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Tariff)
+	}{
+		{"zero off-peak", func(tt *Tariff) { tt.OffPeakPerKWh = 0 }},
+		{"peak below off-peak", func(tt *Tariff) { tt.PeakPerKWh = 0.01 }},
+		{"inverted window", func(tt *Tariff) { tt.PeakEnd = tt.PeakStart - time.Hour }},
+		{"window past midnight", func(tt *Tariff) { tt.PeakEnd = 25 * time.Hour }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tf := DefaultTariff()
+			tt.mutate(&tf)
+			if err := tf.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestTariffPriceAt(t *testing.T) {
+	tf := DefaultTariff()
+	tests := []struct {
+		tod  time.Duration
+		want float64
+	}{
+		{3 * time.Hour, tf.OffPeakPerKWh},
+		{17 * time.Hour, tf.PeakPerKWh},
+		{20*time.Hour + 59*time.Minute, tf.PeakPerKWh},
+		{21 * time.Hour, tf.OffPeakPerKWh},
+		{27 * time.Hour, tf.OffPeakPerKWh}, // wraps
+		{-2 * time.Hour, tf.OffPeakPerKWh}, // 22:00
+		{-6 * time.Hour, tf.PeakPerKWh},    // 18:00
+	}
+	for _, tt := range tests {
+		if got := tf.PriceAt(tt.tod); got != tt.want {
+			t.Errorf("PriceAt(%v) = %v, want %v", tt.tod, got, tt.want)
+		}
+	}
+	if !tf.InPeak(18 * time.Hour) {
+		t.Error("18:00 not in peak")
+	}
+	if tf.InPeak(9 * time.Hour) {
+		t.Error("09:00 in peak")
+	}
+}
+
+func TestShaverConfigValidate(t *testing.T) {
+	if err := DefaultShaverConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*ShaverConfig)
+	}{
+		{"bad tariff", func(c *ShaverConfig) { c.Tariff.OffPeakPerKWh = 0 }},
+		{"bad battery", func(c *ShaverConfig) { c.BatterySpec.NominalVoltage = 0 }},
+		{"bad aging", func(c *ShaverConfig) { c.AgingConfig.AccelFactor = 0 }},
+		{"bad floor", func(c *ShaverConfig) { c.FloorSoC = 1 }},
+		{"bad recharge", func(c *ShaverConfig) { c.RechargeRate = 0 }},
+		{"bad inverter", func(c *ShaverConfig) { c.InverterEfficiency = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultShaverConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+			if _, err := NewShaver(cfg); err == nil {
+				t.Error("NewShaver accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestShaverShavesPeakOnly(t *testing.T) {
+	s, err := NewShaver(DefaultShaverConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Off-peak hour: no shaving, battery stays full-ish.
+	for i := 0; i < 60; i++ {
+		if err := s.Step(10*time.Hour, time.Minute, 60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Ledger().ShavedKWh != 0 {
+		t.Errorf("shaved off-peak: %v kWh", s.Ledger().ShavedKWh)
+	}
+	// Peak hour: the battery carries the load.
+	socBefore := s.Battery().SoC()
+	for i := 0; i < 60; i++ {
+		if err := s.Step(18*time.Hour, time.Minute, 60); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Ledger().ShavedKWh <= 0 {
+		t.Error("no peak shaving recorded")
+	}
+	if s.Battery().SoC() >= socBefore {
+		t.Error("battery did not discharge during the peak")
+	}
+	if s.Ledger().ArbitrageSavings <= 0 {
+		t.Error("no arbitrage savings recorded")
+	}
+}
+
+func TestShaverRespectsFloor(t *testing.T) {
+	cfg := DefaultShaverConfig()
+	cfg.FloorSoC = 0.6
+	s, err := NewShaver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long, heavy peak: discharge must stop near the floor.
+	for i := 0; i < 4*60; i++ {
+		if err := s.Step(18*time.Hour, time.Minute, 150); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if soc := s.Battery().SoC(); soc < 0.55 {
+		t.Errorf("SoC %v fell well below the 0.6 floor", soc)
+	}
+}
+
+func TestShaverRechargesOffPeak(t *testing.T) {
+	s, err := NewShaver(DefaultShaverConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain through a peak, then recharge overnight.
+	for i := 0; i < 3*60; i++ {
+		if err := s.Step(18*time.Hour, time.Minute, 120); err != nil {
+			t.Fatal(err)
+		}
+	}
+	low := s.Battery().SoC()
+	for i := 0; i < 8*60; i++ {
+		if err := s.Step(1*time.Hour, time.Minute, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Battery().SoC() <= low {
+		t.Error("battery did not recharge off-peak")
+	}
+	if s.Ledger().GridCost <= 0 || s.Ledger().GridEnergyKWh <= 0 {
+		t.Error("recharge energy not billed")
+	}
+}
+
+func TestRunDaysTableOneShape(t *testing.T) {
+	// Table 1: demand response cycles the battery "occasionally" with
+	// medium aging. A quarter of daily peak shaving must wear the battery
+	// measurably but far less than power-smoothing duty.
+	cfg := DefaultShaverConfig()
+	cfg.AgingConfig.AccelFactor = 10
+	s, err := NewShaver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunDays(9, 100, time.Minute); err != nil { // ≈90 days at ×10
+		t.Fatal(err)
+	}
+	wear := 1 - s.Battery().Health()
+	if wear <= 0 {
+		t.Error("no wear from a quarter of demand response")
+	}
+	if wear > 0.15 {
+		t.Errorf("demand-response wear %v too severe for Table 1's 'medium'", wear)
+	}
+	if s.Ledger().ShavedKWh <= 0 {
+		t.Error("no energy shaved over the quarter")
+	}
+}
+
+func TestNetBenefitAccountsForWear(t *testing.T) {
+	cfg := DefaultShaverConfig()
+	cfg.AgingConfig.AccelFactor = 10
+	cfg.FloorSoC = 0.05 // an aggressive shaver, wearing the battery hard
+	s, err := NewShaver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunDays(9, 100, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// With a free battery the benefit equals the savings; with an
+	// expensive battery the wear can eat them.
+	if s.NetBenefit(0) != s.Ledger().ArbitrageSavings {
+		t.Error("free battery should make benefit equal savings")
+	}
+	if s.NetBenefit(1e6) >= s.NetBenefit(0) {
+		t.Error("battery cost did not reduce the net benefit")
+	}
+}
+
+func TestStepValidation(t *testing.T) {
+	s, err := NewShaver(DefaultShaverConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(0, 0, 10); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if err := s.Step(0, time.Minute, -5); err == nil {
+		t.Error("negative load accepted")
+	}
+	if err := s.RunDays(0, 10, time.Minute); err == nil {
+		t.Error("zero days accepted")
+	}
+}
+
+func TestAgingAwareShaverWearsLess(t *testing.T) {
+	// The BAAT thesis applied to demand response: a floor-respecting
+	// shaver preserves battery health versus an aggressive one, at some
+	// savings cost.
+	run := func(floor float64) (wear, savings float64) {
+		cfg := DefaultShaverConfig()
+		cfg.AgingConfig.AccelFactor = 10
+		cfg.FloorSoC = floor
+		s, err := NewShaver(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RunDays(9, 130, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		return 1 - s.Battery().Health(), s.Ledger().ArbitrageSavings
+	}
+	aggroWear, aggroSavings := run(0.05)
+	safeWear, safeSavings := run(0.40)
+	if safeWear >= aggroWear {
+		t.Errorf("floor did not reduce wear: %v vs %v", safeWear, aggroWear)
+	}
+	if safeSavings > aggroSavings {
+		t.Errorf("floor somehow increased savings: %v vs %v", safeSavings, aggroSavings)
+	}
+}

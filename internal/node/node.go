@@ -1,0 +1,478 @@
+// Package node composes one battery node of the distributed energy-storage
+// architecture: a server with its individual battery unit, the sensor chain
+// filling its power table, and the aging bookkeeping the BAAT controller
+// reads (DSN'15 Fig 7, per-server integration).
+//
+// Each simulation tick the node routes power: solar feeds the server first,
+// surplus charges the battery, and shortfall discharges the battery through
+// the inverter. If neither solar nor battery (nor utility, when allowed)
+// can carry the load, the server goes dark and its VMs checkpoint — the
+// single-point-of-failure scenario of §VI-E.
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/green-dc/baat/internal/aging"
+	"github.com/green-dc/baat/internal/battery"
+	"github.com/green-dc/baat/internal/powernet"
+	"github.com/green-dc/baat/internal/server"
+	"github.com/green-dc/baat/internal/units"
+)
+
+// Config assembles one node.
+type Config struct {
+	BatterySpec battery.Spec
+	ServerSpec  server.Spec
+	AgingConfig aging.ModelConfig
+	Losses      powernet.Losses
+
+	// Ambient is the machine-room temperature.
+	Ambient units.Celsius
+
+	// TableCapacity bounds the power-table history (default 2048 rows).
+	TableCapacity int
+
+	// UtilityBackup allows falling back to grid power instead of going
+	// dark when solar+battery cannot carry the load. The paper's green
+	// experiments run without it during the solar window.
+	UtilityBackup bool
+
+	// SoCFloor is the state of charge below which the node refuses to
+	// discharge its battery (on top of the pack's own voltage protection).
+	// Policies adjust it at runtime (planned aging, §IV-D).
+	SoCFloor float64
+
+	// BatteryOptions customize the pack (manufacturing variation etc.).
+	BatteryOptions []battery.Option
+}
+
+// DefaultConfig returns a prototype-scale node configuration.
+func DefaultConfig() Config {
+	return Config{
+		// The prototype pairs two 12 V 35 Ah units per server (twelve
+		// batteries behind six servers, Fig 11).
+		BatterySpec:   battery.Parallel(battery.DefaultSpec(), 2),
+		ServerSpec:    server.DefaultSpec(),
+		AgingConfig:   aging.DefaultModelConfig(),
+		Losses:        powernet.DefaultLosses(),
+		Ambient:       25,
+		TableCapacity: 2048,
+		SoCFloor:      0.05,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.BatterySpec.Validate(); err != nil {
+		return err
+	}
+	if err := c.ServerSpec.Validate(); err != nil {
+		return err
+	}
+	if err := c.AgingConfig.Validate(); err != nil {
+		return err
+	}
+	if err := c.Losses.Validate(); err != nil {
+		return err
+	}
+	if c.TableCapacity <= 0 {
+		return fmt.Errorf("node: table capacity must be positive, got %d", c.TableCapacity)
+	}
+	if c.SoCFloor < 0 || c.SoCFloor >= 1 {
+		return fmt.Errorf("node: SoC floor must be in [0, 1), got %v", c.SoCFloor)
+	}
+	return nil
+}
+
+// StepResult summarizes one tick of node operation.
+type StepResult struct {
+	// Demand is the server draw the node tried to satisfy.
+	Demand units.Watt
+	// SolarUsed is solar power consumed (load + charging), at the bus.
+	SolarUsed units.Watt
+	// BatteryPower is terminal battery power: positive discharging into
+	// the load, negative charging.
+	BatteryPower units.Watt
+	// UtilityPower is grid draw (only with UtilityBackup).
+	UtilityPower units.Watt
+	// Down reports the server spent the tick dark.
+	Down bool
+	// WorkDone is the compute work completed this tick.
+	WorkDone float64
+	// Source is the dominant feed this tick.
+	Source powernet.Source
+}
+
+// Node is one server+battery unit. Not safe for concurrent use.
+type Node struct {
+	id      string
+	cfg     Config
+	srv     *server.Server
+	pack    *battery.Pack
+	tracker *aging.Tracker
+	model   *aging.Model
+	table   *powernet.PowerTable
+
+	clock    time.Duration
+	socFloor float64
+
+	utilityWh  units.WattHour
+	solarWh    units.WattHour
+	downTicks  int
+	totalTicks int
+}
+
+// New assembles a node.
+func New(id string, cfg Config) (*Node, error) {
+	if id == "" {
+		return nil, fmt.Errorf("node: id must not be empty")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("node %s: %w", id, err)
+	}
+	srv, err := server.New(id+"/server", cfg.ServerSpec)
+	if err != nil {
+		return nil, err
+	}
+	pack, err := battery.New(cfg.BatterySpec, cfg.BatteryOptions...)
+	if err != nil {
+		return nil, err
+	}
+	tracker, err := aging.NewTracker(cfg.BatterySpec.LifetimeThroughput)
+	if err != nil {
+		return nil, err
+	}
+	model, err := aging.NewModel(cfg.AgingConfig, cfg.BatterySpec.NominalCapacity)
+	if err != nil {
+		return nil, err
+	}
+	table, err := powernet.NewPowerTable(cfg.TableCapacity)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{
+		id:       id,
+		cfg:      cfg,
+		srv:      srv,
+		pack:     pack,
+		tracker:  tracker,
+		model:    model,
+		table:    table,
+		socFloor: cfg.SoCFloor,
+	}, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() string { return n.id }
+
+// Server exposes the compute side for VM placement and DVFS control.
+func (n *Node) Server() *server.Server { return n.srv }
+
+// Battery exposes the pack for read-mostly inspection.
+func (n *Node) Battery() *battery.Pack { return n.pack }
+
+// Metrics returns the five aging metrics computed from the node's history.
+func (n *Node) Metrics() aging.Metrics { return n.tracker.Metrics() }
+
+// ResetMetrics clears the metric tracker while keeping the battery's
+// accumulated damage. The evaluation uses this to measure one day's metric
+// log on an already-aged battery (§VI-B runs each scheme for one recorded
+// day at the "young" and "old" aging stages).
+func (n *Node) ResetMetrics() { n.tracker.Reset() }
+
+// AgingModel exposes the damage integrator (for lifetime prediction).
+func (n *Node) AgingModel() *aging.Model { return n.model }
+
+// PowerTable returns the sensor history log.
+func (n *Node) PowerTable() *powernet.PowerTable { return n.table }
+
+// Clock returns accumulated simulated time.
+func (n *Node) Clock() time.Duration { return n.clock }
+
+// SoCFloor returns the discharge floor currently enforced.
+func (n *Node) SoCFloor() float64 { return n.socFloor }
+
+// SetSoCFloor adjusts the discharge floor; planned aging sets it to
+// 1 − DoD_goal (§IV-D).
+func (n *Node) SetSoCFloor(f float64) error {
+	if f < 0 || f >= 1 {
+		return fmt.Errorf("node %s: SoC floor must be in [0, 1), got %v", n.id, f)
+	}
+	n.socFloor = f
+	return nil
+}
+
+// Demand returns the power the node's server wants right now if powered
+// (used by the bus allocator before Step). A node with no active VMs is
+// scheduled off and demands nothing.
+func (n *Node) Demand() units.Watt {
+	if n.srv.ActiveVMCount() == 0 {
+		return 0
+	}
+	if n.srv.Powered() {
+		return n.srv.Power()
+	}
+	// A dark server still reports what it would draw if revived, so the
+	// allocator can decide whether to bring it back.
+	n.srv.SetPowered(true)
+	d := n.srv.Power()
+	n.srv.SetPowered(false)
+	return d
+}
+
+// ChargeRequest returns the maximum solar power (at the bus, before charger
+// loss) the battery could absorb this tick.
+func (n *Node) ChargeRequest() units.Watt {
+	if n.pack.SoC() >= 1 {
+		return 0
+	}
+	v := float64(n.pack.OpenCircuitVoltage())
+	maxI := float64(n.cfg.BatterySpec.MaxChargeCurrent)
+	if soc := n.pack.SoC(); soc > 0.9 {
+		maxI *= units.Clamp((1-soc)/0.1, 0.05, 1)
+	}
+	return units.Watt(v * maxI / n.cfg.Losses.ChargerEfficiency)
+}
+
+// batteryAvailable reports whether discharging is currently permitted.
+func (n *Node) batteryAvailable() bool {
+	return !n.pack.CutOff() && n.pack.SoC() > n.socFloor
+}
+
+// Step advances the node by dt. solarForLoad is bus solar power granted for
+// the server feed; solarForCharge is bus solar granted for battery charging.
+func (n *Node) Step(dt time.Duration, solarForLoad, solarForCharge units.Watt) (StepResult, error) {
+	if dt <= 0 {
+		return StepResult{}, fmt.Errorf("node %s: step duration must be positive, got %v", n.id, dt)
+	}
+	if solarForLoad < 0 || solarForCharge < 0 {
+		return StepResult{}, fmt.Errorf("node %s: negative solar allocation (%v, %v)", n.id, solarForLoad, solarForCharge)
+	}
+	res := StepResult{}
+
+	// A node with no active VMs is scheduled off: no idle burn, no
+	// downtime accounting — the prototype only powers servers that host
+	// work (§V-B). Any solar grant charges the battery.
+	if n.srv.ActiveVMCount() == 0 {
+		n.srv.SetPowered(false)
+		off, err := n.StepOffline(dt, solarForLoad+solarForCharge)
+		if err != nil {
+			return StepResult{}, err
+		}
+		n.totalTicks++
+		return off, nil
+	}
+
+	// Decide whether the server can run this tick. Recovery needs either
+	// direct solar coverage or battery above floor with margin, giving a
+	// little hysteresis against flapping.
+	wasDown := !n.srv.Powered()
+	n.srv.SetPowered(true)
+	demand := n.srv.Power()
+	res.Demand = demand
+
+	solarDeliverable := units.Watt(float64(solarForLoad) * n.cfg.Losses.SolarDirectEfficiency)
+	deficit := demand - solarDeliverable
+	canRecover := !wasDown || solarDeliverable >= demand || n.pack.SoC() > n.socFloor+0.05
+
+	run := true
+	var batteryNeed units.Watt
+	if deficit > 0 {
+		// Battery must bridge deficit through the inverter.
+		batteryNeed = units.Watt(float64(deficit) / n.cfg.Losses.InverterEfficiency)
+		if !canRecover || !n.batteryAvailable() || n.pack.MaxDischargePower() < batteryNeed {
+			if n.cfg.UtilityBackup {
+				res.UtilityPower = deficit
+				res.Source = powernet.SourceUtility
+				batteryNeed = 0
+			} else {
+				run = false
+			}
+		}
+	}
+
+	var sr battery.StepResult
+	var err error
+	if run {
+		res.SolarUsed = solarForLoad
+		if demand > 0 && solarDeliverable >= demand {
+			// Solar alone carries the load; excess granted for the load is
+			// returned (only what was needed is counted).
+			res.SolarUsed = units.Watt(float64(demand) / n.cfg.Losses.SolarDirectEfficiency)
+			if res.Source == powernet.SourceNone {
+				res.Source = powernet.SourceSolar
+			}
+		}
+		if batteryNeed > 0 {
+			sr, err = n.pack.Discharge(batteryNeed, dt, n.cfg.Ambient)
+			if err != nil {
+				return StepResult{}, err
+			}
+			if sr.CutOff {
+				// The pack tripped mid-step: treat the tick as dark.
+				run = false
+			} else {
+				res.BatteryPower = units.Watt(float64(sr.Voltage) * float64(sr.Current))
+				if solarDeliverable > 0 {
+					res.Source = powernet.SourceMixed
+				} else {
+					res.Source = powernet.SourceBattery
+				}
+			}
+		}
+	}
+
+	if !run {
+		// Dark tick: server checkpoints; all granted solar charges the pack.
+		n.srv.SetPowered(false)
+		res.Down = true
+		res.SolarUsed = 0
+		res.Source = powernet.SourceNone
+		solarForCharge += solarForLoad
+		n.downTicks++
+	}
+
+	// Charging with the charge allocation (plus reclaimed load solar on a
+	// dark tick).
+	if solarForCharge > 0 && res.BatteryPower == 0 {
+		chargePower := units.Watt(float64(solarForCharge) * n.cfg.Losses.ChargerEfficiency)
+		cr, cerr := n.pack.Charge(chargePower, dt, n.cfg.Ambient)
+		if cerr != nil {
+			return StepResult{}, cerr
+		}
+		if cr.Charge != 0 {
+			accepted := -float64(cr.Energy) / dt.Hours() // battery-side watts
+			res.SolarUsed += units.Watt(accepted / n.cfg.Losses.ChargerEfficiency)
+			res.BatteryPower = units.Watt(-accepted)
+			sr = cr
+		}
+	} else if res.BatteryPower == 0 {
+		n.pack.Rest(dt, n.cfg.Ambient)
+	}
+
+	// Advance compute and bookkeeping.
+	res.WorkDone = n.srv.Step(dt)
+	n.clock += dt
+	n.totalTicks++
+	n.solarWh += units.EnergyOver(res.SolarUsed, dt)
+	n.utilityWh += units.EnergyOver(res.UtilityPower, dt)
+
+	sample := aging.Sample{
+		Dt:          dt,
+		Current:     sr.Current,
+		SoC:         n.pack.SoC(),
+		Temperature: n.pack.Temperature(),
+	}
+	if err := n.tracker.Observe(sample); err != nil {
+		return StepResult{}, err
+	}
+	if err := n.model.Observe(sample); err != nil {
+		return StepResult{}, err
+	}
+	n.pack.ApplyDegradation(n.model.Degradation())
+
+	n.table.Record(powernet.Reading{
+		At:          n.clock,
+		Current:     sr.Current,
+		Voltage:     n.pack.TerminalVoltage(sr.Current),
+		Temperature: n.pack.Temperature(),
+		SoC:         n.pack.SoC(),
+		Source:      res.Source,
+	})
+	return res, nil
+}
+
+// StepOffline advances the node through a tick outside the operating
+// window (the prototype shuts servers down after 18:30, §V-B): the server is
+// off by schedule — not counted as downtime — while the battery charges from
+// any solar grant or rests.
+func (n *Node) StepOffline(dt time.Duration, solarForCharge units.Watt) (StepResult, error) {
+	if dt <= 0 {
+		return StepResult{}, fmt.Errorf("node %s: step duration must be positive, got %v", n.id, dt)
+	}
+	if solarForCharge < 0 {
+		return StepResult{}, fmt.Errorf("node %s: negative solar allocation %v", n.id, solarForCharge)
+	}
+	n.srv.SetPowered(false)
+	res := StepResult{Source: powernet.SourceNone}
+
+	var sr battery.StepResult
+	if solarForCharge > 0 {
+		chargePower := units.Watt(float64(solarForCharge) * n.cfg.Losses.ChargerEfficiency)
+		cr, err := n.pack.Charge(chargePower, dt, n.cfg.Ambient)
+		if err != nil {
+			return StepResult{}, err
+		}
+		if cr.Charge != 0 {
+			accepted := -float64(cr.Energy) / dt.Hours()
+			res.SolarUsed = units.Watt(accepted / n.cfg.Losses.ChargerEfficiency)
+			res.BatteryPower = units.Watt(-accepted)
+			res.Source = powernet.SourceSolar
+			sr = cr
+		}
+	} else {
+		n.pack.Rest(dt, n.cfg.Ambient)
+	}
+
+	n.clock += dt
+	n.solarWh += units.EnergyOver(res.SolarUsed, dt)
+
+	sample := aging.Sample{
+		Dt:          dt,
+		Current:     sr.Current,
+		SoC:         n.pack.SoC(),
+		Temperature: n.pack.Temperature(),
+	}
+	if err := n.tracker.Observe(sample); err != nil {
+		return StepResult{}, err
+	}
+	if err := n.model.Observe(sample); err != nil {
+		return StepResult{}, err
+	}
+	n.pack.ApplyDegradation(n.model.Degradation())
+	n.table.Record(powernet.Reading{
+		At:          n.clock,
+		Current:     sr.Current,
+		Voltage:     n.pack.TerminalVoltage(sr.Current),
+		Temperature: n.pack.Temperature(),
+		SoC:         n.pack.SoC(),
+		Source:      res.Source,
+	})
+	return res, nil
+}
+
+// Stats aggregates node-level accounting for experiments.
+type Stats struct {
+	SolarEnergy   units.WattHour
+	UtilityEnergy units.WattHour
+	Throughput    float64
+	Downtime      time.Duration
+	Uptime        time.Duration
+	DownFraction  float64
+	Health        float64
+	SoC           float64
+}
+
+// Stats returns the node's accumulated accounting.
+func (n *Node) Stats() Stats {
+	s := Stats{
+		SolarEnergy:   n.solarWh,
+		UtilityEnergy: n.utilityWh,
+		Throughput:    n.srv.Throughput(),
+		Downtime:      n.srv.Downtime(),
+		Uptime:        n.srv.Uptime(),
+		Health:        n.pack.Health(),
+		SoC:           n.pack.SoC(),
+	}
+	if n.totalTicks > 0 {
+		s.DownFraction = float64(n.downTicks) / float64(n.totalTicks)
+	}
+	return s
+}
+
+// AtEndOfLife reports whether the battery fell below the 80 % health line.
+func (n *Node) AtEndOfLife() bool {
+	return n.pack.Health() < battery.EndOfLifeHealth
+}

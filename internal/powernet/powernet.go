@@ -1,0 +1,157 @@
+// Package powernet models the power-delivery path of the prototype
+// (DSN'15 Fig 11, module 4): the power switcher that selects among solar,
+// battery, and utility feeds, the conversion losses of the charger and
+// DC-AC inverter, and the sensor chain (front sensors + DAQ) that fills the
+// per-battery power table of Table 2.
+package powernet
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/green-dc/baat/internal/units"
+)
+
+// Source identifies a power feed the switcher can select.
+type Source int
+
+// Power sources the prototype's switch module arbitrates (§V-A-4).
+const (
+	SourceNone Source = iota
+	SourceSolar
+	SourceBattery
+	SourceUtility
+	SourceMixed // solar plus battery within one interval
+)
+
+// String returns the source name.
+func (s Source) String() string {
+	switch s {
+	case SourceNone:
+		return "none"
+	case SourceSolar:
+		return "solar"
+	case SourceBattery:
+		return "battery"
+	case SourceUtility:
+		return "utility"
+	case SourceMixed:
+		return "solar+battery"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Losses captures the conversion efficiencies along the power path.
+type Losses struct {
+	// InverterEfficiency applies to battery → server AC delivery.
+	InverterEfficiency float64
+	// ChargerEfficiency applies to solar/utility → battery charging.
+	ChargerEfficiency float64
+	// SolarDirectEfficiency applies to solar → server direct feed.
+	SolarDirectEfficiency float64
+}
+
+// DefaultLosses returns typical small-system conversion efficiencies.
+func DefaultLosses() Losses {
+	return Losses{
+		InverterEfficiency:    0.90,
+		ChargerEfficiency:     0.93,
+		SolarDirectEfficiency: 0.95,
+	}
+}
+
+// Validate checks that efficiencies are physical.
+func (l Losses) Validate() error {
+	for _, e := range []struct {
+		name string
+		v    float64
+	}{
+		{"inverter", l.InverterEfficiency},
+		{"charger", l.ChargerEfficiency},
+		{"solar-direct", l.SolarDirectEfficiency},
+	} {
+		if e.v <= 0 || e.v > 1 {
+			return fmt.Errorf("powernet: %s efficiency must be in (0, 1], got %v", e.name, e.v)
+		}
+	}
+	return nil
+}
+
+// Reading is one sensor-table row (Table 2): the data each battery's front
+// sensor reports to the BAAT controller.
+type Reading struct {
+	// At is the simulation time of the sample.
+	At time.Duration
+	// Current is terminal current (positive = discharging).
+	Current units.Ampere
+	// Voltage is the terminal voltage under the sampled load.
+	Voltage units.Volt
+	// Temperature is the battery case temperature.
+	Temperature units.Celsius
+	// SoC is the state of charge the controller derives from voltage.
+	SoC float64
+	// Source is the feed powering the attached server this interval.
+	Source Source
+}
+
+// PowerTable is the bounded history log one battery group keeps (§IV-A:
+// "each group of batteries has a power table which records the battery
+// utilization history logs"). The zero value is unusable; construct with
+// NewPowerTable.
+type PowerTable struct {
+	cap  int
+	rows []Reading
+	next int
+	full bool
+	last Reading
+	n    int
+}
+
+// NewPowerTable creates a table retaining the latest capacity rows.
+func NewPowerTable(capacity int) (*PowerTable, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("powernet: power table capacity must be positive, got %d", capacity)
+	}
+	return &PowerTable{cap: capacity, rows: make([]Reading, capacity)}, nil
+}
+
+// Record appends a reading, evicting the oldest once full.
+func (t *PowerTable) Record(r Reading) {
+	t.rows[t.next] = r
+	t.next = (t.next + 1) % t.cap
+	if t.next == 0 {
+		t.full = true
+	}
+	t.last = r
+	t.n++
+}
+
+// Len returns the number of readings currently retained.
+func (t *PowerTable) Len() int {
+	if t.full {
+		return t.cap
+	}
+	return t.next
+}
+
+// TotalRecorded returns the number of readings ever recorded.
+func (t *PowerTable) TotalRecorded() int { return t.n }
+
+// Last returns the most recent reading and whether one exists.
+func (t *PowerTable) Last() (Reading, bool) {
+	if t.n == 0 {
+		return Reading{}, false
+	}
+	return t.last, true
+}
+
+// Rows returns retained readings in chronological order.
+func (t *PowerTable) Rows() []Reading {
+	out := make([]Reading, 0, t.Len())
+	if t.full {
+		out = append(out, t.rows[t.next:]...)
+	}
+	out = append(out, t.rows[:t.next]...)
+	return out
+}

@@ -1,0 +1,433 @@
+// Package rack implements the second distributed energy-storage
+// architecture of DSN'15 Fig 7: per-rack integration, where several servers
+// share one pooled battery (the Facebook Open Rack style [3]), as opposed
+// to the per-server integration of package node (the Google style [1]).
+//
+// A rack routes the shared solar grant across its servers, bridges the
+// collective deficit from the pooled battery, and sheds servers
+// individually when the pool cannot carry all of them — so a deep pool
+// failure is a multi-server event, the availability trade-off the paper's
+// architecture comparison cares about.
+package rack
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/green-dc/baat/internal/aging"
+	"github.com/green-dc/baat/internal/battery"
+	"github.com/green-dc/baat/internal/powernet"
+	"github.com/green-dc/baat/internal/server"
+	"github.com/green-dc/baat/internal/units"
+)
+
+// Config assembles one rack.
+type Config struct {
+	// Servers is the number of compute nodes sharing the pool.
+	Servers int
+	// ServerSpec configures each server.
+	ServerSpec server.Spec
+	// PoolSpec is the shared battery pool. A fair comparison against the
+	// per-server architecture gives the pool the same total capacity the
+	// individual units would have (battery.Parallel of the unit spec).
+	PoolSpec battery.Spec
+	// AgingConfig parameterizes the pool's damage model.
+	AgingConfig aging.ModelConfig
+	// Losses are the conversion efficiencies on the power path.
+	Losses powernet.Losses
+	// Ambient is the machine-room temperature.
+	Ambient units.Celsius
+	// TableCapacity bounds the sensor history log.
+	TableCapacity int
+	// SoCFloor is the pool's protective discharge floor.
+	SoCFloor float64
+}
+
+// DefaultConfig returns a rack equivalent to three per-server nodes of the
+// default configuration: three servers sharing a pool of six 35 Ah units.
+func DefaultConfig() Config {
+	return Config{
+		Servers:       3,
+		ServerSpec:    server.DefaultSpec(),
+		PoolSpec:      battery.Parallel(battery.DefaultSpec(), 6),
+		AgingConfig:   aging.DefaultModelConfig(),
+		Losses:        powernet.DefaultLosses(),
+		Ambient:       25,
+		TableCapacity: 2048,
+		SoCFloor:      0.05,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Servers <= 0 {
+		return fmt.Errorf("rack: need at least one server, got %d", c.Servers)
+	}
+	if err := c.ServerSpec.Validate(); err != nil {
+		return err
+	}
+	if err := c.PoolSpec.Validate(); err != nil {
+		return err
+	}
+	if err := c.AgingConfig.Validate(); err != nil {
+		return err
+	}
+	if err := c.Losses.Validate(); err != nil {
+		return err
+	}
+	if c.TableCapacity <= 0 {
+		return fmt.Errorf("rack: table capacity must be positive, got %d", c.TableCapacity)
+	}
+	if c.SoCFloor < 0 || c.SoCFloor >= 1 {
+		return fmt.Errorf("rack: SoC floor must be in [0, 1), got %v", c.SoCFloor)
+	}
+	return nil
+}
+
+// StepResult summarizes one tick of rack operation.
+type StepResult struct {
+	// Demand is the aggregate draw of the servers that wanted power.
+	Demand units.Watt
+	// SolarUsed is solar power consumed at the bus.
+	SolarUsed units.Watt
+	// BatteryPower is pool terminal power (positive discharging).
+	BatteryPower units.Watt
+	// ServersDown is how many servers spent the tick dark.
+	ServersDown int
+	// WorkDone is the compute completed this tick.
+	WorkDone float64
+}
+
+// Rack is one shared-pool battery group. Not safe for concurrent use.
+type Rack struct {
+	id      string
+	cfg     Config
+	servers []*server.Server
+	pool    *battery.Pack
+	tracker *aging.Tracker
+	model   *aging.Model
+	table   *powernet.PowerTable
+
+	clock      time.Duration
+	downTicks  int
+	totalTicks int
+	serverDown []time.Duration
+}
+
+// New assembles a rack.
+func New(id string, cfg Config) (*Rack, error) {
+	if id == "" {
+		return nil, fmt.Errorf("rack: id must not be empty")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("rack %s: %w", id, err)
+	}
+	pool, err := battery.New(cfg.PoolSpec)
+	if err != nil {
+		return nil, err
+	}
+	tracker, err := aging.NewTracker(cfg.PoolSpec.LifetimeThroughput)
+	if err != nil {
+		return nil, err
+	}
+	model, err := aging.NewModel(cfg.AgingConfig, cfg.PoolSpec.NominalCapacity)
+	if err != nil {
+		return nil, err
+	}
+	table, err := powernet.NewPowerTable(cfg.TableCapacity)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rack{
+		id:         id,
+		cfg:        cfg,
+		pool:       pool,
+		tracker:    tracker,
+		model:      model,
+		table:      table,
+		serverDown: make([]time.Duration, cfg.Servers),
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		srv, err := server.New(fmt.Sprintf("%s/server-%d", id, i), cfg.ServerSpec)
+		if err != nil {
+			return nil, err
+		}
+		r.servers = append(r.servers, srv)
+	}
+	return r, nil
+}
+
+// ID returns the rack identifier.
+func (r *Rack) ID() string { return r.id }
+
+// Servers exposes the compute nodes (shared; the slice is a copy).
+func (r *Rack) Servers() []*server.Server {
+	return append([]*server.Server(nil), r.servers...)
+}
+
+// Pool exposes the shared battery.
+func (r *Rack) Pool() *battery.Pack { return r.pool }
+
+// Metrics returns the pool's five aging metrics.
+func (r *Rack) Metrics() aging.Metrics { return r.tracker.Metrics() }
+
+// AgingModel exposes the pool's damage integrator.
+func (r *Rack) AgingModel() *aging.Model { return r.model }
+
+// Demand returns the aggregate power wanted by servers with active VMs.
+func (r *Rack) Demand() units.Watt {
+	var total units.Watt
+	for _, s := range r.servers {
+		if s.ActiveVMCount() == 0 {
+			continue
+		}
+		if s.Powered() {
+			total += s.Power()
+			continue
+		}
+		s.SetPowered(true)
+		total += s.Power()
+		s.SetPowered(false)
+	}
+	return total
+}
+
+// ChargeRequest returns the bus power the pool could absorb this tick.
+func (r *Rack) ChargeRequest() units.Watt {
+	if r.pool.SoC() >= 1 {
+		return 0
+	}
+	v := float64(r.pool.OpenCircuitVoltage())
+	maxI := float64(r.cfg.PoolSpec.MaxChargeCurrent)
+	if soc := r.pool.SoC(); soc > 0.9 {
+		maxI *= units.Clamp((1-soc)/0.1, 0.05, 1)
+	}
+	return units.Watt(v * maxI / r.cfg.Losses.ChargerEfficiency)
+}
+
+// Step advances the rack by dt with the given solar grants. When the pool
+// cannot bridge the full deficit, servers are shed lowest-utilization-first
+// until the remainder is supportable.
+func (r *Rack) Step(dt time.Duration, solarForLoad, solarForCharge units.Watt) (StepResult, error) {
+	if dt <= 0 {
+		return StepResult{}, fmt.Errorf("rack %s: step duration must be positive, got %v", r.id, dt)
+	}
+	if solarForLoad < 0 || solarForCharge < 0 {
+		return StepResult{}, fmt.Errorf("rack %s: negative solar allocation", r.id)
+	}
+	res := StepResult{}
+
+	// Power on every server that has work, then shed until the supply
+	// (solar + pool) can carry the set.
+	active := make([]*server.Server, 0, len(r.servers))
+	for _, s := range r.servers {
+		if s.ActiveVMCount() > 0 {
+			s.SetPowered(true)
+			active = append(active, s)
+		} else {
+			s.SetPowered(false)
+		}
+	}
+	solarDeliverable := float64(solarForLoad) * r.cfg.Losses.SolarDirectEfficiency
+	poolAvailable := !r.pool.CutOff() && r.pool.SoC() > r.cfg.SoCFloor
+	maxPool := 0.0
+	if poolAvailable {
+		maxPool = float64(r.pool.MaxDischargePower()) * r.cfg.Losses.InverterEfficiency
+	}
+
+	demand := func() float64 {
+		var d float64
+		for _, s := range active {
+			if s.Powered() {
+				d += float64(s.Power())
+			}
+		}
+		return d
+	}
+	// Shed lowest-utilization first: the cheapest compute to checkpoint.
+	for demand() > solarDeliverable+maxPool {
+		var victim *server.Server
+		for _, s := range active {
+			if !s.Powered() {
+				continue
+			}
+			if victim == nil || s.ActiveUtilization() < victim.ActiveUtilization() {
+				victim = s
+			}
+		}
+		if victim == nil {
+			break
+		}
+		victim.SetPowered(false)
+		res.ServersDown++
+	}
+
+	d := demand()
+	res.Demand = units.Watt(d)
+	var sr battery.StepResult
+	var err error
+	if deficit := d - solarDeliverable; deficit > 0 && d > 0 {
+		need := units.Watt(deficit / r.cfg.Losses.InverterEfficiency)
+		sr, err = r.pool.Discharge(need, dt, r.cfg.Ambient)
+		if err != nil {
+			return StepResult{}, err
+		}
+		if sr.CutOff {
+			// The pool tripped mid-step: the whole rack goes dark.
+			for _, s := range active {
+				if s.Powered() {
+					s.SetPowered(false)
+					res.ServersDown++
+				}
+			}
+			sr = battery.StepResult{}
+		} else {
+			res.BatteryPower = units.Watt(float64(sr.Voltage) * float64(sr.Current))
+			res.SolarUsed = solarForLoad
+		}
+	} else if d > 0 {
+		res.SolarUsed = units.Watt(d / r.cfg.Losses.SolarDirectEfficiency)
+	}
+
+	// Charging when the pool is not discharging.
+	if solarForCharge > 0 && res.BatteryPower <= 0 {
+		chargePower := units.Watt(float64(solarForCharge) * r.cfg.Losses.ChargerEfficiency)
+		cr, cerr := r.pool.Charge(chargePower, dt, r.cfg.Ambient)
+		if cerr != nil {
+			return StepResult{}, cerr
+		}
+		if cr.Charge != 0 {
+			accepted := -float64(cr.Energy) / dt.Hours()
+			res.SolarUsed += units.Watt(accepted / r.cfg.Losses.ChargerEfficiency)
+			res.BatteryPower = units.Watt(-accepted)
+			sr = cr
+		}
+	} else if res.BatteryPower == 0 {
+		r.pool.Rest(dt, r.cfg.Ambient)
+	}
+
+	// Advance compute and bookkeeping.
+	for i, s := range r.servers {
+		res.WorkDone += s.Step(dt)
+		if !s.Powered() && s.ActiveVMCount() > 0 {
+			r.serverDown[i] += dt
+		}
+	}
+	r.clock += dt
+	r.totalTicks++
+	if res.ServersDown > 0 {
+		r.downTicks++
+	}
+
+	sample := aging.Sample{
+		Dt:          dt,
+		Current:     sr.Current,
+		SoC:         r.pool.SoC(),
+		Temperature: r.pool.Temperature(),
+	}
+	if err := r.tracker.Observe(sample); err != nil {
+		return StepResult{}, err
+	}
+	if err := r.model.Observe(sample); err != nil {
+		return StepResult{}, err
+	}
+	r.pool.ApplyDegradation(r.model.Degradation())
+	r.table.Record(powernet.Reading{
+		At:          r.clock,
+		Current:     sr.Current,
+		Voltage:     r.pool.TerminalVoltage(sr.Current),
+		Temperature: r.pool.Temperature(),
+		SoC:         r.pool.SoC(),
+	})
+	return res, nil
+}
+
+// StepOffline advances the rack through a tick outside the operating
+// window: servers are off by schedule (no downtime accounting) while the
+// pool charges from any solar grant or rests.
+func (r *Rack) StepOffline(dt time.Duration, solarForCharge units.Watt) (StepResult, error) {
+	if dt <= 0 {
+		return StepResult{}, fmt.Errorf("rack %s: step duration must be positive, got %v", r.id, dt)
+	}
+	if solarForCharge < 0 {
+		return StepResult{}, fmt.Errorf("rack %s: negative solar allocation %v", r.id, solarForCharge)
+	}
+	res := StepResult{}
+	for _, s := range r.servers {
+		s.SetPowered(false)
+	}
+	var sr battery.StepResult
+	if solarForCharge > 0 {
+		chargePower := units.Watt(float64(solarForCharge) * r.cfg.Losses.ChargerEfficiency)
+		cr, err := r.pool.Charge(chargePower, dt, r.cfg.Ambient)
+		if err != nil {
+			return StepResult{}, err
+		}
+		if cr.Charge != 0 {
+			accepted := -float64(cr.Energy) / dt.Hours()
+			res.SolarUsed = units.Watt(accepted / r.cfg.Losses.ChargerEfficiency)
+			res.BatteryPower = units.Watt(-accepted)
+			sr = cr
+		}
+	} else {
+		r.pool.Rest(dt, r.cfg.Ambient)
+	}
+	r.clock += dt
+	sample := aging.Sample{
+		Dt:          dt,
+		Current:     sr.Current,
+		SoC:         r.pool.SoC(),
+		Temperature: r.pool.Temperature(),
+	}
+	if err := r.tracker.Observe(sample); err != nil {
+		return StepResult{}, err
+	}
+	if err := r.model.Observe(sample); err != nil {
+		return StepResult{}, err
+	}
+	r.pool.ApplyDegradation(r.model.Degradation())
+	r.table.Record(powernet.Reading{
+		At:          r.clock,
+		Current:     sr.Current,
+		Voltage:     r.pool.TerminalVoltage(sr.Current),
+		Temperature: r.pool.Temperature(),
+		SoC:         r.pool.SoC(),
+	})
+	return res, nil
+}
+
+// Stats aggregates rack-level accounting.
+type Stats struct {
+	// Health is the pool's remaining-capacity fraction.
+	Health float64
+	// SoC is the pool's present state of charge.
+	SoC float64
+	// Throughput is total compute completed.
+	Throughput float64
+	// WorstServerDowntime is the largest per-server dark time.
+	WorstServerDowntime time.Duration
+	// SheddingFraction is the fraction of ticks with at least one server
+	// shed.
+	SheddingFraction float64
+}
+
+// Stats returns the accumulated accounting.
+func (r *Rack) Stats() Stats {
+	s := Stats{
+		Health: r.pool.Health(),
+		SoC:    r.pool.SoC(),
+	}
+	for i, srv := range r.servers {
+		s.Throughput += srv.Throughput()
+		if r.serverDown[i] > s.WorstServerDowntime {
+			s.WorstServerDowntime = r.serverDown[i]
+		}
+	}
+	if r.totalTicks > 0 {
+		s.SheddingFraction = float64(r.downTicks) / float64(r.totalTicks)
+	}
+	return s
+}
+
+// AtEndOfLife reports whether the pool fell below 80 % health.
+func (r *Rack) AtEndOfLife() bool { return r.pool.Health() < battery.EndOfLifeHealth }

@@ -1,0 +1,235 @@
+package rack
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/green-dc/baat/internal/battery"
+	"github.com/green-dc/baat/internal/vm"
+	"github.com/green-dc/baat/internal/workload"
+)
+
+func newRack(t *testing.T, mutate ...func(*Config)) *Rack {
+	t.Helper()
+	cfg := DefaultConfig()
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	r, err := New("rack-1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func attach(t *testing.T, r *Rack, serverIdx int, id string, k workload.Kind) *vm.VM {
+	t.Helper()
+	p, err := workload.ProfileFor(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := vm.New(id, p.AsService())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Servers()[serverIdx].Attach(v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"no servers", func(c *Config) { c.Servers = 0 }},
+		{"bad server spec", func(c *Config) { c.ServerSpec.IdlePower = 0 }},
+		{"bad pool spec", func(c *Config) { c.PoolSpec.NominalCapacity = 0 }},
+		{"bad aging", func(c *Config) { c.AgingConfig.AccelFactor = 0 }},
+		{"bad losses", func(c *Config) { c.Losses.ChargerEfficiency = 2 }},
+		{"bad table", func(c *Config) { c.TableCapacity = 0 }},
+		{"bad floor", func(c *Config) { c.SoCFloor = 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+			if _, err := New("x", cfg); err == nil {
+				t.Error("New accepted invalid config")
+			}
+		})
+	}
+	if _, err := New("", DefaultConfig()); err == nil {
+		t.Error("empty id accepted")
+	}
+}
+
+func TestPoolBridgesWholeRack(t *testing.T) {
+	r := newRack(t)
+	for i := 0; i < 3; i++ {
+		attach(t, r, i, fmt.Sprintf("svc-%d", i), workload.WebServing)
+	}
+	res, err := r.Step(time.Minute, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServersDown != 0 {
+		t.Fatalf("servers shed with a full pool: %d", res.ServersDown)
+	}
+	if res.BatteryPower <= 0 {
+		t.Error("pool did not discharge to carry the rack")
+	}
+	if res.WorkDone <= 0 {
+		t.Error("no work done")
+	}
+	if r.Pool().SoC() >= 1 {
+		t.Error("pool SoC unchanged")
+	}
+}
+
+func TestSolarCoversRack(t *testing.T) {
+	r := newRack(t)
+	attach(t, r, 0, "svc", workload.WebServing)
+	demand := r.Demand()
+	res, err := r.Step(time.Minute, demand*2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BatteryPower > 0 {
+		t.Error("pool discharged despite solar surplus")
+	}
+	if res.SolarUsed <= 0 {
+		t.Error("no solar consumed")
+	}
+}
+
+func TestSheddingLowestUtilizationFirst(t *testing.T) {
+	// Pool nearly empty: the rack must shed rather than crash everything.
+	r := newRack(t, func(c *Config) {
+		c.PoolSpec = battery.Parallel(battery.DefaultSpec(), 1)
+	})
+	// Drain the pool past its floor so it cannot help.
+	heavy := attach(t, r, 0, "heavy", workload.SoftwareTesting)
+	light := attach(t, r, 1, "light", workload.WordCount)
+	for i := 0; i < 14*60 && !r.Pool().CutOff() && r.Pool().SoC() > 0.055; i++ {
+		if _, err := r.Step(time.Minute, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Enough solar for exactly one server: the rack must shed the light
+	// one and keep the heavy one.
+	res, err := r.Step(time.Minute, 180, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServersDown == 0 {
+		t.Fatalf("no shedding with a dead pool (SoC %v)", r.Pool().SoC())
+	}
+	// The heavy VM's host should be preferred to stay if anything stays.
+	srvHeavy := r.Servers()[0]
+	srvLight := r.Servers()[1]
+	if srvLight.Powered() && !srvHeavy.Powered() {
+		t.Error("shed the high-utilization server before the low one")
+	}
+	_ = heavy
+	_ = light
+}
+
+func TestStepValidation(t *testing.T) {
+	r := newRack(t)
+	if _, err := r.Step(0, 0, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := r.Step(time.Minute, -1, 0); err == nil {
+		t.Error("negative solar accepted")
+	}
+}
+
+func TestChargeRequest(t *testing.T) {
+	r := newRack(t)
+	if got := r.ChargeRequest(); got != 0 {
+		t.Errorf("full pool requests %v", got)
+	}
+	attach(t, r, 0, "svc", workload.SoftwareTesting)
+	for i := 0; i < 120; i++ {
+		if _, err := r.Step(time.Minute, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.ChargeRequest(); got <= 0 {
+		t.Errorf("drained pool requests %v", got)
+	}
+	// And charging refills it once the load is solar-covered.
+	before := r.Pool().SoC()
+	if _, err := r.Step(time.Minute, 300, 500); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pool().SoC() <= before {
+		t.Error("charge grant did not raise SoC")
+	}
+}
+
+func TestIdleServersPoweredOff(t *testing.T) {
+	r := newRack(t)
+	res, err := r.Step(time.Minute, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Demand != 0 {
+		t.Errorf("empty rack demands %v", res.Demand)
+	}
+	for _, s := range r.Servers() {
+		if s.Powered() {
+			t.Error("idle server left powered")
+		}
+	}
+}
+
+func TestMetricsAndStats(t *testing.T) {
+	r := newRack(t)
+	attach(t, r, 0, "svc", workload.SoftwareTesting)
+	for i := 0; i < 240; i++ {
+		if _, err := r.Step(time.Minute, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := r.Metrics()
+	if m.NAT <= 0 || m.DR <= 0 {
+		t.Errorf("pool metrics empty: %+v", m)
+	}
+	st := r.Stats()
+	if st.Throughput <= 0 {
+		t.Error("no throughput recorded")
+	}
+	if st.Health > 1 || st.Health <= 0 {
+		t.Errorf("health out of range: %v", st.Health)
+	}
+	if r.AtEndOfLife() {
+		t.Error("fresh pool at end of life")
+	}
+}
+
+func TestPooledAgingIsShared(t *testing.T) {
+	// The architectural trade-off: in a rack, one server's heavy load ages
+	// the battery every other server depends on.
+	r := newRack(t, func(c *Config) {
+		c.AgingConfig.AccelFactor = 100
+	})
+	attach(t, r, 0, "heavy", workload.SoftwareTesting)
+	for i := 0; i < 6*60; i++ {
+		if _, err := r.Step(time.Minute, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Pool().Health() >= 1 {
+		t.Error("shared pool did not age under one server's load")
+	}
+}

@@ -1,0 +1,289 @@
+// Package server models the compute nodes of the prototype (three IBM X
+// series 330 and three HP ProLiant machines, DSN'15 Fig 11) at the level
+// BAAT observes and actuates them: an IPDU power reading, a DVFS ladder the
+// controller can step through, and a set of hosted VMs.
+package server
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/green-dc/baat/internal/units"
+	"github.com/green-dc/baat/internal/vm"
+)
+
+// Spec describes a server model's power behaviour.
+type Spec struct {
+	// IdlePower is the draw at zero utilization, full frequency.
+	IdlePower units.Watt
+	// PeakPower is the draw at full utilization, full frequency.
+	PeakPower units.Watt
+	// FreqLevels is the DVFS ladder as frequency fractions of nominal,
+	// ascending, ending at 1.0.
+	FreqLevels []float64
+	// CPUCapacity is the total utilization the server can host (1.0 = one
+	// fully loaded CPU's worth).
+	CPUCapacity float64
+}
+
+// DefaultSpec models the prototype's mid-2000s rack servers: ~85 W idle,
+// ~160 W peak, five DVFS steps.
+func DefaultSpec() Spec {
+	return Spec{
+		IdlePower:   85,
+		PeakPower:   160,
+		FreqLevels:  []float64{0.6, 0.7, 0.8, 0.9, 1.0},
+		CPUCapacity: 2.0,
+	}
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.IdlePower <= 0 || s.PeakPower <= s.IdlePower {
+		return fmt.Errorf("server: need 0 < idle (%v) < peak (%v)", s.IdlePower, s.PeakPower)
+	}
+	if len(s.FreqLevels) == 0 {
+		return fmt.Errorf("server: need at least one DVFS level")
+	}
+	prev := 0.0
+	for i, f := range s.FreqLevels {
+		if f <= prev || f > 1 {
+			return fmt.Errorf("server: DVFS levels must be ascending in (0, 1], level %d = %v", i, f)
+		}
+		prev = f
+	}
+	if s.FreqLevels[len(s.FreqLevels)-1] != 1 {
+		return fmt.Errorf("server: top DVFS level must be 1.0, got %v", s.FreqLevels[len(s.FreqLevels)-1])
+	}
+	if s.CPUCapacity <= 0 {
+		return fmt.Errorf("server: CPU capacity must be positive, got %v", s.CPUCapacity)
+	}
+	return nil
+}
+
+// Server is one compute node. Not safe for concurrent use.
+type Server struct {
+	id      string
+	spec    Spec
+	freqIdx int
+	powered bool
+	vms     []*vm.VM
+
+	throughput float64 // accumulated work units (Fig 20's metric)
+	downtime   time.Duration
+	uptime     time.Duration
+}
+
+// New constructs a powered-on server at full frequency.
+func New(id string, spec Spec) (*Server, error) {
+	if id == "" {
+		return nil, fmt.Errorf("server: id must not be empty")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		id:      id,
+		spec:    spec,
+		freqIdx: len(spec.FreqLevels) - 1,
+		powered: true,
+	}, nil
+}
+
+// ID returns the server identifier.
+func (s *Server) ID() string { return s.id }
+
+// Spec returns the server's power specification.
+func (s *Server) Spec() Spec { return s.spec }
+
+// Powered reports whether the node currently has power.
+func (s *Server) Powered() bool { return s.powered }
+
+// Frequency returns the current DVFS frequency fraction.
+func (s *Server) Frequency() float64 { return s.spec.FreqLevels[s.freqIdx] }
+
+// FrequencyIndex returns the current DVFS ladder position.
+func (s *Server) FrequencyIndex() int { return s.freqIdx }
+
+// SetFrequencyIndex moves the DVFS ladder to position idx (the software
+// driver of §IV-A: "we can dynamically set the frequency of processors").
+func (s *Server) SetFrequencyIndex(idx int) error {
+	if idx < 0 || idx >= len(s.spec.FreqLevels) {
+		return fmt.Errorf("server %s: DVFS index %d out of range [0, %d)", s.id, idx, len(s.spec.FreqLevels))
+	}
+	s.freqIdx = idx
+	return nil
+}
+
+// StepDownFrequency lowers frequency one notch; it reports whether a lower
+// level existed.
+func (s *Server) StepDownFrequency() bool {
+	if s.freqIdx == 0 {
+		return false
+	}
+	s.freqIdx--
+	return true
+}
+
+// StepUpFrequency raises frequency one notch; it reports whether a higher
+// level existed.
+func (s *Server) StepUpFrequency() bool {
+	if s.freqIdx == len(s.spec.FreqLevels)-1 {
+		return false
+	}
+	s.freqIdx++
+	return true
+}
+
+// VMs returns the hosted VMs. The returned slice is a copy; the VMs are
+// shared.
+func (s *Server) VMs() []*vm.VM {
+	return append([]*vm.VM(nil), s.vms...)
+}
+
+// ActiveVMCount returns the number of hosted VMs that still need the server
+// (anything not completed). A server with none can be scheduled off to save
+// its idle power.
+func (s *Server) ActiveVMCount() int {
+	var n int
+	for _, v := range s.vms {
+		if v.State() != vm.Completed {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveUtilization sums the utilization demanded by hosted VMs, clamped to
+// capacity.
+func (s *Server) ActiveUtilization() float64 {
+	var u float64
+	for _, v := range s.vms {
+		u += v.Utilization()
+	}
+	return math.Min(u, s.spec.CPUCapacity)
+}
+
+// reservedUtilization is the placement-time view: VM peak demands, so a
+// momentarily idle VM still holds its slot.
+func (s *Server) reservedUtilization() float64 {
+	var u float64
+	for _, v := range s.vms {
+		if v.State() != vm.Completed {
+			u += v.Profile().PeakUtilization
+		}
+	}
+	return u
+}
+
+// CanHost reports whether the server has CPU headroom for the VM at its
+// peak demand — the resource constraint that can block migration (§IV-C).
+func (s *Server) CanHost(v *vm.VM) bool {
+	if v == nil {
+		return false
+	}
+	return s.reservedUtilization()+v.Profile().PeakUtilization <= s.spec.CPUCapacity+1e-9
+}
+
+// Attach places a VM on the server.
+func (s *Server) Attach(v *vm.VM) error {
+	if v == nil {
+		return fmt.Errorf("server %s: cannot attach nil VM", s.id)
+	}
+	for _, cur := range s.vms {
+		if cur.ID() == v.ID() {
+			return fmt.Errorf("server %s: VM %s already attached", s.id, v.ID())
+		}
+	}
+	if !s.CanHost(v) {
+		return fmt.Errorf("server %s: no capacity for VM %s (reserved %.2f + %.2f > %.2f)",
+			s.id, v.ID(), s.reservedUtilization(), v.Profile().PeakUtilization, s.spec.CPUCapacity)
+	}
+	s.vms = append(s.vms, v)
+	return nil
+}
+
+// Detach removes a VM from the server.
+func (s *Server) Detach(id string) (*vm.VM, error) {
+	for i, cur := range s.vms {
+		if cur.ID() == id {
+			s.vms = append(s.vms[:i], s.vms[i+1:]...)
+			return cur, nil
+		}
+	}
+	return nil, fmt.Errorf("server %s: VM %s not attached", s.id, id)
+}
+
+// Power returns the present electrical draw as the IPDU would report it:
+// idle plus a dynamic part scaling with utilization and the cube of
+// frequency (voltage tracks frequency, P ∝ f·V²).
+func (s *Server) Power() units.Watt {
+	if !s.powered {
+		return 0
+	}
+	f := s.Frequency()
+	dyn := float64(s.spec.PeakPower-s.spec.IdlePower) * s.ActiveUtilization() * f * f * f
+	return s.spec.IdlePower + units.Watt(dyn)
+}
+
+// PeakPowerAt returns the draw the server would have at full utilization
+// and the given DVFS index — used by policies to predict capping effect.
+func (s *Server) PeakPowerAt(idx int) (units.Watt, error) {
+	if idx < 0 || idx >= len(s.spec.FreqLevels) {
+		return 0, fmt.Errorf("server %s: DVFS index %d out of range", s.id, idx)
+	}
+	f := s.spec.FreqLevels[idx]
+	return s.spec.IdlePower + units.Watt(float64(s.spec.PeakPower-s.spec.IdlePower)*f*f*f), nil
+}
+
+// SetPowered powers the node on or off. Powering off checkpoints (pauses)
+// all hosted VMs, as the prototype does when solar power disappears (§V-B);
+// powering on resumes them.
+func (s *Server) SetPowered(on bool) {
+	if s.powered == on {
+		return
+	}
+	s.powered = on
+	for _, v := range s.vms {
+		if on {
+			_ = v.Resume() // migrating/completed VMs are left alone
+		} else {
+			_ = v.Pause()
+		}
+	}
+}
+
+// Step advances hosted VMs by dt. Work proceeds at the DVFS frequency when
+// powered; a dark node accrues downtime and zero throughput (the e-Buff
+// failure mode of §VI-F). It returns the work units completed this step.
+func (s *Server) Step(dt time.Duration) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	if !s.powered {
+		s.downtime += dt
+		for _, v := range s.vms {
+			v.Advance(dt, 0)
+		}
+		return 0
+	}
+	s.uptime += dt
+	speed := s.Frequency()
+	var done float64
+	for _, v := range s.vms {
+		done += v.Advance(dt, speed)
+	}
+	s.throughput += done
+	return done
+}
+
+// Throughput returns accumulated work units — the compute-throughput metric
+// of Fig 20.
+func (s *Server) Throughput() float64 { return s.throughput }
+
+// Downtime returns accumulated unpowered time.
+func (s *Server) Downtime() time.Duration { return s.downtime }
+
+// Uptime returns accumulated powered time.
+func (s *Server) Uptime() time.Duration { return s.uptime }

@@ -1,0 +1,603 @@
+// Package sim is the discrete-time simulation engine that replays the BAAT
+// prototype's operation (DSN'15 §V): a fleet of battery nodes powered by a
+// shared solar feed, workloads hosted in VMs placed by a power-management
+// policy, and the daily operating window of the testbed (first server on at
+// 08:30, all servers down after 18:30).
+//
+// One engine run replays identical solar days and job arrivals for any
+// policy, which is the simulated analogue of the paper's methodology of
+// matching "the most similar solar generation scenarios" across the four
+// policy experiments (§VI-B).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/green-dc/baat/internal/aging"
+	"github.com/green-dc/baat/internal/battery"
+	"github.com/green-dc/baat/internal/core"
+	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/solar"
+	"github.com/green-dc/baat/internal/stats"
+	"github.com/green-dc/baat/internal/units"
+	"github.com/green-dc/baat/internal/vm"
+	"github.com/green-dc/baat/internal/workload"
+)
+
+// Config parameterizes a simulation.
+type Config struct {
+	// Nodes is the number of battery nodes (the prototype has six).
+	Nodes int
+	// Node configures each battery node.
+	Node node.Config
+	// Solar configures the PV feed (Scale is typically set to track fleet
+	// size).
+	Solar solar.Config
+	// Tick is the simulation step (1 minute reproduces the prototype's
+	// sampling cadence).
+	Tick time.Duration
+	// ControlPeriod is how often the policy's Control hook runs.
+	ControlPeriod time.Duration
+	// WindowStart and WindowEnd bound the operating day (§V-B).
+	WindowStart time.Duration
+	WindowEnd   time.Duration
+	// JobsPerDay is how many batch VMs arrive each morning.
+	JobsPerDay int
+	// ServiceVMs is how many long-running service VMs are placed on the
+	// first day and persist.
+	ServiceVMs int
+	// Services optionally replaces ServiceVMs with an explicit list of
+	// persistent service profiles. Heterogeneous lists reproduce the
+	// prototype's static assignment of six different workloads to six
+	// servers (§V-B), the regime where aging variation between nodes is
+	// largest and hiding matters most.
+	Services []workload.Profile
+	// Seed drives all randomness (weather, cloud patterns, job mix,
+	// manufacturing variation, policy tie-breaks).
+	Seed int64
+	// ManufacturingSigma is the relative spread of per-unit battery
+	// capacity/resistance variation (§IV-B-1).
+	ManufacturingSigma float64
+	// RecordSeries keeps per-control-period metric snapshots (Figs 12/13).
+	RecordSeries bool
+}
+
+// DefaultConfig mirrors the prototype: six nodes, one-minute ticks,
+// five-minute control, 08:30–18:30 window.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:              6,
+		Node:               node.DefaultConfig(),
+		Solar:              solar.DefaultConfig(),
+		Tick:               time.Minute,
+		ControlPeriod:      5 * time.Minute,
+		WindowStart:        8*time.Hour + 30*time.Minute,
+		WindowEnd:          18*time.Hour + 30*time.Minute,
+		JobsPerDay:         7,
+		ServiceVMs:         1,
+		Seed:               1,
+		ManufacturingSigma: 0.10,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("sim: need at least one node, got %d", c.Nodes)
+	}
+	if err := c.Node.Validate(); err != nil {
+		return err
+	}
+	if err := c.Solar.Validate(); err != nil {
+		return err
+	}
+	if c.Tick <= 0 {
+		return fmt.Errorf("sim: tick must be positive, got %v", c.Tick)
+	}
+	if c.ControlPeriod < c.Tick {
+		return fmt.Errorf("sim: control period %v must be >= tick %v", c.ControlPeriod, c.Tick)
+	}
+	if c.WindowStart < 0 || c.WindowEnd > 24*time.Hour || c.WindowEnd <= c.WindowStart {
+		return fmt.Errorf("sim: need 0 <= window start < end <= 24h (got %v, %v)", c.WindowStart, c.WindowEnd)
+	}
+	if c.JobsPerDay < 0 || c.ServiceVMs < 0 {
+		return fmt.Errorf("sim: job counts must be non-negative")
+	}
+	for i, p := range c.Services {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("sim: service %d: %w", i, err)
+		}
+	}
+	if c.ManufacturingSigma < 0 || c.ManufacturingSigma > 0.5 {
+		return fmt.Errorf("sim: manufacturing sigma must be in [0, 0.5], got %v", c.ManufacturingSigma)
+	}
+	return nil
+}
+
+// MetricsPoint is one recorded snapshot of a node's aging metrics.
+type MetricsPoint struct {
+	At      time.Duration
+	NodeID  string
+	Metrics aging.Metrics
+	SoC     float64
+}
+
+// DayStats summarizes one simulated day.
+type DayStats struct {
+	Day        int
+	Weather    solar.Weather
+	Throughput float64
+	// Downtime is the worst in-window dark time across nodes.
+	Downtime time.Duration
+	// LowSoCTime is the worst per-node time spent below 40 % SoC within
+	// the operating window (Fig 18's metric).
+	LowSoCTime time.Duration
+	// SolarEnergy is fleet solar consumption for the day.
+	SolarEnergy units.WattHour
+}
+
+// NodeSummary is the end-of-run state of one node.
+type NodeSummary struct {
+	ID         string
+	Metrics    aging.Metrics
+	Health     float64
+	SoC        float64
+	Throughput float64
+	Downtime   time.Duration
+	Counters   battery.Counters
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Policy string
+	Days   []DayStats
+	Nodes  []NodeSummary
+	// SoCHistogram aggregates in-window SoC samples across all nodes into
+	// the seven bins of Fig 19.
+	SoCHistogram *stats.Histogram
+	// Series holds metric snapshots when RecordSeries is set.
+	Series []MetricsPoint
+	// FleetLifetime is the time until the first battery reached
+	// end-of-life; zero if no battery did within the run.
+	FleetLifetime time.Duration
+	// Throughput is total work completed.
+	Throughput float64
+}
+
+// WorstNode returns the node with the highest NAT (the paper reports worst-
+// battery figures, §VI-B). It returns false for an empty fleet.
+func (r *Result) WorstNode() (NodeSummary, bool) {
+	if len(r.Nodes) == 0 {
+		return NodeSummary{}, false
+	}
+	worst := r.Nodes[0]
+	for _, n := range r.Nodes[1:] {
+		if n.Metrics.NAT > worst.Metrics.NAT {
+			worst = n
+		}
+	}
+	return worst, true
+}
+
+// Simulator drives a fleet under one policy.
+type Simulator struct {
+	cfg    Config
+	policy core.Policy
+	nodes  []*node.Node
+	// rng seeds construction-time variation; wxRng drives weather and
+	// cloud patterns; policyRng feeds policy tie-breaking. Keeping them
+	// separate guarantees every policy replays identical solar days
+	// (§VI-B's matched-scenario methodology).
+	rng       *rand.Rand
+	wxRng     *rand.Rand
+	policyRng *rand.Rand
+	jobRng    *rand.Rand
+	gen       *workload.Generator
+
+	clock     time.Duration
+	day       int
+	vmCounter int
+	pending   []*vm.VM
+
+	socHist   *stats.Histogram
+	series    []MetricsPoint
+	eolAt     time.Duration
+	placedSvc bool
+}
+
+// New builds a simulator. The policy is injected so experiments construct
+// all four Table 4 schemes against identical fleets.
+func New(cfg Config, policy core.Policy) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("sim: policy must not be nil")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	jobRng := rand.New(rand.NewSource(cfg.Seed + 1))
+	wxRng := rand.New(rand.NewSource(cfg.Seed + 2))
+	policyRng := rand.New(rand.NewSource(cfg.Seed + 3))
+	gen, err := workload.NewGenerator(jobRng)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := stats.NewHistogram(0, 1, 7) // the seven SoC bins of Fig 19
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Simulator{
+		cfg:       cfg,
+		policy:    policy,
+		rng:       rng,
+		wxRng:     wxRng,
+		policyRng: policyRng,
+		jobRng:    jobRng,
+		gen:       gen,
+		socHist:   hist,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		ncfg := cfg.Node
+		if cfg.ManufacturingSigma > 0 {
+			capScale := 1 + rng.NormFloat64()*cfg.ManufacturingSigma
+			resScale := 1 + rng.NormFloat64()*cfg.ManufacturingSigma
+			ncfg.BatteryOptions = append(append([]battery.Option(nil), ncfg.BatteryOptions...),
+				battery.WithManufacturingVariation(
+					units.Clamp(capScale, 0.7, 1.3),
+					units.Clamp(resScale, 0.7, 1.3),
+				))
+		}
+		nd, err := node.New(fmt.Sprintf("node-%d", i), ncfg)
+		if err != nil {
+			return nil, err
+		}
+		s.nodes = append(s.nodes, nd)
+	}
+	return s, nil
+}
+
+// Nodes exposes the fleet (read-mostly; used by experiment harnesses).
+func (s *Simulator) Nodes() []*node.Node { return append([]*node.Node(nil), s.nodes...) }
+
+// SetPolicy swaps the power-management policy mid-run. The evaluation ages
+// all batteries synchronously under a neutral scheme and then measures one
+// day per policy on the shared aged state (§VI-B); SetPolicy is how a
+// harness reproduces that on a single fleet.
+func (s *Simulator) SetPolicy(p core.Policy) error {
+	if p == nil {
+		return fmt.Errorf("sim: policy must not be nil")
+	}
+	s.policy = p
+	return nil
+}
+
+// Clock returns the simulated time.
+func (s *Simulator) Clock() time.Duration { return s.clock }
+
+// ctx builds the policy context.
+func (s *Simulator) ctx() *core.Context {
+	return &core.Context{Nodes: s.nodes, Clock: s.clock, Rng: s.policyRng}
+}
+
+// submitJobs enqueues the day's arrivals. Jobs that do not fit immediately
+// stay queued and are retried every control period, so every policy
+// attempts the same work — the comparison then measures battery management,
+// not admission control.
+func (s *Simulator) submitJobs() error {
+	enqueue := func(p workload.Profile) error {
+		s.vmCounter++
+		v, err := vm.New(fmt.Sprintf("vm-%d", s.vmCounter), p)
+		if err != nil {
+			return err
+		}
+		s.pending = append(s.pending, v)
+		return nil
+	}
+	if !s.placedSvc {
+		s.placedSvc = true
+		if len(s.cfg.Services) > 0 {
+			for _, p := range s.cfg.Services {
+				if err := enqueue(p); err != nil {
+					return err
+				}
+			}
+		} else {
+			svc, err := workload.ProfileFor(workload.WebServing)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < s.cfg.ServiceVMs; i++ {
+				if err := enqueue(svc); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, p := range s.gen.Batch(s.cfg.JobsPerDay) {
+		if p.Service {
+			continue // services were placed on day one
+		}
+		if err := enqueue(p); err != nil {
+			return err
+		}
+	}
+	return s.placePending()
+}
+
+// placePending drains the job queue as far as current capacity allows.
+func (s *Simulator) placePending() error {
+	var remaining []*vm.VM
+	for _, v := range s.pending {
+		target, err := s.policy.PlaceVM(s.ctx(), v)
+		if err != nil {
+			if err == core.ErrNoCapacity {
+				remaining = append(remaining, v)
+				continue
+			}
+			return err
+		}
+		if err := target.Server().Attach(v); err != nil {
+			return err
+		}
+	}
+	s.pending = remaining
+	return nil
+}
+
+// reapCompleted removes finished VMs from their hosts.
+func (s *Simulator) reapCompleted() {
+	for _, n := range s.nodes {
+		for _, v := range n.Server().VMs() {
+			if v.State() == vm.Completed {
+				_, _ = n.Server().Detach(v.ID())
+			}
+		}
+	}
+}
+
+// RunDay simulates one full day of the given weather and returns its stats.
+func (s *Simulator) RunDay(w solar.Weather) (DayStats, error) {
+	day, err := solar.NewDay(w, s.cfg.Solar, s.wxRng)
+	if err != nil {
+		return DayStats{}, err
+	}
+	s.day++
+	ds := DayStats{Day: s.day, Weather: w}
+
+	startThroughput := make([]float64, len(s.nodes))
+	startDowntime := make([]time.Duration, len(s.nodes))
+	startSolar := make([]units.WattHour, len(s.nodes))
+	lowSoC := make([]time.Duration, len(s.nodes))
+	for i, n := range s.nodes {
+		st := n.Stats()
+		startThroughput[i] = st.Throughput
+		startDowntime[i] = st.Downtime
+		startSolar[i] = st.SolarEnergy
+	}
+
+	if err := s.submitJobs(); err != nil {
+		return DayStats{}, err
+	}
+
+	var sinceControl time.Duration
+	for tod := time.Duration(0); tod < 24*time.Hour; tod += s.cfg.Tick {
+		inWindow := tod >= s.cfg.WindowStart && tod < s.cfg.WindowEnd
+		power := day.PowerAt(tod)
+		if err := s.step(power, inWindow); err != nil {
+			return DayStats{}, err
+		}
+		s.clock += s.cfg.Tick
+		if s.eolAt == 0 {
+			for _, n := range s.nodes {
+				if n.AtEndOfLife() {
+					s.eolAt = s.clock
+					break
+				}
+			}
+		}
+
+		if inWindow {
+			for i, n := range s.nodes {
+				soc := n.Battery().SoC()
+				s.socHist.Observe(soc)
+				if soc < aging.DeepDischargeSoC {
+					lowSoC[i] += s.cfg.Tick
+				}
+			}
+			sinceControl += s.cfg.Tick
+			if sinceControl >= s.cfg.ControlPeriod {
+				sinceControl = 0
+				s.reapCompleted()
+				if err := s.placePending(); err != nil {
+					return DayStats{}, err
+				}
+				if err := s.policy.Control(s.ctx()); err != nil {
+					return DayStats{}, err
+				}
+				if s.cfg.RecordSeries {
+					for _, n := range s.nodes {
+						s.series = append(s.series, MetricsPoint{
+							At:      s.clock,
+							NodeID:  n.ID(),
+							Metrics: n.Metrics(),
+							SoC:     n.Battery().SoC(),
+						})
+					}
+				}
+			}
+		}
+	}
+
+	s.reapCompleted()
+
+	for i, n := range s.nodes {
+		st := n.Stats()
+		ds.Throughput += st.Throughput - startThroughput[i]
+		if d := st.Downtime - startDowntime[i]; d > ds.Downtime {
+			ds.Downtime = d
+		}
+		if lowSoC[i] > ds.LowSoCTime {
+			ds.LowSoCTime = lowSoC[i]
+		}
+		ds.SolarEnergy += st.SolarEnergy - startSolar[i]
+	}
+	return ds, nil
+}
+
+// step advances every node one tick, allocating the shared solar feed:
+// loads first (proportional water-fill), then charging (lowest SoC first).
+func (s *Simulator) step(power units.Watt, inWindow bool) error {
+	n := len(s.nodes)
+	remaining := float64(power)
+
+	if !inWindow {
+		// Overnight: everything charges, lowest SoC first.
+		order := s.bySoC()
+		for _, idx := range order {
+			nd := s.nodes[idx]
+			grant := 0.0
+			if remaining > 0 {
+				grant = min(remaining, float64(nd.ChargeRequest()))
+			}
+			res, err := nd.StepOffline(s.cfg.Tick, units.Watt(grant))
+			if err != nil {
+				return err
+			}
+			remaining -= float64(res.SolarUsed)
+			if remaining < 0 {
+				remaining = 0
+			}
+		}
+		return nil
+	}
+
+	// Pass 1: load allocation proportional to demand. Demands are grossed
+	// up to bus-side power so the solar-direct conversion loss does not
+	// leave every node with a sliver of battery bridging.
+	demands := make([]float64, n)
+	var totalDemand float64
+	eff := s.cfg.Node.Losses.SolarDirectEfficiency
+	for i, nd := range s.nodes {
+		demands[i] = float64(nd.Demand()) / eff
+		totalDemand += demands[i]
+	}
+	loadGrant := make([]float64, n)
+	if totalDemand > 0 {
+		scale := 1.0
+		if remaining < totalDemand {
+			scale = remaining / totalDemand
+		}
+		for i := range loadGrant {
+			loadGrant[i] = demands[i] * scale
+		}
+	}
+	var granted float64
+	for _, g := range loadGrant {
+		granted += g
+	}
+	surplus := remaining - granted
+	if surplus < 0 {
+		surplus = 0
+	}
+
+	// Pass 2: charge allocation, lowest SoC first.
+	chargeGrant := make([]float64, n)
+	for _, idx := range s.bySoC() {
+		if surplus <= 0 {
+			break
+		}
+		req := float64(s.nodes[idx].ChargeRequest())
+		g := min(surplus, req)
+		chargeGrant[idx] = g
+		surplus -= g
+	}
+
+	for i, nd := range s.nodes {
+		if _, err := nd.Step(s.cfg.Tick, units.Watt(loadGrant[i]), units.Watt(chargeGrant[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bySoC returns node indices sorted by ascending state of charge.
+func (s *Simulator) bySoC() []int {
+	order := make([]int, len(s.nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.nodes[order[a]].Battery().SoC() < s.nodes[order[b]].Battery().SoC()
+	})
+	return order
+}
+
+// Run simulates the given weather sequence and assembles the result.
+func (s *Simulator) Run(weathers []solar.Weather) (*Result, error) {
+	res := &Result{Policy: s.policy.Name()}
+	for _, w := range weathers {
+		ds, err := s.RunDay(w)
+		if err != nil {
+			return nil, err
+		}
+		res.Days = append(res.Days, ds)
+		res.Throughput += ds.Throughput
+	}
+	s.finish(res)
+	return res, nil
+}
+
+// RunUntilEndOfLife draws weather from the location until the first battery
+// reaches end-of-life or maxDays elapse. It reports the fleet lifetime.
+func (s *Simulator) RunUntilEndOfLife(loc solar.Location, maxDays int) (*Result, error) {
+	if err := loc.Validate(); err != nil {
+		return nil, err
+	}
+	if maxDays <= 0 {
+		return nil, fmt.Errorf("sim: maxDays must be positive, got %d", maxDays)
+	}
+	res := &Result{Policy: s.policy.Name()}
+	for d := 0; d < maxDays; d++ {
+		ds, err := s.RunDay(loc.DrawWeather(s.wxRng))
+		if err != nil {
+			return nil, err
+		}
+		res.Days = append(res.Days, ds)
+		res.Throughput += ds.Throughput
+		if s.eolAt > 0 {
+			break
+		}
+	}
+	s.finish(res)
+	return res, nil
+}
+
+// finish populates the result's fleet-wide fields.
+func (s *Simulator) finish(res *Result) {
+	for _, n := range s.nodes {
+		st := n.Stats()
+		res.Nodes = append(res.Nodes, NodeSummary{
+			ID:         n.ID(),
+			Metrics:    n.Metrics(),
+			Health:     st.Health,
+			SoC:        st.SoC,
+			Throughput: st.Throughput,
+			Downtime:   st.Downtime,
+			Counters:   n.Battery().Counters(),
+		})
+	}
+	res.SoCHistogram = s.socHist
+	res.Series = s.series
+	res.FleetLifetime = s.eolAt
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,61 @@
+package workload
+
+import "testing"
+
+func TestAsService(t *testing.T) {
+	p, err := ProfileFor(KMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.AsService()
+	if !s.Service {
+		t.Error("AsService did not mark the profile as a service")
+	}
+	if s.WorkUnits != 0 {
+		t.Errorf("service work units = %v, want 0", s.WorkUnits)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("service profile invalid: %v", err)
+	}
+	// The utilization shape is preserved.
+	if s.PeakUtilization != p.PeakUtilization || len(s.Phases) != len(p.Phases) {
+		t.Error("AsService changed the utilization shape")
+	}
+	// The original profile is untouched (value semantics).
+	if p.Service {
+		t.Error("AsService mutated its receiver")
+	}
+}
+
+func TestPrototypeServices(t *testing.T) {
+	services := PrototypeServices()
+	if len(services) != len(Kinds()) {
+		t.Fatalf("PrototypeServices() = %d profiles, want %d", len(services), len(Kinds()))
+	}
+	seen := map[Kind]bool{}
+	for _, s := range services {
+		if !s.Service {
+			t.Errorf("%v not converted to a service", s.Kind)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%v invalid: %v", s.Kind, err)
+		}
+		if seen[s.Kind] {
+			t.Errorf("%v duplicated", s.Kind)
+		}
+		seen[s.Kind] = true
+	}
+	// Heterogeneity is the point: peak demands must differ across the set.
+	min, max := 1.0, 0.0
+	for _, s := range services {
+		if s.PeakUtilization < min {
+			min = s.PeakUtilization
+		}
+		if s.PeakUtilization > max {
+			max = s.PeakUtilization
+		}
+	}
+	if max-min < 0.2 {
+		t.Errorf("prototype services too uniform: peak utils span only %v", max-min)
+	}
+}

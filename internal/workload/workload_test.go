@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/green-dc/baat/internal/aging"
+)
+
+func TestAllProfilesValid(t *testing.T) {
+	for k, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %v invalid: %v", k, err)
+		}
+		if p.Kind != k {
+			t.Errorf("profile %v has mismatched kind %v", k, p.Kind)
+		}
+	}
+}
+
+func TestProfileForUnknown(t *testing.T) {
+	if _, err := ProfileFor(Kind(99)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestSixWorkloads(t *testing.T) {
+	if got := len(Kinds()); got != 6 {
+		t.Fatalf("len(Kinds()) = %d, want 6 (§V-B)", got)
+	}
+	seen := map[string]bool{}
+	for _, k := range Kinds() {
+		name := k.String()
+		if seen[name] {
+			t.Errorf("duplicate workload name %q", name)
+		}
+		seen[name] = true
+	}
+	if Kind(0).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base, err := ProfileFor(WordCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"zero peak", func(p *Profile) { p.PeakUtilization = 0 }},
+		{"peak above one", func(p *Profile) { p.PeakUtilization = 1.5 }},
+		{"batch with no work", func(p *Profile) { p.WorkUnits = 0 }},
+		{"no phases", func(p *Profile) { p.Phases = nil }},
+		{"zero phase", func(p *Profile) { p.Phases = []float64{0.5, 0} }},
+		{"phase above one", func(p *Profile) { p.Phases = []float64{1.2} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := base
+			p.Phases = append([]float64(nil), base.Phases...)
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestServiceWithoutWorkUnitsIsValid(t *testing.T) {
+	p, err := ProfileFor(WebServing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Service || p.WorkUnits != 0 {
+		t.Fatalf("web serving should be a service with no work units: %+v", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("service profile invalid: %v", err)
+	}
+}
+
+func TestUtilizationAtBounds(t *testing.T) {
+	for k, p := range Profiles() {
+		for _, pos := range []float64{0, 0.25, 0.5, 0.999, 1.0, 1.5, -0.3} {
+			u := p.UtilizationAt(pos)
+			if u <= 0 || u > p.PeakUtilization+1e-12 {
+				t.Errorf("%v: UtilizationAt(%v) = %v, want in (0, %v]", k, pos, u, p.PeakUtilization)
+			}
+		}
+	}
+}
+
+func TestUtilizationAtProperty(t *testing.T) {
+	p, err := ProfileFor(NutchIndexing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(pos float64) bool {
+		u := p.UtilizationAt(pos)
+		return u > 0 && u <= p.PeakUtilization+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDemandClassCoversTable3(t *testing.T) {
+	// The six workloads must span several Table 3 classes, and the heavy
+	// hitters must classify as Large power.
+	classes := map[aging.DemandClass]bool{}
+	for _, k := range Kinds() {
+		p, err := ProfileFor(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes[p.DemandClass()] = true
+	}
+	if len(classes) < 3 {
+		t.Errorf("workload library spans %d demand classes, want ≥3", len(classes))
+	}
+	st, _ := ProfileFor(SoftwareTesting)
+	if c := st.DemandClass(); !c.LargePower || !c.MoreEnergy {
+		t.Errorf("software testing classed %v, want Large/More (§V-B: resource-hungry and time-consuming)", c)
+	}
+	ws, _ := ProfileFor(WebServing)
+	if c := ws.DemandClass(); c.LargePower || !c.MoreEnergy {
+		t.Errorf("web serving classed %v, want Small/More", c)
+	}
+	wc, _ := ProfileFor(WordCount)
+	if c := wc.DemandClass(); c.LargePower || c.MoreEnergy {
+		t.Errorf("word count classed %v, want Small/Less", c)
+	}
+}
+
+func TestGenerator(t *testing.T) {
+	g, err := NewGenerator(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := g.Batch(200)
+	if len(jobs) != 200 {
+		t.Fatalf("Batch(200) returned %d jobs", len(jobs))
+	}
+	seen := map[Kind]int{}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			t.Fatalf("generated invalid job: %v", err)
+		}
+		seen[j.Kind]++
+	}
+	if len(seen) != 6 {
+		t.Errorf("200 draws hit %d kinds, want all 6", len(seen))
+	}
+}
+
+func TestGeneratorRestrictedKinds(t *testing.T) {
+	g, err := NewGenerator(rand.New(rand.NewSource(2)), KMeans, WordCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if k := g.Next().Kind; k != KMeans && k != WordCount {
+			t.Fatalf("restricted generator produced %v", k)
+		}
+	}
+}
+
+func TestGeneratorErrors(t *testing.T) {
+	if _, err := NewGenerator(nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, err := NewGenerator(rand.New(rand.NewSource(1)), Kind(77)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, _ := NewGenerator(rand.New(rand.NewSource(5)))
+	b, _ := NewGenerator(rand.New(rand.NewSource(5)))
+	for i := 0; i < 20; i++ {
+		if a.Next().Kind != b.Next().Kind {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package baat
+
+import "github.com/green-dc/baat/internal/rack"
+
+// Rack is a shared-pool battery group: several servers backed by one pooled
+// battery, the per-rack integration style of Fig 7 (Facebook Open Rack).
+// Compare with Node, the per-server integration style (Google). The
+// `arch-comparison` experiment contrasts the two at equal installed
+// capacity.
+type Rack = rack.Rack
+
+// RackConfig assembles one rack.
+type RackConfig = rack.Config
+
+// RackStepResult summarizes one tick of rack operation.
+type RackStepResult = rack.StepResult
+
+// RackStats aggregates rack-level accounting.
+type RackStats = rack.Stats
+
+// DefaultRackConfig returns a rack equivalent to three default per-server
+// nodes: three servers sharing a pool of six 35 Ah units.
+func DefaultRackConfig() RackConfig { return rack.DefaultConfig() }
+
+// NewRack assembles a shared-pool rack.
+func NewRack(id string, cfg RackConfig) (*Rack, error) { return rack.New(id, cfg) }

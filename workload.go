@@ -1,0 +1,128 @@
+package baat
+
+import (
+	"math/rand"
+
+	"github.com/green-dc/baat/internal/cluster"
+	"github.com/green-dc/baat/internal/cost"
+	"github.com/green-dc/baat/internal/vm"
+	"github.com/green-dc/baat/internal/workload"
+)
+
+// WorkloadKind identifies one of the six prototype workloads (§V-B).
+type WorkloadKind = workload.Kind
+
+// The six workloads: three HiBench jobs and three CloudSuite applications.
+const (
+	NutchIndexing   = workload.NutchIndexing
+	KMeans          = workload.KMeans
+	WordCount       = workload.WordCount
+	SoftwareTesting = workload.SoftwareTesting
+	WebServing      = workload.WebServing
+	DataAnalytics   = workload.DataAnalytics
+)
+
+// WorkloadKinds lists the six workloads in paper order.
+func WorkloadKinds() []WorkloadKind { return workload.Kinds() }
+
+// WorkloadProfile describes a workload's utilization shape, total work, and
+// Table 3 demand class.
+type WorkloadProfile = workload.Profile
+
+// WorkloadProfiles returns the built-in profile library.
+func WorkloadProfiles() map[WorkloadKind]WorkloadProfile { return workload.Profiles() }
+
+// WorkloadProfileFor returns the built-in profile for a workload kind.
+func WorkloadProfileFor(k WorkloadKind) (WorkloadProfile, error) { return workload.ProfileFor(k) }
+
+// PrototypeServices returns the six workloads as persistent services —
+// the prototype's static per-server assignment (§V-B).
+func PrototypeServices() []WorkloadProfile { return workload.PrototypeServices() }
+
+// WorkloadGenerator produces job arrival sequences for multi-day runs.
+type WorkloadGenerator = workload.Generator
+
+// NewWorkloadGenerator builds a generator drawing uniformly from kinds
+// (all six when empty).
+func NewWorkloadGenerator(rng *rand.Rand, kinds ...WorkloadKind) (*WorkloadGenerator, error) {
+	return workload.NewGenerator(rng, kinds...)
+}
+
+// VM is one schedulable virtual machine.
+type VM = vm.VM
+
+// VMState is a VM lifecycle state.
+type VMState = vm.State
+
+// VM lifecycle states.
+const (
+	VMRunning   = vm.Running
+	VMPaused    = vm.Paused
+	VMMigrating = vm.Migrating
+	VMCompleted = vm.Completed
+)
+
+// DefaultMigrationTime is how long a live migration pauses a VM.
+const DefaultMigrationTime = vm.DefaultMigrationTime
+
+// NewVM creates a VM hosting the given workload profile.
+func NewVM(id string, p WorkloadProfile) (*VM, error) { return vm.New(id, p) }
+
+// MigrateVM moves a VM between nodes, charging the transfer pause (§IV-C).
+var MigrateVM = coreMigrateVM
+
+// CostModel carries the battery/server price book and planning horizon for
+// the §VI-D economics (Figs 16–17).
+type CostModel = cost.Model
+
+// DefaultCostModel returns prototype-scale prices.
+func DefaultCostModel() CostModel { return cost.DefaultModel() }
+
+// Controller is the central BAAT monitoring/actuation endpoint of the
+// distributed control plane (Fig 7).
+type Controller = cluster.Controller
+
+// ControllerConfig parameterizes the controller.
+type ControllerConfig = cluster.ControllerConfig
+
+// Agent connects one battery node to the controller over TCP.
+type Agent = cluster.Agent
+
+// AgentConfig parameterizes an agent.
+type AgentConfig = cluster.AgentConfig
+
+// NodeReport is one sensor report in the control plane (Table 2 plus the
+// five metrics).
+type NodeReport = cluster.Report
+
+// NodeCommand is one controller actuation.
+type NodeCommand = cluster.Command
+
+// Control-plane actions.
+const (
+	ActionSetFrequency = cluster.ActionSetFrequency
+	ActionSetFloor     = cluster.ActionSetFloor
+	ActionSetPowered   = cluster.ActionSetPowered
+	ActionPing         = cluster.ActionPing
+)
+
+// ListenController starts a controller on the given TCP address.
+func ListenController(cfg ControllerConfig) (*Controller, error) {
+	return cluster.ListenController(cfg)
+}
+
+// DefaultControllerConfig returns local controller defaults.
+func DefaultControllerConfig(addr string) ControllerConfig {
+	return cluster.DefaultControllerConfig(addr)
+}
+
+// StartAgent connects a node to the controller and starts reporting.
+func StartAgent(cfg AgentConfig, handle cluster.NodeHandle) (*Agent, error) {
+	return cluster.StartAgent(cfg, handle)
+}
+
+// DefaultAgentConfig returns local agent defaults for a controller address.
+func DefaultAgentConfig(addr string) AgentConfig { return cluster.DefaultAgentConfig(addr) }
+
+// NewLocalNode wraps a Node as a control-plane handle.
+func NewLocalNode(n *Node) (*cluster.LocalNode, error) { return cluster.NewLocalNode(n) }
