@@ -1,0 +1,26 @@
+# Development targets. `make check` is the pre-commit gate CI expects.
+
+GO ?= go
+
+.PHONY: check fmt vet build test test-race bench
+
+check: ## gofmt -l + vet + build + race tests
+	./check.sh
+
+fmt: ## rewrite formatting in place
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench: ## quick-mode experiment benchmarks
+	$(GO) test -bench=. -benchmem -run=^$$ ./...

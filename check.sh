@@ -1,0 +1,23 @@
+#!/bin/sh
+# check.sh — the full pre-commit gate: formatting, vet, build, race tests.
+# Usage: ./check.sh  (or: make check)
+set -eu
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "unformatted files:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "OK"

@@ -35,6 +35,7 @@ func run() error {
 		accel    = flag.Float64("accel", 10, "battery aging acceleration factor")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /events, and /debug/pprof on this address while experiments run (empty = off)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,15 @@ func run() error {
 	}
 
 	cfg := baat.ExperimentConfig{Seed: *seed, Accel: *accel, Quick: *quick}
+	if *telAddr != "" {
+		cfg.Telemetry = baat.NewRecorder()
+		srv, err := baat.ServeTelemetry(cfg.Telemetry, *telAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", srv.Addr())
+	}
 	ids := flag.Args()
 	if len(ids) == 0 {
 		ids = baat.Experiments()

@@ -45,6 +45,8 @@ func run() error {
 		solarScale = flag.Float64("solar-scale", 1.5, "PV array scale relative to the prototype")
 		csvPath    = flag.String("csv", "", "write per-day stats to this CSV file")
 		planned    = flag.Float64("planned-months", 0, "enable planned aging with this expected service life in months (0 = off)")
+		telAddr    = flag.String("telemetry-addr", "", "serve /metrics, /events, and /debug/pprof on this address (e.g. :8080; empty = off)")
+		telHold    = flag.Duration("telemetry-hold", 0, "keep the telemetry endpoint alive this long after the run (so scrapers catch the final state)")
 	)
 	flag.Parse()
 
@@ -65,7 +67,19 @@ func run() error {
 		return err
 	}
 
+	var rec *baat.Recorder
+	if *telAddr != "" {
+		rec = baat.NewRecorder()
+		srv, err := baat.ServeTelemetry(rec, *telAddr)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = srv.Close() }()
+		fmt.Printf("telemetry: http://%s/metrics (events at /events, profiles at /debug/pprof/)\n", srv.Addr())
+	}
+
 	scfg := baat.DefaultSimConfig()
+	scfg.Telemetry = rec
 	scfg.Seed = *seed
 	scfg.Nodes = *nodes
 	scfg.JobsPerDay = *jobsPerDay
@@ -100,6 +114,10 @@ func run() error {
 			return err
 		}
 		fmt.Printf("per-day stats written to %s\n", *csvPath)
+	}
+	if rec != nil && *telHold > 0 {
+		fmt.Printf("holding telemetry endpoint for %v\n", *telHold)
+		time.Sleep(*telHold)
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"math"
 	"time"
 
+	"github.com/green-dc/baat/internal/telemetry"
 	"github.com/green-dc/baat/internal/units"
 )
 
@@ -192,6 +193,14 @@ type Pack struct {
 	cycleStart float64 // SoC at the start of the current discharge half-cycle
 	inCycle    bool
 	cycles     float64 // equivalent full cycles (throughput-based)
+
+	// Telemetry handles, captured once at construction so the per-step
+	// cost is one nil check plus an atomic add. All are nil (and no-ops)
+	// unless WithRecorder was supplied.
+	telDischarge *telemetry.Counter
+	telCharge    *telemetry.Counter
+	telRest      *telemetry.Counter
+	telCutoff    *telemetry.Counter
 }
 
 // Option customizes a Pack at construction.
@@ -220,6 +229,19 @@ func WithManufacturingVariation(capScale, resScale float64) Option {
 // WithInitialTemperature sets the starting case temperature (default 25 °C).
 func WithInitialTemperature(t units.Celsius) Option {
 	return func(p *Pack) { p.temp = t }
+}
+
+// WithRecorder instruments the pack's step loop: discharge, charge, and
+// rest step counts plus protection-cutoff trips are recorded under the
+// canonical battery metric names. A nil recorder leaves the pack exactly
+// as un-instrumented (the handles stay nil no-ops).
+func WithRecorder(rec *telemetry.Recorder) Option {
+	return func(p *Pack) {
+		p.telDischarge = rec.Counter(telemetry.MetricBatteryDischargeSteps)
+		p.telCharge = rec.Counter(telemetry.MetricBatteryChargeSteps)
+		p.telRest = rec.Counter(telemetry.MetricBatteryRestSteps)
+		p.telCutoff = rec.Counter(telemetry.MetricBatteryCutoffs)
+	}
 }
 
 // New constructs a Pack from spec.
@@ -389,7 +411,12 @@ func (p *Pack) Discharge(pw units.Watt, dt time.Duration, amb units.Celsius) (St
 	}
 	if pw == 0 || p.CutOff() {
 		p.rest(dt, amb)
-		return StepResult{Voltage: p.ocv(), CutOff: p.CutOff()}, nil
+		res := StepResult{Voltage: p.ocv(), CutOff: p.CutOff()}
+		p.telRest.Inc()
+		if res.CutOff {
+			p.telCutoff.Inc()
+		}
+		return res, nil
 	}
 	i, err := p.CurrentForPower(pw)
 	if err != nil {
@@ -397,11 +424,13 @@ func (p *Pack) Discharge(pw units.Watt, dt time.Duration, amb units.Celsius) (St
 		// more than the chemistry can give, which in the prototype trips
 		// the under-voltage disconnect.
 		p.rest(dt, amb)
+		p.telCutoff.Inc()
 		return StepResult{Voltage: p.ocv(), CutOff: true}, nil
 	}
 	v := p.TerminalVoltage(i)
 	if v < p.spec.CutoffVoltage {
 		p.rest(dt, amb)
+		p.telCutoff.Inc()
 		return StepResult{Voltage: v, CutOff: true}, nil
 	}
 
@@ -430,6 +459,10 @@ func (p *Pack) Discharge(pw units.Watt, dt time.Duration, amb units.Celsius) (St
 	p.cycles += float64(dq) / math.Max(float64(p.spec.NominalCapacity), 1e-9)
 	p.heat(i, dt, amb)
 	p.operating += dt
+	p.telDischarge.Inc()
+	if res.CutOff {
+		p.telCutoff.Inc()
+	}
 	return res, nil
 }
 
@@ -446,6 +479,7 @@ func (p *Pack) Charge(pw units.Watt, dt time.Duration, amb units.Celsius) (StepR
 	}
 	if pw == 0 || p.soc >= 1 {
 		p.rest(dt, amb)
+		p.telRest.Inc()
 		return StepResult{Voltage: p.ocv()}, nil
 	}
 	v := float64(p.ocv())
@@ -482,6 +516,7 @@ func (p *Pack) Charge(pw units.Watt, dt time.Duration, amb units.Celsius) (StepR
 	p.whIn += units.WattHour(float64(vt) * float64(dq))
 	p.heat(units.Ampere(i), dt, amb)
 	p.operating += dt
+	p.telCharge.Inc()
 	return res, nil
 }
 
@@ -493,6 +528,7 @@ func (p *Pack) Rest(dt time.Duration, amb units.Celsius) {
 	}
 	p.rest(dt, amb)
 	p.operating += dt
+	p.telRest.Inc()
 }
 
 func (p *Pack) rest(dt time.Duration, amb units.Celsius) {

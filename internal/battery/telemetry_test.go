@@ -1,0 +1,74 @@
+package battery
+
+import (
+	"testing"
+	"time"
+
+	"github.com/green-dc/baat/internal/telemetry"
+	"github.com/green-dc/baat/internal/units"
+)
+
+// TestWithRecorderStepCounters checks every step kind reaches its counter.
+func TestWithRecorderStepCounters(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	p, err := New(DefaultSpec(), WithInitialSoC(0.8), WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := p.Discharge(200, time.Minute, 25); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Charge(100, time.Minute, 25); err != nil {
+		t.Fatal(err)
+	}
+	p.Rest(time.Minute, 25)
+
+	snap := rec.Snapshot()
+	for name, want := range map[string]int64{
+		telemetry.MetricBatteryDischargeSteps: 1,
+		telemetry.MetricBatteryChargeSteps:    1,
+		telemetry.MetricBatteryRestSteps:      1,
+		telemetry.MetricBatteryCutoffs:        0,
+	} {
+		if got := snap.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestWithRecorderCutoff drains a pack past its protection cutoff and
+// expects the cutoff counter to move.
+func TestWithRecorderCutoff(t *testing.T) {
+	rec := telemetry.NewRecorder()
+	p, err := New(DefaultSpec(), WithInitialSoC(0.15), WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pull a heavy load until the pack refuses: low SoC plus high power
+	// forces either the empty or under-voltage cutoff within a few steps.
+	for i := 0; i < 600; i++ {
+		res, err := p.Discharge(units.Watt(400), time.Minute, 25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CutOff {
+			break
+		}
+	}
+	if got := rec.Snapshot().Counter(telemetry.MetricBatteryCutoffs); got == 0 {
+		t.Error("no cutoff counted after draining the pack")
+	}
+}
+
+// TestWithRecorderNil ensures a nil recorder is a valid no-op option.
+func TestWithRecorderNil(t *testing.T) {
+	p, err := New(DefaultSpec(), WithRecorder(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Discharge(100, time.Minute, 25); err != nil {
+		t.Fatal(err)
+	}
+	p.Rest(time.Minute, 25)
+}

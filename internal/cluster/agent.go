@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/telemetry"
 	"github.com/green-dc/baat/internal/units"
 )
 
@@ -112,6 +113,9 @@ type AgentConfig struct {
 	Reconnect bool
 	// MaxBackoff caps the reconnect backoff (default 5 s when zero).
 	MaxBackoff time.Duration
+	// Telemetry counts reports sent, send errors, and reconnects, and
+	// traces EventReconnect. Nil leaves the agent un-instrumented.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultAgentConfig returns sensible local defaults.
@@ -151,6 +155,14 @@ type Agent struct {
 	mu     sync.Mutex
 	conn   net.Conn
 	err    error
+
+	// Telemetry handles (nil-safe no-ops without a recorder). Event
+	// timestamps are wall time elapsed since StartAgent: the control plane
+	// runs in real time, unlike the engine's simulated clock.
+	started       time.Time
+	telReports    *telemetry.Counter
+	telSendErrors *telemetry.Counter
+	telReconnects *telemetry.Counter
 }
 
 // StartAgent connects to the controller, registers the node, and starts
@@ -173,6 +185,11 @@ func StartAgent(cfg AgentConfig, handle NodeHandle) (*Agent, error) {
 		cancel: cancel,
 		done:   make(chan struct{}),
 		conn:   conn,
+
+		started:       time.Now(),
+		telReports:    cfg.Telemetry.Counter(telemetry.MetricClusterReportsSent),
+		telSendErrors: cfg.Telemetry.Counter(telemetry.MetricClusterSendErrors),
+		telReconnects: cfg.Telemetry.Counter(telemetry.MetricClusterReconnects),
 	}
 	if err := a.send(Envelope{Type: MsgHello, Hello: &Hello{NodeID: handle.ID()}}); err != nil {
 		cancel()
@@ -230,6 +247,9 @@ func (a *Agent) run(ctx context.Context) {
 			continue // keep backing off
 		}
 		backoff = 50 * time.Millisecond
+		a.telReconnects.Inc()
+		a.cfg.Telemetry.Emit(time.Since(a.started), telemetry.EventReconnect,
+			a.handle.ID(), "re-registered after transport failure")
 	}
 }
 
@@ -276,12 +296,14 @@ func (a *Agent) session(ctx context.Context) error {
 		case <-ticker.C:
 			report := a.handle.Snapshot()
 			if err := a.send(Envelope{Type: MsgReport, Report: &report}); err != nil {
+				a.telSendErrors.Inc()
 				// Drain the reader before returning so its goroutine does
 				// not leak into the next session.
 				_ = conn.Close()
 				<-readerDone
 				return err
 			}
+			a.telReports.Inc()
 		}
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/green-dc/baat/internal/telemetry"
 )
 
 // ControllerConfig parameterizes the central BAAT controller.
@@ -21,6 +23,10 @@ type ControllerConfig struct {
 	StaleAfter time.Duration
 	// CommandTimeout bounds how long SendCommand waits for an Ack.
 	CommandTimeout time.Duration
+	// Telemetry counts reports received, commands sent, ack outcomes, and
+	// command timeouts, and gauges connected agents. Nil leaves the
+	// controller un-instrumented.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultControllerConfig returns local defaults.
@@ -66,6 +72,14 @@ type Controller struct {
 	closed  bool
 
 	wg sync.WaitGroup
+
+	// Telemetry handles (nil-safe no-ops without a recorder).
+	telReports   *telemetry.Counter
+	telCommands  *telemetry.Counter
+	telAcksOK    *telemetry.Counter
+	telAcksRej   *telemetry.Counter
+	telTimeouts  *telemetry.Counter
+	telConnected *telemetry.Gauge
 }
 
 // agentConn is one connected agent.
@@ -91,6 +105,13 @@ func ListenController(cfg ControllerConfig) (*Controller, error) {
 		ln:     ln,
 		conns:  map[string]*agentConn{},
 		states: map[string]NodeState{},
+
+		telReports:   cfg.Telemetry.Counter(telemetry.MetricClusterReportsReceived),
+		telCommands:  cfg.Telemetry.Counter(telemetry.MetricClusterCommandsSent),
+		telAcksOK:    cfg.Telemetry.Counter(telemetry.MetricClusterAcksOK),
+		telAcksRej:   cfg.Telemetry.Counter(telemetry.MetricClusterAcksRejected),
+		telTimeouts:  cfg.Telemetry.Counter(telemetry.MetricClusterTimeouts),
+		telConnected: cfg.Telemetry.Gauge(telemetry.MetricClusterAgents),
 	}
 	c.wg.Add(1)
 	go c.acceptLoop()
@@ -130,6 +151,7 @@ func (c *Controller) serve(conn net.Conn) {
 		c.mu.Lock()
 		if cur, ok := c.conns[ac.nodeID]; ok && cur == ac {
 			delete(c.conns, ac.nodeID)
+			c.telConnected.Add(-1)
 		}
 		c.mu.Unlock()
 		ac.failPending()
@@ -151,7 +173,11 @@ func (c *Controller) serve(conn net.Conn) {
 				pending: map[uint64]chan Ack{},
 			}
 			c.mu.Lock()
+			_, replaced := c.conns[env.Hello.NodeID]
 			c.conns[env.Hello.NodeID] = ac
+			if !replaced {
+				c.telConnected.Add(1)
+			}
 			c.mu.Unlock()
 		case MsgReport:
 			if ac == nil {
@@ -163,6 +189,7 @@ func (c *Controller) serve(conn net.Conn) {
 				LastSeen: time.Now(),
 			}
 			c.mu.Unlock()
+			c.telReports.Inc()
 		case MsgAck:
 			if ac == nil {
 				return
@@ -268,14 +295,17 @@ func (c *Controller) SendCommand(ctx context.Context, nodeID string, cmd Command
 		ac.mu.Unlock()
 		return Ack{}, fmt.Errorf("cluster: sending command: %w", err)
 	}
+	c.telCommands.Inc()
 
 	timeout := time.NewTimer(c.cfg.CommandTimeout)
 	defer timeout.Stop()
 	select {
 	case ack := <-ch:
 		if !ack.OK {
+			c.telAcksRej.Inc()
 			return ack, fmt.Errorf("cluster: command %d rejected: %s", ack.ID, ack.Error)
 		}
+		c.telAcksOK.Inc()
 		return ack, nil
 	case <-ctx.Done():
 		ac.mu.Lock()
@@ -286,6 +316,7 @@ func (c *Controller) SendCommand(ctx context.Context, nodeID string, cmd Command
 		ac.mu.Lock()
 		delete(ac.pending, cmd.ID)
 		ac.mu.Unlock()
+		c.telTimeouts.Inc()
 		return Ack{}, fmt.Errorf("cluster: command to %s timed out", nodeID)
 	}
 }

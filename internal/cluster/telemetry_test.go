@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/green-dc/baat/internal/telemetry"
+)
+
+// TestClusterTelemetry drives one agent/controller pair through reports, a
+// command round-trip, a controller restart, and checks every counter moved.
+func TestClusterTelemetry(t *testing.T) {
+	rec := telemetry.NewRecorder()
+
+	ccfg := DefaultControllerConfig("127.0.0.1:0")
+	ccfg.Telemetry = rec
+	ctrl, err := ListenController(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ctrl.Addr()
+
+	h := newHandle(t, "node-t")
+	acfg := DefaultAgentConfig(addr)
+	acfg.ReportInterval = 20 * time.Millisecond
+	acfg.Reconnect = true
+	acfg.MaxBackoff = 200 * time.Millisecond
+	acfg.Telemetry = rec
+	agent, err := StartAgent(acfg, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = agent.Close() }()
+
+	waitFor(t, func() bool { return len(ctrl.Snapshot()) == 1 })
+	if got := rec.Snapshot().Gauge(telemetry.MetricClusterAgents); got != 1 {
+		t.Errorf("connected agents gauge = %v, want 1", got)
+	}
+
+	if _, err := ctrl.SendCommand(context.Background(), "node-t", Command{Action: ActionPing}); err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	if got := snap.Counter(telemetry.MetricClusterCommandsSent); got != 1 {
+		t.Errorf("commands sent = %d, want 1", got)
+	}
+	if got := snap.Counter(telemetry.MetricClusterAcksOK); got != 1 {
+		t.Errorf("acks ok = %d, want 1", got)
+	}
+	waitFor(t, func() bool {
+		s := rec.Snapshot()
+		return s.Counter(telemetry.MetricClusterReportsSent) > 0 &&
+			s.Counter(telemetry.MetricClusterReportsReceived) > 0
+	})
+
+	// Restart the controller: the agent must count a reconnect and trace it.
+	if err := ctrl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	ccfg2 := DefaultControllerConfig(addr)
+	ccfg2.Telemetry = rec
+	ctrl2, err := ListenController(ccfg2)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	defer func() { _ = ctrl2.Close() }()
+	waitFor(t, func() bool { return len(ctrl2.Snapshot()) == 1 })
+	waitFor(t, func() bool {
+		return rec.Snapshot().Counter(telemetry.MetricClusterReconnects) >= 1
+	})
+
+	var reconnectTraced bool
+	for _, ev := range rec.Snapshot().Events {
+		if ev.Type == telemetry.EventReconnect && ev.Node == "node-t" {
+			reconnectTraced = true
+		}
+	}
+	if !reconnectTraced {
+		t.Error("reconnect counted but not traced as EventReconnect")
+	}
+	// Send errors are not asserted: whether the agent notices a dead
+	// controller through a failed write or through reader EOF is a race.
+}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"github.com/green-dc/baat/internal/aging"
 	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/telemetry"
 	"github.com/green-dc/baat/internal/units"
 	"github.com/green-dc/baat/internal/vm"
 )
@@ -15,6 +17,10 @@ import (
 // optional planned aging (DoD-goal regulation, Eq 7).
 type baat struct {
 	cfg Config
+	// lastDoDGoal is the previously recorded fleet-average DoD goal, used
+	// to emit an EventDoDTarget only when planned aging actually moves the
+	// target (a per-control-period event would drown the trace ring).
+	lastDoDGoal float64
 }
 
 // balanceImbalanceFactor is how far above the fleet-average weighted aging
@@ -61,19 +67,19 @@ func (p *baat) Control(ctx *Context) error {
 	for _, n := range ctx.Nodes {
 		if !slowdownNeeded(n, slowCfg) {
 			if recovered(n, slowCfg) {
-				n.Server().StepUpFrequency()
+				restoreFrequency(ctx, n)
 			}
 			continue
 		}
 		if v := migratableVM(n); v != nil {
 			if dst := minWeightedAging(ctx.Nodes, v, n, slowCfg.TriggerSoC+slowCfg.Hysteresis); dst != nil {
-				if err := MigrateVM(n, dst, v.ID(), p.cfg.MigrationTime); err != nil {
+				if err := migrate(ctx, n, dst, v.ID(), p.cfg.MigrationTime); err != nil {
 					return err
 				}
 				continue
 			}
 		}
-		n.Server().StepDownFrequency()
+		capFrequency(ctx, n)
 	}
 
 	// Hiding arm (Fig 8): rebalance when a node's weighted aging runs far
@@ -105,7 +111,7 @@ func (p *baat) Control(ctx *Context) error {
 			if aging.WeightedAging(dst.Metrics(), sens) >= scores[i] {
 				continue
 			}
-			if err := MigrateVM(src, dst, v.ID(), p.cfg.MigrationTime); err != nil {
+			if err := migrate(ctx, src, dst, v.ID(), p.cfg.MigrationTime); err != nil {
 				return err
 			}
 		}
@@ -141,7 +147,17 @@ func (p *baat) plannedTrigger(ctx *Context) float64 {
 		_ = n.SetSoCFloor(clampFloor(1 - goal))
 	}
 	if count > 0 {
-		trigger = clampTrigger(1 - sum/float64(count))
+		goal := sum / float64(count)
+		trigger = clampTrigger(1 - goal)
+		ctx.Telemetry.Counter(telemetry.MetricDoDAdjusts).Inc()
+		ctx.Telemetry.Gauge(telemetry.MetricDoDGoal).Set(goal)
+		// Trace only meaningful target moves (> 1 % DoD) so the ring keeps
+		// the shape of the Eq 7 trajectory rather than its sampling rate.
+		if diff := goal - p.lastDoDGoal; diff > 0.01 || diff < -0.01 {
+			p.lastDoDGoal = goal
+			ctx.Telemetry.Emit(ctx.Clock, telemetry.EventDoDTarget, "",
+				fmt.Sprintf("DoD goal %.3f, trigger %.3f", goal, trigger))
+		}
 	}
 	return trigger
 }

@@ -21,6 +21,7 @@ import (
 
 	"github.com/green-dc/baat/internal/aging"
 	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/telemetry"
 	"github.com/green-dc/baat/internal/vm"
 	"github.com/green-dc/baat/internal/workload"
 )
@@ -35,6 +36,10 @@ type Context struct {
 	// Rng drives any randomized decision (BAAT-h's non-holistic target
 	// selection); it is seeded by the simulation for reproducibility.
 	Rng *rand.Rand
+	// Telemetry records policy decisions (migrations, DVFS caps, DoD
+	// adjustments) as counters and traced events. Nil is valid and
+	// records nothing.
+	Telemetry *telemetry.Recorder
 }
 
 // Policy is a battery power-management scheme.
@@ -209,6 +214,40 @@ func New(kind Kind, cfg Config) (Policy, error) {
 		return &baat{cfg: cfg}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown policy kind %v", kind)
+	}
+}
+
+// migrate wraps MigrateVM with policy telemetry: a successful move counts
+// one migration and traces an EventMigration; a rollback counts a failure.
+// The "cannot host" rejection returns an error only to the caller that
+// mispicked — policies treat it as a skipped candidate.
+func migrate(ctx *Context, src, dst *node.Node, vmID string, transfer time.Duration) error {
+	if err := MigrateVM(src, dst, vmID, transfer); err != nil {
+		ctx.Telemetry.Counter(telemetry.MetricMigrationFailures).Inc()
+		return err
+	}
+	ctx.Telemetry.Counter(telemetry.MetricMigrations).Inc()
+	ctx.Telemetry.Emit(ctx.Clock, telemetry.EventMigration, src.ID(), vmID+" -> "+dst.ID())
+	return nil
+}
+
+// capFrequency steps a server one DVFS notch down for battery protection,
+// recording the cap when it actually moved the ladder.
+func capFrequency(ctx *Context, n *node.Node) {
+	if n.Server().StepDownFrequency() {
+		ctx.Telemetry.Counter(telemetry.MetricDVFSCaps).Inc()
+		ctx.Telemetry.Emit(ctx.Clock, telemetry.EventDVFSCap, n.ID(),
+			fmt.Sprintf("freq index %d", n.Server().FrequencyIndex()))
+	}
+}
+
+// restoreFrequency steps a server one DVFS notch back up after recovery,
+// recording the restore when it actually moved the ladder.
+func restoreFrequency(ctx *Context, n *node.Node) {
+	if n.Server().StepUpFrequency() {
+		ctx.Telemetry.Counter(telemetry.MetricDVFSRestores).Inc()
+		ctx.Telemetry.Emit(ctx.Clock, telemetry.EventDVFSRestore, n.ID(),
+			fmt.Sprintf("freq index %d", n.Server().FrequencyIndex()))
 	}
 }
 

@@ -92,7 +92,7 @@ func (p *baatH) Control(ctx *Context) error {
 			if dst == src || !dst.Server().CanHost(v) {
 				continue
 			}
-			if err := MigrateVM(src, dst, v.ID(), p.cfg.MigrationTime); err != nil {
+			if err := migrate(ctx, src, dst, v.ID(), p.cfg.MigrationTime); err != nil {
 				return err
 			}
 			break

@@ -35,9 +35,9 @@ func (p *baatS) Control(ctx *Context) error {
 			_ = n.SetSoCFloor(p.cfg.Slowdown.FloorSoC)
 		}
 		if slowdownNeeded(n, p.cfg.Slowdown) {
-			n.Server().StepDownFrequency()
+			capFrequency(ctx, n)
 		} else if recovered(n, p.cfg.Slowdown) {
-			n.Server().StepUpFrequency()
+			restoreFrequency(ctx, n)
 		}
 	}
 	return nil

@@ -18,6 +18,7 @@ import (
 	"github.com/green-dc/baat/internal/core"
 	"github.com/green-dc/baat/internal/sim"
 	"github.com/green-dc/baat/internal/solar"
+	"github.com/green-dc/baat/internal/telemetry"
 	"github.com/green-dc/baat/internal/workload"
 )
 
@@ -92,6 +93,10 @@ type Config struct {
 	Accel float64
 	// Quick shrinks sweeps and horizons for use in unit tests.
 	Quick bool
+	// Telemetry, when non-nil, instruments every simulator the harnesses
+	// build, so a run's /metrics endpoint aggregates counters across all
+	// experiments executed with this config.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultConfig returns the full-fidelity configuration.
@@ -132,6 +137,7 @@ func prototypeSimWithScale(cfg Config, kind core.Kind, coreCfg core.Config, scal
 	scfg.Services = workload.PrototypeServices()
 	scfg.JobsPerDay = 2
 	scfg.Solar.Scale = scale
+	scfg.Telemetry = cfg.Telemetry
 	return sim.New(scfg, policy)
 }
 

@@ -44,6 +44,7 @@ func fleetLifetime(cfg Config, kind core.Kind, coreCfg core.Config, frac float64
 		scfg.Services = workload.PrototypeServices()
 		scfg.JobsPerDay = 2
 		scfg.Solar.Scale = 1.5
+		scfg.Telemetry = cfg.Telemetry
 		if mutate != nil {
 			mutate(&scfg)
 		}

@@ -40,6 +40,7 @@ func runWindowThroughput(cfg Config, kind core.Kind, coreCfg core.Config) (thr f
 	scfg.Services = workload.PrototypeServices()
 	scfg.JobsPerDay = 2
 	scfg.Solar.Scale = plannedScale
+	scfg.Telemetry = cfg.Telemetry
 	s, err := sim.New(scfg, policy)
 	if err != nil {
 		return 0, 0, err

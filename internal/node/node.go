@@ -18,6 +18,7 @@ import (
 	"github.com/green-dc/baat/internal/battery"
 	"github.com/green-dc/baat/internal/powernet"
 	"github.com/green-dc/baat/internal/server"
+	"github.com/green-dc/baat/internal/telemetry"
 	"github.com/green-dc/baat/internal/units"
 )
 
@@ -46,6 +47,11 @@ type Config struct {
 
 	// BatteryOptions customize the pack (manufacturing variation etc.).
 	BatteryOptions []battery.Option
+
+	// Telemetry instruments the node and its battery pack (dark ticks,
+	// utility ticks, pack step counters). Nil leaves the node
+	// un-instrumented at no cost.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultConfig returns a prototype-scale node configuration.
@@ -122,6 +128,10 @@ type Node struct {
 	solarWh    units.WattHour
 	downTicks  int
 	totalTicks int
+
+	// Telemetry handles (nil no-ops unless Config.Telemetry was set).
+	telDark    *telemetry.Counter
+	telUtility *telemetry.Counter
 }
 
 // New assembles a node.
@@ -136,7 +146,10 @@ func New(id string, cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	pack, err := battery.New(cfg.BatterySpec, cfg.BatteryOptions...)
+	// The pack's recorder option goes first so an explicit WithRecorder in
+	// BatteryOptions can still override it.
+	packOpts := append([]battery.Option{battery.WithRecorder(cfg.Telemetry)}, cfg.BatteryOptions...)
+	pack, err := battery.New(cfg.BatterySpec, packOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -153,14 +166,16 @@ func New(id string, cfg Config) (*Node, error) {
 		return nil, err
 	}
 	return &Node{
-		id:       id,
-		cfg:      cfg,
-		srv:      srv,
-		pack:     pack,
-		tracker:  tracker,
-		model:    model,
-		table:    table,
-		socFloor: cfg.SoCFloor,
+		id:         id,
+		cfg:        cfg,
+		srv:        srv,
+		pack:       pack,
+		tracker:    tracker,
+		model:      model,
+		table:      table,
+		socFloor:   cfg.SoCFloor,
+		telDark:    cfg.Telemetry.Counter(telemetry.MetricNodeDarkTicks),
+		telUtility: cfg.Telemetry.Counter(telemetry.MetricNodeUtilityTicks),
 	}, nil
 }
 
@@ -287,6 +302,7 @@ func (n *Node) Step(dt time.Duration, solarForLoad, solarForCharge units.Watt) (
 				res.UtilityPower = deficit
 				res.Source = powernet.SourceUtility
 				batteryNeed = 0
+				n.telUtility.Inc()
 			} else {
 				run = false
 			}
@@ -332,6 +348,7 @@ func (n *Node) Step(dt time.Duration, solarForLoad, solarForCharge units.Watt) (
 		res.Source = powernet.SourceNone
 		solarForCharge += solarForLoad
 		n.downTicks++
+		n.telDark.Inc()
 	}
 
 	// Charging with the charge allocation (plus reclaimed load solar on a

@@ -8,6 +8,12 @@
 // policy, which is the simulated analogue of the paper's methodology of
 // matching "the most similar solar generation scenarios" across the four
 // policy experiments (§VI-B).
+//
+// Setting Config.Telemetry instruments the run with the counters, gauges,
+// histograms, and traced events of internal/telemetry (tick and placement
+// counts, the Fig 19 SoC distribution, policy migration/DVFS decisions,
+// battery end-of-life events); see docs/OBSERVABILITY.md for the full
+// catalogue.
 package sim
 
 import (
@@ -22,6 +28,7 @@ import (
 	"github.com/green-dc/baat/internal/node"
 	"github.com/green-dc/baat/internal/solar"
 	"github.com/green-dc/baat/internal/stats"
+	"github.com/green-dc/baat/internal/telemetry"
 	"github.com/green-dc/baat/internal/units"
 	"github.com/green-dc/baat/internal/vm"
 	"github.com/green-dc/baat/internal/workload"
@@ -63,6 +70,12 @@ type Config struct {
 	ManufacturingSigma float64
 	// RecordSeries keeps per-control-period metric snapshots (Figs 12/13).
 	RecordSeries bool
+	// Telemetry instruments the run: tick/day/placement counters, the
+	// Fig 19 SoC histogram, policy decision counts and events, and battery
+	// step counters, all under the canonical names of
+	// internal/telemetry/names.go. Nil (the default) records nothing at
+	// effectively no cost.
+	Telemetry *telemetry.Recorder
 }
 
 // DefaultConfig mirrors the prototype: six nodes, one-minute ticks,
@@ -206,6 +219,21 @@ type Simulator struct {
 	series    []MetricsPoint
 	eolAt     time.Duration
 	placedSvc bool
+
+	// Telemetry handles captured at construction (nil no-ops without a
+	// recorder); telSoC mirrors socHist's seven Fig 19 bins.
+	tel            *telemetry.Recorder
+	telTicks       *telemetry.Counter
+	telDays        *telemetry.Counter
+	telJobs        *telemetry.Counter
+	telPlacements  *telemetry.Counter
+	telDeferred    *telemetry.Counter
+	telEOL         *telemetry.Counter
+	telSoC         *telemetry.Histogram
+	telControl     *telemetry.Histogram
+	telClock       *telemetry.Gauge
+	telMinHealth   *telemetry.Gauge
+	telFleetAvgSoC *telemetry.Gauge
 }
 
 // New builds a simulator. The policy is injected so experiments construct
@@ -239,9 +267,23 @@ func New(cfg Config, policy core.Policy) (*Simulator, error) {
 		jobRng:    jobRng,
 		gen:       gen,
 		socHist:   hist,
+
+		tel:            cfg.Telemetry,
+		telTicks:       cfg.Telemetry.Counter(telemetry.MetricSimTicks),
+		telDays:        cfg.Telemetry.Counter(telemetry.MetricSimDays),
+		telJobs:        cfg.Telemetry.Counter(telemetry.MetricSimJobsSubmitted),
+		telPlacements:  cfg.Telemetry.Counter(telemetry.MetricSimPlacements),
+		telDeferred:    cfg.Telemetry.Counter(telemetry.MetricSimPlacementsDeferred),
+		telEOL:         cfg.Telemetry.Counter(telemetry.MetricBatteryEOL),
+		telSoC:         cfg.Telemetry.Histogram(telemetry.MetricSoC, telemetry.LinearBounds(0, 1, 7)),
+		telControl:     cfg.Telemetry.Histogram(telemetry.MetricSimControlSeconds, controlBounds()),
+		telClock:       cfg.Telemetry.Gauge(telemetry.MetricSimClockSeconds),
+		telMinHealth:   cfg.Telemetry.Gauge(telemetry.MetricFleetMinHealth),
+		telFleetAvgSoC: cfg.Telemetry.Gauge(telemetry.MetricFleetAvgSoC),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		ncfg := cfg.Node
+		ncfg.Telemetry = cfg.Telemetry
 		if cfg.ManufacturingSigma > 0 {
 			capScale := 1 + rng.NormFloat64()*cfg.ManufacturingSigma
 			resScale := 1 + rng.NormFloat64()*cfg.ManufacturingSigma
@@ -280,7 +322,7 @@ func (s *Simulator) Clock() time.Duration { return s.clock }
 
 // ctx builds the policy context.
 func (s *Simulator) ctx() *core.Context {
-	return &core.Context{Nodes: s.nodes, Clock: s.clock, Rng: s.policyRng}
+	return &core.Context{Nodes: s.nodes, Clock: s.clock, Rng: s.policyRng, Telemetry: s.tel}
 }
 
 // submitJobs enqueues the day's arrivals. Jobs that do not fit immediately
@@ -295,6 +337,7 @@ func (s *Simulator) submitJobs() error {
 			return err
 		}
 		s.pending = append(s.pending, v)
+		s.telJobs.Inc()
 		return nil
 	}
 	if !s.placedSvc {
@@ -336,6 +379,7 @@ func (s *Simulator) placePending() error {
 		if err != nil {
 			if err == core.ErrNoCapacity {
 				remaining = append(remaining, v)
+				s.telDeferred.Inc()
 				continue
 			}
 			return err
@@ -343,6 +387,7 @@ func (s *Simulator) placePending() error {
 		if err := target.Server().Attach(v); err != nil {
 			return err
 		}
+		s.telPlacements.Inc()
 	}
 	s.pending = remaining
 	return nil
@@ -391,10 +436,14 @@ func (s *Simulator) RunDay(w solar.Weather) (DayStats, error) {
 			return DayStats{}, err
 		}
 		s.clock += s.cfg.Tick
+		s.telTicks.Inc()
 		if s.eolAt == 0 {
 			for _, n := range s.nodes {
 				if n.AtEndOfLife() {
 					s.eolAt = s.clock
+					s.telEOL.Inc()
+					s.tel.Emit(s.clock, telemetry.EventBatteryEOL, n.ID(),
+						fmt.Sprintf("health %.3f below end-of-life threshold", n.Stats().Health))
 					break
 				}
 			}
@@ -404,6 +453,7 @@ func (s *Simulator) RunDay(w solar.Weather) (DayStats, error) {
 			for i, n := range s.nodes {
 				soc := n.Battery().SoC()
 				s.socHist.Observe(soc)
+				s.telSoC.Observe(soc)
 				if soc < aging.DeepDischargeSoC {
 					lowSoC[i] += s.cfg.Tick
 				}
@@ -415,9 +465,17 @@ func (s *Simulator) RunDay(w solar.Weather) (DayStats, error) {
 				if err := s.placePending(); err != nil {
 					return DayStats{}, err
 				}
+				controlStart := time.Time{}
+				if s.telControl != nil {
+					controlStart = time.Now()
+				}
 				if err := s.policy.Control(s.ctx()); err != nil {
 					return DayStats{}, err
 				}
+				if s.telControl != nil {
+					s.telControl.Observe(time.Since(controlStart).Seconds())
+				}
+				s.updateFleetGauges()
 				if s.cfg.RecordSeries {
 					for _, n := range s.nodes {
 						s.series = append(s.series, MetricsPoint{
@@ -433,6 +491,7 @@ func (s *Simulator) RunDay(w solar.Weather) (DayStats, error) {
 	}
 
 	s.reapCompleted()
+	s.telDays.Inc()
 
 	for i, n := range s.nodes {
 		st := n.Stats()
@@ -522,6 +581,36 @@ func (s *Simulator) step(power units.Watt, inWindow bool) error {
 		}
 	}
 	return nil
+}
+
+// updateFleetGauges refreshes the fleet-level telemetry gauges once per
+// control period: simulated clock, worst battery health (the EOL criterion
+// of §II-B), and average state of charge.
+func (s *Simulator) updateFleetGauges() {
+	if s.tel == nil {
+		return
+	}
+	s.telClock.Set(s.clock.Seconds())
+	minHealth := 1.0
+	var sumSoC float64
+	for _, n := range s.nodes {
+		st := n.Stats()
+		if st.Health < minHealth {
+			minHealth = st.Health
+		}
+		sumSoC += st.SoC
+	}
+	s.telMinHealth.Set(minHealth)
+	if len(s.nodes) > 0 {
+		s.telFleetAvgSoC.Set(sumSoC / float64(len(s.nodes)))
+	}
+}
+
+// controlBounds are the histogram buckets (seconds) for policy Control wall
+// time — sub-microsecond through one second covers every fleet size the
+// engine targets.
+func controlBounds() []float64 {
+	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
 }
 
 // bySoC returns node indices sorted by ascending state of charge.

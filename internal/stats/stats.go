@@ -1,6 +1,11 @@
 // Package stats provides the small statistical utilities the experiment
 // harnesses need: fixed-bin histograms (the SoC distribution of Fig 19),
 // online summaries, and series helpers for sweep outputs.
+//
+// Unlike internal/telemetry — whose atomic counters and histograms serve a
+// live /metrics endpoint — these types are plain single-goroutine values
+// that end up embedded in experiment results (sim.Result.SoCHistogram), so
+// they favor exactness and simplicity over concurrency.
 package stats
 
 import (

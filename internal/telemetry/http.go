@@ -1,0 +1,141 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// Handler returns the observability endpoint:
+//
+//	/metrics          Prometheus text exposition (counters, gauges, histograms)
+//	/events           JSON dump of the event ring, oldest first
+//	/debug/pprof/...  the standard runtime profiles
+//
+// The handler is safe while the simulation is running: metric reads are
+// atomic snapshots and the event dump copies under the tracer lock.
+func (r *Recorder) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteMetrics(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		dump := struct {
+			Events  []Event `json:"events"`
+			Total   uint64  `json:"total"`
+			Dropped uint64  `json:"dropped"`
+		}{Events: r.Events()}
+		if r != nil {
+			dump.Total = r.tracer.Total()
+			dump.Dropped = r.tracer.Dropped()
+		}
+		if dump.Events == nil {
+			dump.Events = []Event{}
+		}
+		_ = json.NewEncoder(w).Encode(dump)
+	})
+	// net/http/pprof registers on http.DefaultServeMux via init; mount the
+	// same handlers explicitly so the telemetry mux stays self-contained.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// WriteMetrics renders every registered metric in the Prometheus text
+// exposition format, names sorted, with HELP lines for canonical names.
+func (r *Recorder) WriteMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	snap := r.reg.snapshot()
+	for _, name := range sortedNames(snap.Counters) {
+		if err := writeHeader(w, name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(snap.Gauges) {
+		if err := writeHeader(w, name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, formatFloat(snap.Gauges[name])); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(snap.Histograms) {
+		if err := writeHeader(w, name, "histogram"); err != nil {
+			return err
+		}
+		h := snap.Histograms[name]
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHeader emits the HELP (for canonical names) and TYPE lines.
+func writeHeader(w io.Writer, name, typ string) error {
+	if help := Help(name); help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Server is a running telemetry HTTP listener.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// ListenAndServe starts serving Handler on addr in a background goroutine.
+// The caller owns the returned Server and should Close it when done.
+func (r *Recorder) ListenAndServe(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}

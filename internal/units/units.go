@@ -4,6 +4,11 @@
 // All quantities are float64 wrappers. They exist so that function
 // signatures document themselves (a charger takes Watts, a battery stores
 // AmpereHours) and so that unit conversions happen in exactly one place.
+//
+// The set mirrors the per-battery power table of DSN'15 Table 2 — voltage,
+// current, temperature, and state of charge — plus the watt/watt-hour pair
+// the solar budget figures use (§VI-A reports daily generation in kWh) and
+// the ampere-hour throughput that anchors the NAT aging metric (§III).
 package units
 
 import (
