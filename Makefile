@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench
+.PHONY: check fmt vet build test test-race bench bench-smoke fuzz-smoke golden-update
 
 check: ## gofmt -l + vet + build + race tests
 	./check.sh
@@ -24,3 +24,12 @@ test-race:
 
 bench: ## quick-mode experiment benchmarks
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+bench-smoke: ## one-iteration fleet-stepping benchmark (compile + run sanity)
+	$(GO) test -run=NONE -bench=FleetStep -benchtime=1x ./internal/sim/
+
+fuzz-smoke: ## short fuzz pass over the aging-metric tracker
+	$(GO) test -run=NONE -fuzz=FuzzAgingMetrics -fuzztime=5s ./internal/aging/
+
+golden-update: ## regenerate the 30-day golden trace fixture
+	$(GO) test ./internal/sim/ -run TestGoldenTrace -update

@@ -20,4 +20,10 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== bench smoke =="
+go test -run=NONE -bench=FleetStep -benchtime=1x ./internal/sim/
+
+echo "== fuzz smoke =="
+go test -run=NONE -fuzz=FuzzAgingMetrics -fuzztime=5s ./internal/aging/
+
 echo "OK"

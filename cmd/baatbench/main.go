@@ -32,6 +32,7 @@ func run() error {
 	var (
 		quick    = flag.Bool("quick", false, "reduced sweeps and horizons")
 		seed     = flag.Int64("seed", 42, "random seed")
+		workers  = flag.Int("workers", 1, "node-stepping workers per simulator (1 = serial, -1 = all CPUs; never changes results)")
 		accel    = flag.Float64("accel", 10, "battery aging acceleration factor")
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
@@ -46,7 +47,7 @@ func run() error {
 		return nil
 	}
 
-	cfg := baat.ExperimentConfig{Seed: *seed, Accel: *accel, Quick: *quick}
+	cfg := baat.ExperimentConfig{Seed: *seed, Accel: *accel, Quick: *quick, Workers: *workers}
 	if *telAddr != "" {
 		cfg.Telemetry = baat.NewRecorder()
 		srv, err := baat.ServeTelemetry(cfg.Telemetry, *telAddr)

@@ -37,6 +37,7 @@ func run() error {
 		sunshine   = flag.Float64("sunshine", 0.5, "sunshine fraction for -weather mix")
 		seed       = flag.Int64("seed", 1, "random seed")
 		nodes      = flag.Int("nodes", 6, "number of battery nodes")
+		workers    = flag.Int("workers", 1, "node-stepping workers (1 = serial, -1 = all CPUs; never changes results)")
 		accel      = flag.Float64("accel", 1, "battery aging acceleration factor")
 		untilEOL   = flag.Bool("until-eol", false, "run until the first battery reaches end-of-life")
 		maxDays    = flag.Int("max-days", 365, "day cap for -until-eol")
@@ -82,6 +83,7 @@ func run() error {
 	scfg.Telemetry = rec
 	scfg.Seed = *seed
 	scfg.Nodes = *nodes
+	scfg.Workers = *workers
 	scfg.JobsPerDay = *jobsPerDay
 	scfg.Solar.Scale = *solarScale
 	scfg.Node.AgingConfig.AccelFactor = *accel

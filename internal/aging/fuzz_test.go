@@ -1,0 +1,82 @@
+package aging
+
+// FuzzAgingMetrics drives the metric-update path (Tracker.Observe →
+// Tracker.Metrics) with adversarial current/SoC/temperature/time samples.
+// The contract under fuzz: a sample is either rejected with an error and
+// leaves the tracker untouched, or it is folded in and every one of the
+// five metrics (plus the DR variants and raw totals) remains finite and
+// non-negative. The seed corpus in testdata/fuzz/FuzzAgingMetrics covers
+// the interesting boundaries (zero current, sign flips, NaN, the
+// plausibility limit, sub-second and multi-year intervals).
+//
+// CI runs a 5-second smoke via check.sh; hunt longer locally with:
+//
+//	go test ./internal/aging -fuzz=FuzzAgingMetrics -fuzztime=5m
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/green-dc/baat/internal/units"
+)
+
+// checkFinite fails the fuzz run if any metric went NaN/Inf or negative.
+func checkFinite(t *testing.T, tr *Tracker) {
+	t.Helper()
+	m := tr.Metrics()
+	fields := map[string]float64{
+		"NAT": m.NAT, "CF": m.CF, "PC": m.PC, "DDT": m.DDT,
+		"DR": m.DR, "DRPeak": m.DRPeak, "DRLowSoC": m.DRLowSoC,
+	}
+	for name, v := range fields {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s = %v (non-finite)", name, v)
+		}
+		if v < 0 {
+			t.Fatalf("%s = %v (negative)", name, v)
+		}
+	}
+	out, in := tr.Totals()
+	if out < 0 || in < 0 || math.IsNaN(float64(out)) || math.IsNaN(float64(in)) {
+		t.Fatalf("Totals() = (%v, %v): negative or non-finite cycle throughput", out, in)
+	}
+	if tr.ElapsedTime() < 0 {
+		t.Fatalf("ElapsedTime() = %v (negative)", tr.ElapsedTime())
+	}
+}
+
+func FuzzAgingMetrics(f *testing.F) {
+	f.Add(int64(time.Minute), 5.0, 0.5, 25.0)
+	f.Add(int64(time.Minute), -8.75, 0.95, 25.0)
+	f.Add(int64(time.Second), 0.0, 0.0, -40.0)
+	f.Add(int64(100*365*24)*int64(time.Hour), 1e6, 1.0, 90.0)
+	f.Add(int64(1), 1e-300, 0.39999, 25.0)
+	f.Add(int64(-5), 3.0, 0.5, 25.0)
+	f.Add(int64(time.Hour), math.Inf(1), 0.5, 25.0)
+	f.Add(int64(time.Hour), 5.0, math.NaN(), 25.0)
+
+	f.Fuzz(func(t *testing.T, dtNS int64, current, soc, temp float64) {
+		tr, err := NewTracker(7000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fold in a handful of derived samples so ratios (CF, PC, DR) see
+		// mixed charge/discharge streams, not just one observation.
+		samples := []Sample{
+			{Dt: time.Duration(dtNS), Current: units.Ampere(current), SoC: soc, Temperature: units.Celsius(temp)},
+			{Dt: time.Duration(dtNS), Current: units.Ampere(-current), SoC: soc, Temperature: units.Celsius(temp)},
+			{Dt: time.Duration(dtNS / 2), Current: units.Ampere(current / 16), SoC: soc - 0.5, Temperature: units.Celsius(temp)},
+			{Dt: time.Minute, Current: units.Ampere(current), SoC: 1 - soc, Temperature: units.Celsius(temp)},
+		}
+		for _, s := range samples {
+			// Rejected samples must not have mutated the tracker; accepted
+			// ones must keep every metric finite.
+			_ = tr.Observe(s)
+			checkFinite(t, tr)
+		}
+		// A reset tracker restarts from a clean, finite state.
+		tr.Reset()
+		checkFinite(t, tr)
+	})
+}

@@ -7,6 +7,7 @@ package aging
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/green-dc/baat/internal/units"
@@ -136,10 +137,33 @@ func NewTracker(lifetime units.AmpereHour) (*Tracker, error) {
 	return &Tracker{lifetime: lifetime}, nil
 }
 
-// Observe folds one sample into the running metrics.
+// maxPlausibleCurrent bounds sample currents the tracker accepts (in
+// amperes). No battery string the simulator models carries a mega-amp;
+// rejecting beyond it keeps every accumulated quantity — and therefore
+// every metric ratio — finite by construction, which the FuzzAgingMetrics
+// target exercises with adversarial inputs.
+const maxPlausibleCurrent = 1e6
+
+// minMeasurableAh is the discharge throughput below which ratio metrics
+// (CF, PC) stay zero: a nano-amp-second of cycling is sensor noise, and
+// dividing by it would let CF overflow for otherwise-valid inputs.
+const minMeasurableAh = 1e-12
+
+// Observe folds one sample into the running metrics. Samples with
+// non-finite or physically implausible fields are rejected so the metric
+// snapshot can never become NaN or Inf.
 func (t *Tracker) Observe(s Sample) error {
 	if s.Dt <= 0 {
 		return fmt.Errorf("aging: sample duration must be positive, got %v", s.Dt)
+	}
+	if c := float64(s.Current); math.IsNaN(c) || math.Abs(c) > maxPlausibleCurrent {
+		return fmt.Errorf("aging: implausible sample current %v A", s.Current)
+	}
+	if math.IsNaN(s.SoC) || math.IsInf(s.SoC, 0) {
+		return fmt.Errorf("aging: non-finite sample SoC %v", s.SoC)
+	}
+	if tc := float64(s.Temperature); math.IsNaN(tc) || math.IsInf(tc, 0) {
+		return fmt.Errorf("aging: non-finite sample temperature %v", s.Temperature)
 	}
 	soc := units.Clamp01(s.SoC)
 	hours := s.Dt.Hours()
@@ -171,7 +195,7 @@ func (t *Tracker) Metrics() Metrics {
 	m := Metrics{
 		NAT: t.ahOut / float64(t.lifetime),
 	}
-	if t.ahOut > 0 {
+	if t.ahOut > minMeasurableAh {
 		m.CF = t.ahIn / t.ahOut
 		// Healthy-high orientation: band A weight 4 … band D weight 1,
 		// normalized by 4 so the value lives in [0.25, 1].

@@ -1,0 +1,74 @@
+package battery_test
+
+// The health-monotonicity property, in an external test package because it
+// closes the loop through aging.Model (which imports battery): feeding the
+// realized currents of random operation sequences through the damage model
+// and applying its degradation back to the pack, health never increases —
+// damage is irreversible (§II-B).
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/green-dc/baat/internal/aging"
+	"github.com/green-dc/baat/internal/battery"
+	"github.com/green-dc/baat/internal/units"
+)
+
+func TestQuickHealthMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, err := battery.New(battery.DefaultSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mcfg := aging.DefaultModelConfig()
+		mcfg.AccelFactor = 1000 // make damage visible within a short sequence
+		model, err := aging.NewModel(mcfg, battery.DefaultSpec().NominalCapacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		health := p.Health()
+		for i := 0; i < 150; i++ {
+			dt := time.Duration(1+rng.Intn(120)) * time.Second * 30
+			amb := units.Celsius(-10 + rng.Float64()*55)
+			pw := units.Watt(rng.Float64() * 2000)
+			var res battery.StepResult
+			switch rng.Intn(3) {
+			case 0:
+				res, err = p.Discharge(pw, dt, amb)
+			case 1:
+				res, err = p.Charge(pw, dt, amb)
+			default:
+				p.Rest(dt, amb)
+			}
+			if err != nil {
+				t.Logf("seed %d step %d: %v", seed, i, err)
+				return false
+			}
+			sample := aging.Sample{Dt: dt, Current: res.Current, SoC: p.SoC(), Temperature: p.Temperature()}
+			if err := model.Observe(sample); err != nil {
+				t.Logf("seed %d step %d: %v", seed, i, err)
+				return false
+			}
+			p.ApplyDegradation(model.Degradation())
+			h := p.Health()
+			if h > health+1e-12 {
+				t.Logf("seed %d step %d: health rose %v -> %v", seed, i, health, h)
+				return false
+			}
+			if h < 0 || h > 1 || math.IsNaN(h) {
+				t.Logf("seed %d step %d: health %v out of [0,1]", seed, i, h)
+				return false
+			}
+			health = h
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -93,6 +93,10 @@ type Config struct {
 	Accel float64
 	// Quick shrinks sweeps and horizons for use in unit tests.
 	Quick bool
+	// Workers is the per-simulator node-stepping fan-out
+	// (sim.Config.Workers): 0/1 serial, negative = all CPUs. Worker count
+	// never changes experiment output, only wall time.
+	Workers int
 	// Telemetry, when non-nil, instruments every simulator the harnesses
 	// build, so a run's /metrics endpoint aggregates counters across all
 	// experiments executed with this config.
@@ -138,6 +142,7 @@ func prototypeSimWithScale(cfg Config, kind core.Kind, coreCfg core.Config, scal
 	scfg.JobsPerDay = 2
 	scfg.Solar.Scale = scale
 	scfg.Telemetry = cfg.Telemetry
+	scfg.Workers = cfg.Workers
 	return sim.New(scfg, policy)
 }
 

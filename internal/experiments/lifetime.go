@@ -45,6 +45,7 @@ func fleetLifetime(cfg Config, kind core.Kind, coreCfg core.Config, frac float64
 		scfg.JobsPerDay = 2
 		scfg.Solar.Scale = 1.5
 		scfg.Telemetry = cfg.Telemetry
+		scfg.Workers = cfg.Workers
 		if mutate != nil {
 			mutate(&scfg)
 		}

@@ -41,6 +41,7 @@ func runWindowThroughput(cfg Config, kind core.Kind, coreCfg core.Config) (thr f
 	scfg.JobsPerDay = 2
 	scfg.Solar.Scale = plannedScale
 	scfg.Telemetry = cfg.Telemetry
+	scfg.Workers = cfg.Workers
 	s, err := sim.New(scfg, policy)
 	if err != nil {
 		return 0, 0, err

@@ -111,7 +111,14 @@ type StepResult struct {
 	Source powernet.Source
 }
 
-// Node is one server+battery unit. Not safe for concurrent use.
+// Node is one server+battery unit.
+//
+// A single Node is not safe for concurrent use, but distinct Nodes are
+// fully independent: every field a Step/StepOffline touches (pack, server,
+// tracker, model, power table) is owned by that node, and the only shared
+// state — telemetry counters — is atomic. The simulator's parallel fleet
+// stepping relies on this: stepping disjoint nodes from multiple
+// goroutines is race-free and produces results identical to serial order.
 type Node struct {
 	id      string
 	cfg     Config

@@ -1,0 +1,79 @@
+package rack
+
+// Property-based invariants over the shared-pool architecture, mirroring
+// internal/battery's testing/quick suite at the rack layer: under random
+// solar grants and workload mixes the pool's SoC stays in [0, 1], its
+// health never recovers, and the shed-server accounting stays within the
+// rack's server count.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/green-dc/baat/internal/units"
+	"github.com/green-dc/baat/internal/vm"
+	"github.com/green-dc/baat/internal/workload"
+)
+
+func TestQuickRackPoolInvariants(t *testing.T) {
+	services := workload.PrototypeServices()
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		cfg.AgingConfig.AccelFactor = 1000
+		r, err := New("rack-quick", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random subset of the six prototype workloads across the servers,
+		// so some sequences run server-heavy and others battery-idle.
+		for i, srv := range r.Servers() {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			v, verr := vm.New(fmt.Sprintf("vm-%d-%d", seed&0xffff, i), services[rng.Intn(len(services))])
+			if verr != nil {
+				t.Fatal(verr)
+			}
+			if aerr := srv.Attach(v); aerr != nil {
+				t.Fatal(aerr)
+			}
+		}
+		health := r.Pool().Health()
+		for i := 0; i < 200; i++ {
+			dt := time.Duration(1+rng.Intn(10)) * time.Minute
+			var res StepResult
+			if rng.Intn(4) == 0 {
+				res, err = r.StepOffline(dt, units.Watt(rng.Float64()*2000))
+			} else {
+				res, err = r.Step(dt, units.Watt(rng.Float64()*2000), units.Watt(rng.Float64()*1000))
+			}
+			if err != nil {
+				t.Logf("seed %d step %d: %v", seed, i, err)
+				return false
+			}
+			if soc := r.Pool().SoC(); soc < 0 || soc > 1 || math.IsNaN(soc) {
+				t.Logf("seed %d step %d: pool SoC %v out of [0,1]", seed, i, soc)
+				return false
+			}
+			h := r.Pool().Health()
+			if h > health+1e-12 || h < 0 || math.IsNaN(h) {
+				t.Logf("seed %d step %d: pool health %v (previous %v)", seed, i, h, health)
+				return false
+			}
+			health = h
+			if res.ServersDown < 0 || res.ServersDown > cfg.Servers {
+				t.Logf("seed %d step %d: shed %d servers of %d", seed, i, res.ServersDown, cfg.Servers)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

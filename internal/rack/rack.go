@@ -98,7 +98,12 @@ type StepResult struct {
 	WorkDone float64
 }
 
-// Rack is one shared-pool battery group. Not safe for concurrent use.
+// Rack is one shared-pool battery group.
+//
+// A single Rack is not safe for concurrent use, but — like node.Node —
+// distinct Racks own all state their Step/StepOffline touches, so a fleet
+// harness may step disjoint racks from multiple goroutines with results
+// identical to serial order.
 type Rack struct {
 	id      string
 	cfg     Config

@@ -1,0 +1,75 @@
+package sim
+
+// BenchmarkFleetStep measures the per-tick node-physics fan-out at
+// production fleet sizes (the ROADMAP's "as fast as the hardware allows"
+// axis). Fleets of 16/256/2048 nodes run one simulated day per iteration,
+// serially and across all CPUs, so `-bench=FleetStep` reports the parallel
+// speedup directly. The equivalence tests in parallel_test.go guarantee
+// the two variants compute identical results; this benchmark only measures
+// wall time.
+//
+// CI runs it with `-benchtime=1x` (see check.sh bench-smoke); use the
+// default benchtime for stable speedup numbers.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/green-dc/baat/internal/core"
+	"github.com/green-dc/baat/internal/solar"
+)
+
+// benchFleet builds a fleet where one node in four hosts a persistent
+// service, so the timed region mixes the powered and scheduled-off step
+// paths like a real consolidated datacenter.
+func benchFleet(b *testing.B, nodes, workers int) *Simulator {
+	b.Helper()
+	policy, err := core.New(core.EBuff, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Nodes = nodes
+	cfg.Workers = workers
+	cfg.Tick = 5 * time.Minute
+	cfg.JobsPerDay = 0
+	cfg.ServiceVMs = nodes / 4
+	cfg.Solar.Scale = 1.5 * float64(nodes) / 6
+	s, err := New(cfg, policy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up one day outside the timer so service placement (the one-off
+	// O(VMs × nodes) scheduling pass) stays out of the step measurement.
+	if _, err := s.RunDay(solar.Sunny); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkFleetStep(b *testing.B) {
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, nodes := range []int{16, 256, 2048} {
+		for _, workers := range workerCounts {
+			name := fmt.Sprintf("nodes=%d/workers=%d", nodes, workers)
+			b.Run(name, func(b *testing.B) {
+				s := benchFleet(b, nodes, workers)
+				ticksPerDay := int(24 * time.Hour / s.cfg.Tick)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.RunDay(solar.Cloudy); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				steps := float64(b.N*ticksPerDay*nodes) / b.Elapsed().Seconds()
+				b.ReportMetric(steps, "node-steps/s")
+			})
+		}
+	}
+}

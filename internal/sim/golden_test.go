@@ -1,0 +1,309 @@
+package sim
+
+// The golden-trace regression harness: a fixed-seed 30-day simulation whose
+// per-day aging metrics, SoC distribution, and final fleet health are
+// pinned to testdata/golden_trace.json. Any change to the physics, the
+// allocator, or the policy engine that moves a number shows up as a
+// field-level diff here — the reproducibility discipline Valentini et al.
+// call for when validating aging controllers against battery-state
+// trajectories.
+//
+// Counters compare exactly; floating-point fields compare to a relative
+// 1e-9, loose enough to survive serialization round-trips and tight enough
+// to catch any real physics change. After an *intentional* change,
+// regenerate with:
+//
+//	go test ./internal/sim -run TestGoldenTrace -update
+//
+// and review the JSON diff like any other code change.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"github.com/green-dc/baat/internal/core"
+	"github.com/green-dc/baat/internal/solar"
+	"github.com/green-dc/baat/internal/workload"
+)
+
+var update = flag.Bool("update", false, "regenerate golden trace fixtures")
+
+const goldenPath = "testdata/golden_trace.json"
+
+// goldenMetrics is one node's five-metric aging snapshot (§III).
+type goldenMetrics struct {
+	NodeID string
+	NAT    float64
+	CF     float64
+	PC     float64
+	DDT    float64
+	DR     float64
+}
+
+// goldenDay is one simulated day of the trace.
+type goldenDay struct {
+	Day         int
+	Weather     string
+	Throughput  float64
+	DowntimeNS  int64
+	LowSoCNS    int64
+	SolarWh     float64
+	NodeMetrics []goldenMetrics
+}
+
+// goldenNode is a node's end-of-run state.
+type goldenNode struct {
+	ID                   string
+	Health               float64
+	SoC                  float64
+	Throughput           float64
+	DowntimeNS           int64
+	AhOut                float64
+	AhIn                 float64
+	EquivalentFullCycles float64
+}
+
+// goldenTrace is the serialized fixture.
+type goldenTrace struct {
+	Description     string
+	Seed            int64
+	Days            int
+	Policy          string
+	Throughput      float64
+	FleetLifetimeNS int64
+	SoCCounts       []int64
+	SoCTotal        int64
+	DayTrace        []goldenDay
+	FinalNodes      []goldenNode
+}
+
+// goldenRun replays the pinned scenario: the six-node prototype fleet under
+// the full BAAT policy, 30 days of seed-derived mixed weather, aging
+// accelerated so the metrics move visibly within the window.
+func goldenRun(t *testing.T) *goldenTrace {
+	t.Helper()
+	const (
+		seed = 20150614 // the paper's venue date; any fixed value works
+		days = 30
+	)
+	policy, err := core.New(core.BAATFull, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Services = workload.PrototypeServices()
+	cfg.JobsPerDay = 2
+	cfg.Solar.Scale = 1.5
+	cfg.Node.AgingConfig.AccelFactor = 10
+	s, err := New(cfg, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wxRng := rand.New(rand.NewSource(seed + 7))
+	loc := solar.Location{SunshineFraction: 0.5}
+
+	trace := &goldenTrace{
+		Description: "six-node prototype fleet, BAAT policy, 30 days, sunshine fraction 0.5, accel 10",
+		Seed:        seed,
+		Days:        days,
+		Policy:      policy.Name(),
+	}
+	for d := 0; d < days; d++ {
+		ds, err := s.RunDay(loc.DrawWeather(wxRng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gd := goldenDay{
+			Day:        ds.Day,
+			Weather:    ds.Weather.String(),
+			Throughput: ds.Throughput,
+			DowntimeNS: int64(ds.Downtime),
+			LowSoCNS:   int64(ds.LowSoCTime),
+			SolarWh:    float64(ds.SolarEnergy),
+		}
+		for _, n := range s.Nodes() {
+			m := n.Metrics()
+			gd.NodeMetrics = append(gd.NodeMetrics, goldenMetrics{
+				NodeID: n.ID(), NAT: m.NAT, CF: m.CF, PC: m.PC, DDT: m.DDT, DR: m.DR,
+			})
+		}
+		trace.DayTrace = append(trace.DayTrace, gd)
+		trace.Throughput += ds.Throughput
+	}
+
+	res := &Result{Policy: policy.Name()}
+	s.finish(res)
+	trace.FleetLifetimeNS = int64(res.FleetLifetime)
+	trace.SoCCounts = res.SoCHistogram.Counts()
+	trace.SoCTotal = res.SoCHistogram.Total()
+	for _, n := range res.Nodes {
+		trace.FinalNodes = append(trace.FinalNodes, goldenNode{
+			ID:                   n.ID,
+			Health:               n.Health,
+			SoC:                  n.SoC,
+			Throughput:           n.Throughput,
+			DowntimeNS:           int64(n.Downtime),
+			AhOut:                float64(n.Counters.AhOut),
+			AhIn:                 float64(n.Counters.AhIn),
+			EquivalentFullCycles: n.Counters.EquivalentFullCycles,
+		})
+	}
+	return trace
+}
+
+func TestGoldenTrace(t *testing.T) {
+	got := goldenRun(t)
+	raw, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden trace regenerated: %s", goldenPath)
+		return
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden trace (run with -update to create): %v", err)
+	}
+	diffs := compareJSON(t, want, raw)
+	for _, d := range diffs {
+		t.Error(d)
+	}
+	if len(diffs) > 0 {
+		t.Fatalf("%d field(s) diverged from %s; if the change is intentional, regenerate with -update and review the diff", len(diffs), goldenPath)
+	}
+}
+
+// compareJSON walks two JSON documents field-by-field: integers (counters,
+// durations, bin counts) must match exactly, other numbers to a relative
+// 1e-9, everything else byte-for-byte. It returns human-readable diffs.
+func compareJSON(t *testing.T, want, got []byte) []string {
+	t.Helper()
+	var w, g any
+	if err := unmarshalNumbers(want, &w); err != nil {
+		t.Fatalf("golden fixture unreadable: %v", err)
+	}
+	if err := unmarshalNumbers(got, &g); err != nil {
+		t.Fatal(err)
+	}
+	var diffs []string
+	diffValue("$", w, g, &diffs)
+	return diffs
+}
+
+func unmarshalNumbers(raw []byte, v *any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	return dec.Decode(v)
+}
+
+func diffValue(path string, want, got any, diffs *[]string) {
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok {
+			*diffs = append(*diffs, fmt.Sprintf("%s: want object, got %T", path, got))
+			return
+		}
+		for k, wv := range w {
+			gv, ok := g[k]
+			if !ok {
+				*diffs = append(*diffs, fmt.Sprintf("%s.%s: missing", path, k))
+				continue
+			}
+			diffValue(path+"."+k, wv, gv, diffs)
+		}
+		for k := range g {
+			if _, ok := w[k]; !ok {
+				*diffs = append(*diffs, fmt.Sprintf("%s.%s: unexpected field", path, k))
+			}
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok {
+			*diffs = append(*diffs, fmt.Sprintf("%s: want array, got %T", path, got))
+			return
+		}
+		if len(w) != len(g) {
+			*diffs = append(*diffs, fmt.Sprintf("%s: length %d, want %d", path, len(g), len(w)))
+			return
+		}
+		for i := range w {
+			diffValue(fmt.Sprintf("%s[%d]", path, i), w[i], g[i], diffs)
+		}
+	case json.Number:
+		g, ok := got.(json.Number)
+		if !ok {
+			*diffs = append(*diffs, fmt.Sprintf("%s: want number, got %T", path, got))
+			return
+		}
+		diffNumber(path, w, g, diffs)
+	default:
+		if want != got {
+			*diffs = append(*diffs, fmt.Sprintf("%s: got %v, want %v", path, got, want))
+		}
+	}
+}
+
+// diffNumber applies the exact-for-counters / 1e-9-for-floats rule: when
+// both sides serialized as integers they must be identical; otherwise they
+// compare as floats with relative tolerance.
+func diffNumber(path string, want, got json.Number, diffs *[]string) {
+	wi, werr := strconv.ParseInt(want.String(), 10, 64)
+	gi, gerr := strconv.ParseInt(got.String(), 10, 64)
+	if werr == nil && gerr == nil {
+		if wi != gi {
+			*diffs = append(*diffs, fmt.Sprintf("%s: got %d, want %d (exact)", path, gi, wi))
+		}
+		return
+	}
+	wf, err1 := want.Float64()
+	gf, err2 := got.Float64()
+	if err1 != nil || err2 != nil {
+		*diffs = append(*diffs, fmt.Sprintf("%s: unparsable numbers %q vs %q", path, got, want))
+		return
+	}
+	tol := 1e-9 * math.Max(1, math.Max(math.Abs(wf), math.Abs(gf)))
+	if math.Abs(wf-gf) > tol {
+		*diffs = append(*diffs, fmt.Sprintf("%s: got %v, want %v (±%g)", path, gf, wf, tol))
+	}
+}
+
+// TestGoldenTraceStable replays the golden scenario twice in one process
+// and requires identical traces — the precondition for the fixture to be
+// meaningful at all (no hidden global state, map-order, or time.Now leaks).
+func TestGoldenTraceStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("double 30-day replay")
+	}
+	a, err := json.Marshal(goldenRun(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(goldenRun(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two replays of the golden scenario diverged")
+	}
+}

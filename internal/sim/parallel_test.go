@@ -1,0 +1,135 @@
+package sim
+
+// The serial≡parallel equivalence sweep: the guarantee that
+// Config.Workers trades wall time only, never results. Every worker count
+// must produce a byte-identical marshaled Result for the same seed and
+// weather trace — not merely close values. The sweep runs under -race via
+// `make check`, so it doubles as the data-race gate on the fan-out.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/green-dc/baat/internal/core"
+	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/solar"
+	"github.com/green-dc/baat/internal/workload"
+)
+
+// marshaledResult serializes everything a Result carries, including the
+// histogram internals json.Marshal would skip (unexported fields).
+func marshaledResult(t *testing.T, res *Result) []byte {
+	t.Helper()
+	out, err := json.Marshal(struct {
+		Result    *Result
+		SoCCounts []int64
+		SoCTotal  int64
+	}{res, res.SoCHistogram.Counts(), res.SoCHistogram.Total()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// equivalenceRun plays a fixed three-day trace with the given seed and
+// worker count. The fleet is larger than the widest worker pool so work
+// stealing genuinely interleaves nodes.
+func equivalenceRun(t *testing.T, seed int64, workers int) []byte {
+	t.Helper()
+	policy, err := core.New(core.BAATFull, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Nodes = 12
+	cfg.Seed = seed
+	cfg.Workers = workers
+	cfg.Services = workload.PrototypeServices()
+	cfg.JobsPerDay = 4
+	cfg.RecordSeries = true
+	cfg.Node.AgingConfig.AccelFactor = 25
+	cfg.Solar.Scale = 1.5 * float64(cfg.Nodes) / 6
+	s, err := New(cfg, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run([]solar.Weather{solar.Sunny, solar.Cloudy, solar.Rainy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return marshaledResult(t, res)
+}
+
+func TestSerialParallelEquivalence(t *testing.T) {
+	seeds := []int64{1, 7, 42, 1234, 99991}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		serial := equivalenceRun(t, seed, 1)
+		for _, workers := range []int{2, 4, 8} {
+			if !bytes.Equal(serial, equivalenceRun(t, seed, workers)) {
+				t.Errorf("seed %d: Workers=%d diverged from serial result", seed, workers)
+			}
+		}
+	}
+}
+
+// TestWorkersResolution pins the Config.Workers contract: 0 and 1 are
+// serial, negative resolves to the host's CPU count, and counts beyond the
+// fleet are trimmed to it.
+func TestWorkersResolution(t *testing.T) {
+	tests := []struct {
+		name    string
+		workers int
+		min     int
+	}{
+		{"zero is serial", 0, 1},
+		{"one is serial", 1, 1},
+		{"negative is auto", -1, 1},
+		{"capped at fleet", 100, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := newSim(t, core.EBuff, func(c *Config) { c.Workers = tt.workers })
+			if s.workers < tt.min || s.workers > s.cfg.Nodes {
+				t.Errorf("resolved workers = %d, want within [%d, %d]", s.workers, tt.min, s.cfg.Nodes)
+			}
+		})
+	}
+}
+
+// TestParallelErrorDeterministic checks the index-ordered error reduction:
+// when several nodes fail in one fan-out, the reported error is the lowest-
+// index node's, independent of scheduling.
+func TestParallelErrorDeterministic(t *testing.T) {
+	s := newSim(t, core.EBuff, func(c *Config) { c.Nodes = 8; c.Workers = 4 })
+	boom := func(i int) error { return &indexError{i} }
+	var got error
+	for trial := 0; trial < 20; trial++ {
+		err := s.stepNodes(func(i int, _ *node.Node) error {
+			if i >= 3 {
+				return boom(i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("stepNodes() = nil, want error")
+		}
+		if trial == 0 {
+			got = err
+			if err.(*indexError).index != 3 {
+				t.Fatalf("first error from node %d, want 3", err.(*indexError).index)
+			}
+			continue
+		}
+		if err.(*indexError).index != got.(*indexError).index {
+			t.Fatalf("error index changed across runs: %v vs %v", err, got)
+		}
+	}
+}
+
+type indexError struct{ index int }
+
+func (e *indexError) Error() string { return "node failure" }

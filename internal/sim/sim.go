@@ -19,7 +19,10 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/green-dc/baat/internal/aging"
@@ -70,6 +73,14 @@ type Config struct {
 	ManufacturingSigma float64
 	// RecordSeries keeps per-control-period metric snapshots (Figs 12/13).
 	RecordSeries bool
+	// Workers is the number of concurrent workers advancing node physics
+	// each tick. 0 and 1 (the defaults) step serially; negative values
+	// resolve to runtime.GOMAXPROCS(0); counts above the fleet size are
+	// trimmed to it. Solar grants are fixed before the fan-out and each
+	// node owns all state its step touches, so the worker count never
+	// changes results — parallel runs are bit-identical to serial ones
+	// (enforced by this package's equivalence tests).
+	Workers int
 	// Telemetry instruments the run: tick/day/placement counters, the
 	// Fig 19 SoC histogram, policy decision counts and events, and battery
 	// step counters, all under the canonical names of
@@ -214,6 +225,9 @@ type Simulator struct {
 	day       int
 	vmCounter int
 	pending   []*vm.VM
+	// workers is the resolved Config.Workers: the node-physics fan-out
+	// width (1 = serial).
+	workers int
 
 	socHist   *stats.Histogram
 	series    []MetricsPoint
@@ -258,6 +272,17 @@ func New(cfg Config, policy core.Policy) (*Simulator, error) {
 		return nil, err
 	}
 
+	workers := cfg.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > cfg.Nodes {
+		workers = cfg.Nodes
+	}
+
 	s := &Simulator{
 		cfg:       cfg,
 		policy:    policy,
@@ -267,6 +292,7 @@ func New(cfg Config, policy core.Policy) (*Simulator, error) {
 		jobRng:    jobRng,
 		gen:       gen,
 		socHist:   hist,
+		workers:   workers,
 
 		tel:            cfg.Telemetry,
 		telTicks:       cfg.Telemetry.Counter(telemetry.MetricSimTicks),
@@ -509,29 +535,32 @@ func (s *Simulator) RunDay(w solar.Weather) (DayStats, error) {
 
 // step advances every node one tick, allocating the shared solar feed:
 // loads first (proportional water-fill), then charging (lowest SoC first).
+//
+// All grant decisions — which read cross-node state (demands, SoC ordering,
+// charge requests) — happen before any node advances, so the final physics
+// stepping is embarrassingly parallel and fans out over the worker pool.
 func (s *Simulator) step(power units.Watt, inWindow bool) error {
 	n := len(s.nodes)
 	remaining := float64(power)
 
 	if !inWindow {
-		// Overnight: everything charges, lowest SoC first.
-		order := s.bySoC()
-		for _, idx := range order {
-			nd := s.nodes[idx]
-			grant := 0.0
-			if remaining > 0 {
-				grant = min(remaining, float64(nd.ChargeRequest()))
+		// Overnight: everything charges, lowest SoC first. Requests are
+		// read and grants assigned up front; a grant equals what the
+		// charger can absorb this tick, so no redistribution pass is
+		// needed after stepping.
+		chargeGrant := make([]float64, n)
+		for _, idx := range s.bySoC() {
+			if remaining <= 0 {
+				break
 			}
-			res, err := nd.StepOffline(s.cfg.Tick, units.Watt(grant))
-			if err != nil {
-				return err
-			}
-			remaining -= float64(res.SolarUsed)
-			if remaining < 0 {
-				remaining = 0
-			}
+			g := min(remaining, float64(s.nodes[idx].ChargeRequest()))
+			chargeGrant[idx] = g
+			remaining -= g
 		}
-		return nil
+		return s.stepNodes(func(i int, nd *node.Node) error {
+			_, err := nd.StepOffline(s.cfg.Tick, units.Watt(chargeGrant[i]))
+			return err
+		})
 	}
 
 	// Pass 1: load allocation proportional to demand. Demands are grossed
@@ -575,8 +604,47 @@ func (s *Simulator) step(power units.Watt, inWindow bool) error {
 		surplus -= g
 	}
 
-	for i, nd := range s.nodes {
-		if _, err := nd.Step(s.cfg.Tick, units.Watt(loadGrant[i]), units.Watt(chargeGrant[i])); err != nil {
+	return s.stepNodes(func(i int, nd *node.Node) error {
+		_, err := nd.Step(s.cfg.Tick, units.Watt(loadGrant[i]), units.Watt(chargeGrant[i]))
+		return err
+	})
+}
+
+// stepNodes applies fn to every node, fanning out across the configured
+// worker pool. Each node's physics touches only state that node owns (its
+// pack, servers, aging tracker, power table) plus atomic telemetry
+// counters, so any interleaving computes the same fleet state. Errors are
+// reduced in index order — the first failing node by index wins — so the
+// reported error does not depend on goroutine scheduling.
+func (s *Simulator) stepNodes(fn func(i int, nd *node.Node) error) error {
+	workers := s.workers
+	if workers <= 1 || len(s.nodes) <= 1 {
+		for i, nd := range s.nodes {
+			if err := fn(i, nd); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(s.nodes))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.nodes) {
+					return
+				}
+				errs[i] = fn(i, s.nodes[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
