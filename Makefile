@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-smoke fuzz-smoke golden-update
+.PHONY: check fmt vet build test test-race bench bench-smoke fuzz-smoke chaos-smoke golden-update
 
 check: ## gofmt -l + vet + build + race tests
 	./check.sh
@@ -31,5 +31,9 @@ bench-smoke: ## one-iteration fleet-stepping benchmark (compile + run sanity)
 fuzz-smoke: ## short fuzz pass over the aging-metric tracker
 	$(GO) test -run=NONE -fuzz=FuzzAgingMetrics -fuzztime=5s ./internal/aging/
 
-golden-update: ## regenerate the 30-day golden trace fixture
-	$(GO) test ./internal/sim/ -run TestGoldenTrace -update
+chaos-smoke: ## cluster kill/restart chaos + degraded-mode scenarios under -race
+	$(GO) test -race -count=1 -run 'TestClusterChaos|TestFailPending|TestChaosReRegistration' ./internal/cluster/
+	$(GO) test -count=1 -run 'TestGoldenTraceFaulted$$|TestDegradedModeScenarios' ./internal/sim/
+
+golden-update: ## regenerate the 30-day golden trace fixtures (clean + faulted)
+	$(GO) test ./internal/sim/ -run 'TestGoldenTrace$$|TestGoldenTraceFaulted$$' -update

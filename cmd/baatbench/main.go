@@ -37,6 +37,8 @@ func run() error {
 		markdown = flag.Bool("markdown", false, "emit markdown tables")
 		list     = flag.Bool("list", false, "list experiment IDs and exit")
 		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /events, and /debug/pprof on this address while experiments run (empty = off)")
+		faults   = flag.String("faults", "none", "fault-injection profile applied to every simulator: "+strings.Join(baat.FaultProfileNames(), " | "))
+		faultsSd = flag.Int64("faults-seed", 0, "fault injector seed (0 derives the simulation seed+4)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,11 @@ func run() error {
 	}
 
 	cfg := baat.ExperimentConfig{Seed: *seed, Accel: *accel, Quick: *quick, Workers: *workers}
+	fcfg, err := baat.FaultProfile(*faults, *faultsSd)
+	if err != nil {
+		return err
+	}
+	cfg.Faults = fcfg
 	if *telAddr != "" {
 		cfg.Telemetry = baat.NewRecorder()
 		srv, err := baat.ServeTelemetry(cfg.Telemetry, *telAddr)

@@ -46,6 +46,8 @@ func run() error {
 		solarScale = flag.Float64("solar-scale", 1.5, "PV array scale relative to the prototype")
 		csvPath    = flag.String("csv", "", "write per-day stats to this CSV file")
 		planned    = flag.Float64("planned-months", 0, "enable planned aging with this expected service life in months (0 = off)")
+		faultsName = flag.String("faults", "none", "fault-injection profile: "+strings.Join(baat.FaultProfileNames(), " | "))
+		faultsSeed = flag.Int64("faults-seed", 0, "fault injector seed (0 derives seed+4)")
 		telAddr    = flag.String("telemetry-addr", "", "serve /metrics, /events, and /debug/pprof on this address (e.g. :8080; empty = off)")
 		telHold    = flag.Duration("telemetry-hold", 0, "keep the telemetry endpoint alive this long after the run (so scrapers catch the final state)")
 	)
@@ -90,6 +92,11 @@ func run() error {
 	if *prototype {
 		scfg.Services = baat.PrototypeServices()
 	}
+	fcfg, err := baat.FaultProfile(*faultsName, *faultsSeed)
+	if err != nil {
+		return err
+	}
+	scfg.Faults = fcfg
 	s, err := baat.NewSimulator(scfg, policy)
 	if err != nil {
 		return err

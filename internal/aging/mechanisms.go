@@ -257,6 +257,25 @@ func (m *Model) Observe(s Sample) error {
 	return nil
 }
 
+// InjectDamage books externally caused, irreversible damage on top of the
+// integrated mechanism stress: sudden capacity fade, internal-resistance
+// growth, or efficiency loss from a cell failure rather than gradual wear
+// (the fault injector's battery faults land here). Negative components are
+// ignored. The ByMechanism decomposition is untouched — injected damage is
+// not attributable to any of the five modeled mechanisms, so after an
+// injection the per-mechanism stresses no longer sum to the totals.
+func (m *Model) InjectDamage(capFade, resGrowth, effLoss float64) {
+	if capFade > 0 {
+		m.capFade += capFade
+	}
+	if resGrowth > 0 {
+		m.resGrow += resGrowth
+	}
+	if effLoss > 0 {
+		m.effLoss += effLoss
+	}
+}
+
 // Degradation renders the accumulated damage in the battery package's
 // vocabulary so it can be applied to a Pack.
 func (m *Model) Degradation() battery.Degradation {

@@ -1,0 +1,229 @@
+package cluster
+
+// Chaos tests: the control plane under an injector-driven kill schedule.
+// Agent connections are force-closed on a deterministic fault schedule
+// (internal/faults drives which agent dies on which tick) while the
+// controller keeps issuing commands. The contract: no deadlock, every
+// in-flight command waiter unblocks, reconnect-enabled agents re-register,
+// and the fleet ends the run fully serviceable. Run under -race via
+// `make check` / the chaos-smoke step.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/green-dc/baat/internal/faults"
+)
+
+// dropConn force-closes the agent's current transport, simulating a
+// network partition or agent crash without stopping its process.
+func dropConn(a *Agent) {
+	a.mu.Lock()
+	conn := a.conn
+	a.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// TestClusterChaosSchedule kills agent connections on a deterministic
+// fault schedule while hammering the fleet with commands, then requires
+// full recovery.
+func TestClusterChaosSchedule(t *testing.T) {
+	const agents = 4
+	ccfg := DefaultControllerConfig("127.0.0.1:0")
+	ccfg.CommandTimeout = 500 * time.Millisecond
+	ctrl, err := ListenController(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ctrl.Close() }()
+
+	ids := make([]string, agents)
+	fleet := make([]*Agent, agents)
+	for i := range fleet {
+		ids[i] = fmt.Sprintf("node-%d", i)
+		acfg := DefaultAgentConfig(ctrl.Addr())
+		acfg.ReportInterval = 15 * time.Millisecond
+		acfg.Reconnect = true
+		acfg.MaxBackoff = 100 * time.Millisecond
+		a, err := StartAgent(acfg, newHandle(t, ids[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet[i] = a
+		defer func() { _ = a.Close() }()
+	}
+	waitFor(t, func() bool { return len(ctrl.AgentIDs()) == agents })
+
+	// The kill schedule comes from the fault injector: a seeded
+	// probabilistic agent-disconnect rule over a virtual minute-tick
+	// clock, so the chaos sequence is identical on every run.
+	inj, err := faults.NewInjector(faults.Config{
+		Seed: 23,
+		Rules: []faults.Rule{{
+			Kind:        faults.AgentDisconnect,
+			Node:        -1,
+			Probability: 0.15,
+			Duration:    2 * time.Minute,
+		}},
+	}, agents)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var kills int
+	for tick := 0; tick < 40; tick++ {
+		fs := inj.Tick(time.Duration(tick)*time.Minute, time.Minute)
+		for i, nf := range fs.Nodes {
+			if nf.AgentDown {
+				kills++
+				dropConn(fleet[i])
+			}
+		}
+		// The controller keeps working the fleet mid-chaos. Errors are
+		// expected for freshly killed agents (unknown agent, timeout,
+		// disconnect) — what matters is that every call returns.
+		target := ids[tick%agents]
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		_, _ = ctrl.SendCommand(ctx, target, Command{Action: ActionPing})
+		cancel()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if kills == 0 {
+		t.Fatal("fault schedule never killed an agent; chaos test exercised nothing")
+	}
+	t.Logf("chaos schedule delivered %d kills across %d ticks", kills, 40)
+
+	// Recovery: every agent must re-register and answer a ping.
+	waitFor(t, func() bool { return len(ctrl.AgentIDs()) == agents })
+	for _, id := range ids {
+		ok := false
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			ack, err := ctrl.SendCommand(ctx, id, Command{Action: ActionPing})
+			cancel()
+			if err == nil && ack.OK {
+				ok = true
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if !ok {
+			t.Errorf("agent %s never answered a ping after the chaos schedule", id)
+		}
+	}
+	// Reports resume for the whole fleet.
+	waitFor(t, func() bool {
+		snap := ctrl.Snapshot()
+		if len(snap) != agents {
+			return false
+		}
+		for _, st := range snap {
+			if st.Stale {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestFailPendingUnblocksOnDisconnect pins the waiter-unblock contract
+// directly: a command is provably in flight to an agent that then
+// disconnects without acking, and the SendCommand waiter must return
+// promptly — long before the (deliberately huge) command timeout — with
+// the disconnect error from failPending.
+func TestFailPendingUnblocksOnDisconnect(t *testing.T) {
+	ccfg := DefaultControllerConfig("127.0.0.1:0")
+	ccfg.CommandTimeout = 30 * time.Second // failPending must win, not this
+	ctrl, err := ListenController(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ctrl.Close() }()
+
+	// A raw connection registers as an agent but never acks anything.
+	conn, err := net.Dial("tcp", ctrl.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, err := json.Marshal(Envelope{Type: MsgHello, Hello: &Hello{NodeID: "mute"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(append(hello, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(ctrl.AgentIDs()) == 1 })
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := ctrl.SendCommand(context.Background(), "mute", Command{Action: ActionPing})
+		done <- err
+	}()
+
+	// Read the command off the wire: once it arrives, the waiter is
+	// registered in pending on the controller side.
+	buf := make([]byte, 4096)
+	if err := conn.SetReadDeadline(time.Now().Add(3 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Read(buf); err != nil {
+		t.Fatalf("command never reached the mute agent: %v", err)
+	}
+	// The agent dies with the command outstanding.
+	_ = conn.Close()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("SendCommand succeeded against a dead agent")
+		}
+		if !strings.Contains(err.Error(), "disconnected") {
+			t.Errorf("waiter unblocked with %v, want the agent-disconnected rejection", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SendCommand waiter still blocked after the agent disconnected")
+	}
+}
+
+// TestChaosReRegistrationReplacesConn covers the duplicate-hello path the
+// chaos schedule exercises implicitly: when an agent redials before the
+// controller notices the old transport died, the new connection must win
+// and commands must flow over it.
+func TestChaosReRegistrationReplacesConn(t *testing.T) {
+	ctrl, err := ListenController(DefaultControllerConfig("127.0.0.1:0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ctrl.Close() }()
+
+	acfg := DefaultAgentConfig(ctrl.Addr())
+	acfg.ReportInterval = 15 * time.Millisecond
+	acfg.Reconnect = true
+	acfg.MaxBackoff = 100 * time.Millisecond
+	a, err := StartAgent(acfg, newHandle(t, "node-dup"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	waitFor(t, func() bool { return len(ctrl.AgentIDs()) == 1 })
+
+	// Kill and let the agent redial several times in quick succession.
+	for i := 0; i < 3; i++ {
+		dropConn(a)
+		time.Sleep(30 * time.Millisecond)
+	}
+	waitFor(t, func() bool {
+		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+		defer cancel()
+		ack, err := ctrl.SendCommand(ctx, "node-dup", Command{Action: ActionPing})
+		return err == nil && ack.OK
+	})
+}

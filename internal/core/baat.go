@@ -84,18 +84,32 @@ func (p *baat) Control(ctx *Context) error {
 
 	// Hiding arm (Fig 8): rebalance when a node's weighted aging runs far
 	// ahead of the fleet. Scores use the all-High sensitivity so balance
-	// reflects the battery state rather than any single workload.
+	// reflects the battery state rather than any single workload. Nodes
+	// with quarantined metrics contribute garbage scores, so they are
+	// excluded from the fleet average and treated as unconditional
+	// rebalance sources — the degraded-mode posture moves load off them
+	// without pretending to know how aged they are.
 	if len(ctx.Nodes) >= 2 {
 		sens := aging.DemandSensitivity(aging.DemandClass{LargePower: true, MoreEnergy: true})
 		var sum float64
+		var trusted int
 		scores := make([]float64, len(ctx.Nodes))
+		suspect := make([]bool, len(ctx.Nodes))
 		for i, n := range ctx.Nodes {
+			suspect[i] = n.MetricsSuspect()
+			if suspect[i] {
+				continue
+			}
 			scores[i] = aging.WeightedAging(n.Metrics(), sens)
 			sum += scores[i]
+			trusted++
 		}
-		avg := sum / float64(len(ctx.Nodes))
+		var avg float64
+		if trusted > 0 {
+			avg = sum / float64(trusted)
+		}
 		for i, src := range ctx.Nodes {
-			if scores[i] < balanceMinScore || scores[i] <= avg*balanceImbalanceFactor {
+			if !suspect[i] && (scores[i] < balanceMinScore || scores[i] <= avg*balanceImbalanceFactor) {
 				continue
 			}
 			v := migratableVM(src)
@@ -103,12 +117,14 @@ func (p *baat) Control(ctx *Context) error {
 				continue
 			}
 			dst := minWeightedAging(ctx.Nodes, v, src, p.cfg.Slowdown.TriggerSoC)
-			if dst == nil {
+			if dst == nil || dst.MetricsSuspect() {
 				continue
 			}
 			// Only move if the destination is actually meaningfully
-			// healthier; otherwise the migration cost buys nothing.
-			if aging.WeightedAging(dst.Metrics(), sens) >= scores[i] {
+			// healthier; otherwise the migration cost buys nothing. A
+			// suspect source has no comparable score — moving off it is
+			// the point.
+			if !suspect[i] && aging.WeightedAging(dst.Metrics(), sens) >= scores[i] {
 				continue
 			}
 			if err := migrate(ctx, src, dst, v.ID(), p.cfg.MigrationTime); err != nil {

@@ -317,15 +317,21 @@ func weightedAgingOf(n *node.Node, p workload.Profile) float64 {
 // minWeightedAging returns the hostable node with the lowest Eq 6 score —
 // "the aging slowest battery node" of §IV-B — or nil. Candidates whose
 // battery is currently below minSoC are considered only if nothing better
-// exists (moving load onto an at-risk battery would just mint a new victim).
+// exists (moving load onto an at-risk battery would just mint a new victim),
+// and candidates whose aging metrics are quarantined rank below everything
+// else: a suspect score may be garbage, so the scheduler treats the node as
+// worst-aged and places there only when no trusted node has capacity.
 // Near-ties are broken by the highest present state of charge.
 func minWeightedAging(nodes []*node.Node, v *vm.VM, exclude *node.Node, minSoC float64) *node.Node {
 	const tie = 1e-3
-	pick := func(requireSoC bool) *node.Node {
+	pick := func(requireSoC, requireTrusted bool) *node.Node {
 		var best *node.Node
 		bestScore, bestSoC := 0.0, 0.0
 		for _, n := range nodes {
 			if n == exclude || !n.Server().CanHost(v) {
+				continue
+			}
+			if requireTrusted && n.MetricsSuspect() {
 				continue
 			}
 			soc := n.Battery().SoC()
@@ -342,10 +348,13 @@ func minWeightedAging(nodes []*node.Node, v *vm.VM, exclude *node.Node, minSoC f
 		}
 		return best
 	}
-	if best := pick(true); best != nil {
+	if best := pick(true, true); best != nil {
 		return best
 	}
-	return pick(false)
+	if best := pick(false, true); best != nil {
+		return best
+	}
+	return pick(false, false)
 }
 
 // LifetimePrediction is one node's projected battery end-of-life.

@@ -28,23 +28,35 @@ const natImbalanceFactor = 1.15
 func (*baatH) Name() string { return BAATHiding.String() }
 
 // PlaceVM places new VMs on the node with the least deep-discharge exposure
-// (falling back to load on ties) — aging-aware but single-metric.
+// (falling back to load on ties) — aging-aware but single-metric. Nodes
+// with quarantined metrics report a DDT the policy cannot trust, so they
+// are considered only when no trusted node has capacity.
 func (*baatH) PlaceVM(ctx *Context, v *vm.VM) (*node.Node, error) {
 	const tie = 1e-4
-	var best *node.Node
-	bestDDT, bestLoad := 0.0, 0.0
-	for _, n := range ctx.Nodes {
-		if !n.Server().CanHost(v) {
-			continue
+	pick := func(allowSuspect bool) *node.Node {
+		var best *node.Node
+		bestDDT, bestLoad := 0.0, 0.0
+		for _, n := range ctx.Nodes {
+			if !n.Server().CanHost(v) {
+				continue
+			}
+			if !allowSuspect && n.MetricsSuspect() {
+				continue
+			}
+			ddt := n.Metrics().DDT
+			load := reservedLoad(n)
+			better := best == nil ||
+				ddt < bestDDT-tie ||
+				(ddt < bestDDT+tie && load < bestLoad)
+			if better {
+				best, bestDDT, bestLoad = n, ddt, load
+			}
 		}
-		ddt := n.Metrics().DDT
-		load := reservedLoad(n)
-		better := best == nil ||
-			ddt < bestDDT-tie ||
-			(ddt < bestDDT+tie && load < bestLoad)
-		if better {
-			best, bestDDT, bestLoad = n, ddt, load
-		}
+		return best
+	}
+	best := pick(false)
+	if best == nil {
+		best = pick(true)
 	}
 	if best == nil {
 		return nil, ErrNoCapacity
@@ -59,24 +71,33 @@ func (p *baatH) Control(ctx *Context) error {
 	if len(ctx.Nodes) < 2 {
 		return nil
 	}
+	// Fleet averages are computed over trusted nodes only — quarantined
+	// metrics would poison the baseline every other decision compares
+	// against.
 	var sumDDT, sumNAT float64
+	var trusted int
 	for _, n := range ctx.Nodes {
+		if n.MetricsSuspect() {
+			continue
+		}
 		m := n.Metrics()
 		sumDDT += m.DDT
 		sumNAT += m.NAT
+		trusted++
 	}
-	avgDDT := sumDDT / float64(len(ctx.Nodes))
-	avgNAT := sumNAT / float64(len(ctx.Nodes))
-	if avgDDT <= 0 && avgNAT <= 0 {
-		return nil
+	var avgDDT, avgNAT float64
+	if trusted > 0 {
+		avgDDT = sumDDT / float64(trusted)
+		avgNAT = sumNAT / float64(trusted)
 	}
 	for _, src := range ctx.Nodes {
-		m := src.Metrics()
-		overloaded := false
-		if avgDDT > 0 {
-			overloaded = m.DDT > avgDDT*ddtImbalanceFactor
-		} else {
-			overloaded = m.NAT > avgNAT*natImbalanceFactor
+		// A quarantined source is treated as worst-aged: migrate load off
+		// it without consulting its (untrustworthy) metrics.
+		overloaded := src.MetricsSuspect()
+		if !overloaded && avgDDT > 0 {
+			overloaded = src.Metrics().DDT > avgDDT*ddtImbalanceFactor
+		} else if !overloaded && avgNAT > 0 {
+			overloaded = src.Metrics().NAT > avgNAT*natImbalanceFactor
 		}
 		if !overloaded {
 			continue
@@ -86,10 +107,10 @@ func (p *baatH) Control(ctx *Context) error {
 			continue
 		}
 		// Non-holistic target choice: a random permutation of the other
-		// nodes, first fit.
+		// nodes, first fit — but never onto another quarantined node.
 		for _, idx := range ctx.Rng.Perm(len(ctx.Nodes)) {
 			dst := ctx.Nodes[idx]
-			if dst == src || !dst.Server().CanHost(v) {
+			if dst == src || dst.MetricsSuspect() || !dst.Server().CanHost(v) {
 				continue
 			}
 			if err := migrate(ctx, src, dst, v.ID(), p.cfg.MigrationTime); err != nil {

@@ -51,6 +51,13 @@ func slowdownNeeded(n *node.Node, cfg SlowdownConfig) bool {
 	if n.Battery().SoC() >= cfg.TriggerSoC {
 		return false
 	}
+	if n.MetricsSuspect() {
+		// Quarantined metrics: DDT and DR may be garbage, so below the
+		// trigger the policy assumes the worst instead of trusting them —
+		// the graceful-degradation posture (cap now, re-evaluate when the
+		// sensor chain is trusted again).
+		return true
+	}
 	m := n.Metrics()
 	if m.DDT > cfg.DDTThreshold {
 		return true
@@ -67,6 +74,11 @@ func slowdownNeeded(n *node.Node, cfg SlowdownConfig) bool {
 
 // recovered reports the battery climbed comfortably above the trigger, so a
 // previously capped server may take one step back up the DVFS ladder.
+// A node whose metrics are quarantined never reports recovery: DVFS
+// uncapping waits until the sensor chain is trusted again.
 func recovered(n *node.Node, cfg SlowdownConfig) bool {
+	if n.MetricsSuspect() {
+		return false
+	}
 	return n.Battery().SoC() > cfg.TriggerSoC+cfg.Hysteresis
 }

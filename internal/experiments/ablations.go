@@ -222,7 +222,7 @@ func runRacks(cfg Config, seq []solar.Weather) (thr, worstHealth, spread float64
 				// Overnight: servers are off by schedule; split any
 				// generation between the pools.
 				for _, r := range racks {
-					grant := maxf(0, minf(power, float64(r.ChargeRequest())))
+					grant := max(0, min(power, float64(r.ChargeRequest())))
 					if _, serr := r.StepOffline(tick, units.Watt(grant)); serr != nil {
 						return 0, 0, 0, 0, serr
 					}
@@ -241,9 +241,9 @@ func runRacks(cfg Config, seq []solar.Weather) (thr, worstHealth, spread float64
 			if total > power && total > 0 {
 				scale = power / total
 			}
-			surplus := maxf(0, power-total*scale)
+			surplus := max(0, power-total*scale)
 			for i, r := range racks {
-				charge := maxf(0, minf(surplus/2, float64(r.ChargeRequest())))
+				charge := max(0, min(surplus/2, float64(r.ChargeRequest())))
 				if _, serr := r.Step(tick, units.Watt(demands[i]*scale), units.Watt(charge)); serr != nil {
 					return 0, 0, 0, 0, serr
 				}
@@ -267,18 +267,4 @@ func runRacks(cfg Config, seq []solar.Weather) (thr, worstHealth, spread float64
 		}
 	}
 	return thr, worstHealth, best - worstHealth, worstDown, nil
-}
-
-func minf(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxf(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/green-dc/baat/internal/core"
+	"github.com/green-dc/baat/internal/faults"
 	"github.com/green-dc/baat/internal/sim"
 	"github.com/green-dc/baat/internal/solar"
 	"github.com/green-dc/baat/internal/telemetry"
@@ -101,6 +102,10 @@ type Config struct {
 	// build, so a run's /metrics endpoint aggregates counters across all
 	// experiments executed with this config.
 	Telemetry *telemetry.Recorder
+	// Faults configures deterministic fault injection in every simulator
+	// the harnesses build (sim.Config.Faults): the robustness counterpart
+	// to the clean-run tables. Empty (the default) injects nothing.
+	Faults faults.Config
 }
 
 // DefaultConfig returns the full-fidelity configuration.
@@ -112,6 +117,9 @@ func DefaultConfig() Config {
 func (c Config) Validate() error {
 	if c.Accel <= 0 {
 		return fmt.Errorf("experiments: accel must be positive, got %v", c.Accel)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("experiments: %w", err)
 	}
 	return nil
 }
@@ -143,6 +151,7 @@ func prototypeSimWithScale(cfg Config, kind core.Kind, coreCfg core.Config, scal
 	scfg.Solar.Scale = scale
 	scfg.Telemetry = cfg.Telemetry
 	scfg.Workers = cfg.Workers
+	scfg.Faults = cfg.Faults
 	return sim.New(scfg, policy)
 }
 

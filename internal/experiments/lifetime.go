@@ -46,6 +46,7 @@ func fleetLifetime(cfg Config, kind core.Kind, coreCfg core.Config, frac float64
 		scfg.Solar.Scale = 1.5
 		scfg.Telemetry = cfg.Telemetry
 		scfg.Workers = cfg.Workers
+		scfg.Faults = cfg.Faults
 		if mutate != nil {
 			mutate(&scfg)
 		}

@@ -42,6 +42,7 @@ func runWindowThroughput(cfg Config, kind core.Kind, coreCfg core.Config) (thr f
 	scfg.Solar.Scale = plannedScale
 	scfg.Telemetry = cfg.Telemetry
 	scfg.Workers = cfg.Workers
+	scfg.Faults = cfg.Faults
 	s, err := sim.New(scfg, policy)
 	if err != nil {
 		return 0, 0, err

@@ -12,10 +12,12 @@ package node
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/green-dc/baat/internal/aging"
 	"github.com/green-dc/baat/internal/battery"
+	"github.com/green-dc/baat/internal/faults"
 	"github.com/green-dc/baat/internal/powernet"
 	"github.com/green-dc/baat/internal/server"
 	"github.com/green-dc/baat/internal/telemetry"
@@ -44,6 +46,18 @@ type Config struct {
 	// discharge its battery (on top of the pack's own voltage protection).
 	// Policies adjust it at runtime (planned aging, §IV-D).
 	SoCFloor float64
+
+	// SensorQuarantine is how long the node's aging metrics stay flagged
+	// untrustworthy after the sensor chain delivered an implausible sample
+	// or went stale. While quarantined, MetricsSuspect reports true and
+	// the BAAT policies fall back to conservative decisions. Zero selects
+	// the DefaultSensorQuarantine.
+	SensorQuarantine time.Duration
+
+	// StaleAfter is how many consecutive missed sensor samples (dropped
+	// readings) make the metrics stale enough to quarantine. Zero selects
+	// DefaultStaleAfter.
+	StaleAfter int
 
 	// BatteryOptions customize the pack (manufacturing variation etc.).
 	BatteryOptions []battery.Option
@@ -89,8 +103,24 @@ func (c Config) Validate() error {
 	if c.SoCFloor < 0 || c.SoCFloor >= 1 {
 		return fmt.Errorf("node: SoC floor must be in [0, 1), got %v", c.SoCFloor)
 	}
+	if c.SensorQuarantine < 0 {
+		return fmt.Errorf("node: sensor quarantine must be non-negative, got %v", c.SensorQuarantine)
+	}
+	if c.StaleAfter < 0 {
+		return fmt.Errorf("node: stale-after must be non-negative, got %d", c.StaleAfter)
+	}
 	return nil
 }
+
+// DefaultSensorQuarantine is how long metrics stay suspect after a bad or
+// stale sample when Config.SensorQuarantine is zero: two default control
+// periods, so a recovered sensor is trusted again within a couple of
+// control decisions rather than instantly.
+const DefaultSensorQuarantine = 10 * time.Minute
+
+// DefaultStaleAfter is how many consecutive lost samples quarantine the
+// metrics when Config.StaleAfter is zero.
+const DefaultStaleAfter = 3
 
 // StepResult summarizes one tick of node operation.
 type StepResult struct {
@@ -136,9 +166,29 @@ type Node struct {
 	downTicks  int
 	totalTicks int
 
+	// Sensor-chain fault state: the corruption applied to the *reported*
+	// battery sample this tick (the aging model always observes the
+	// truth), the last reading actually delivered (replayed by a stuck
+	// sensor), and the suspect/quarantine bookkeeping that tells the
+	// controller when to stop trusting the metrics.
+	sensor       faults.SensorFault
+	lastSample   aging.Sample
+	haveSample   bool
+	missed       int // consecutive samples the tracker never received
+	rejected     int // total samples rejected as implausible
+	dropped      int // total samples lost outright
+	suspectUntil time.Duration
+	quarantine   time.Duration
+	staleAfter   int
+
+	// utilityDown gates the UtilityBackup path (injected brownouts).
+	utilityDown bool
+
 	// Telemetry handles (nil no-ops unless Config.Telemetry was set).
-	telDark    *telemetry.Counter
-	telUtility *telemetry.Counter
+	telDark       *telemetry.Counter
+	telUtility    *telemetry.Counter
+	telSensorBad  *telemetry.Counter
+	telSensorLost *telemetry.Counter
 }
 
 // New assembles a node.
@@ -172,17 +222,29 @@ func New(id string, cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	quarantine := cfg.SensorQuarantine
+	if quarantine == 0 {
+		quarantine = DefaultSensorQuarantine
+	}
+	staleAfter := cfg.StaleAfter
+	if staleAfter == 0 {
+		staleAfter = DefaultStaleAfter
+	}
 	return &Node{
-		id:         id,
-		cfg:        cfg,
-		srv:        srv,
-		pack:       pack,
-		tracker:    tracker,
-		model:      model,
-		table:      table,
-		socFloor:   cfg.SoCFloor,
-		telDark:    cfg.Telemetry.Counter(telemetry.MetricNodeDarkTicks),
-		telUtility: cfg.Telemetry.Counter(telemetry.MetricNodeUtilityTicks),
+		id:            id,
+		cfg:           cfg,
+		srv:           srv,
+		pack:          pack,
+		tracker:       tracker,
+		model:         model,
+		table:         table,
+		socFloor:      cfg.SoCFloor,
+		quarantine:    quarantine,
+		staleAfter:    staleAfter,
+		telDark:       cfg.Telemetry.Counter(telemetry.MetricNodeDarkTicks),
+		telUtility:    cfg.Telemetry.Counter(telemetry.MetricNodeUtilityTicks),
+		telSensorBad:  cfg.Telemetry.Counter(telemetry.MetricNodeSensorRejected),
+		telSensorLost: cfg.Telemetry.Counter(telemetry.MetricNodeSensorMissed),
 	}, nil
 }
 
@@ -225,6 +287,45 @@ func (n *Node) SetSoCFloor(f float64) error {
 	n.socFloor = f
 	return nil
 }
+
+// SetSensorFault installs the sensor-chain corruption applied to the
+// node's *reported* battery sample from the next step on (the aging model
+// keeps observing the truth — damage physics are not fooled by a broken
+// DAQ). The zero value restores a healthy sensor chain. The simulator
+// resolves the fault deterministically before the parallel fan-out, so
+// calling this from inside a step worker is not allowed.
+func (n *Node) SetSensorFault(f faults.SensorFault) { n.sensor = f }
+
+// SetUtilityAvailable gates the UtilityBackup path at runtime: during an
+// injected utility brownout the node cannot fall back to grid power even
+// when Config.UtilityBackup is set.
+func (n *Node) SetUtilityAvailable(available bool) { n.utilityDown = !available }
+
+// UtilityAvailable reports whether the grid-backup path is currently
+// usable (Config.UtilityBackup set and no brownout in effect).
+func (n *Node) UtilityAvailable() bool { return n.cfg.UtilityBackup && !n.utilityDown }
+
+// InjectBatteryWear books sudden, irreversible battery damage — a cell
+// failure, not gradual wear — through the aging model so the pack and the
+// damage ledger stay consistent.
+func (n *Node) InjectBatteryWear(capFade, resGrowth, effLoss float64) {
+	n.model.InjectDamage(capFade, resGrowth, effLoss)
+	n.pack.ApplyDegradation(n.model.Degradation())
+}
+
+// MetricsSuspect reports whether the node's aging metrics are currently
+// quarantined: the sensor chain recently delivered implausible samples or
+// went stale, so DDT/DR/NAT readings may be garbage and the controller
+// should fall back to conservative decisions.
+func (n *Node) MetricsSuspect() bool { return n.clock < n.suspectUntil }
+
+// SensorRejected returns how many samples the tracker rejected as
+// implausible over the node's lifetime.
+func (n *Node) SensorRejected() int { return n.rejected }
+
+// SensorDropped returns how many samples were lost before reaching the
+// tracker over the node's lifetime.
+func (n *Node) SensorDropped() int { return n.dropped }
 
 // Demand returns the power the node's server wants right now if powered
 // (used by the bus allocator before Step). A node with no active VMs is
@@ -305,7 +406,7 @@ func (n *Node) Step(dt time.Duration, solarForLoad, solarForCharge units.Watt) (
 		// Battery must bridge deficit through the inverter.
 		batteryNeed = units.Watt(float64(deficit) / n.cfg.Losses.InverterEfficiency)
 		if !canRecover || !n.batteryAvailable() || n.pack.MaxDischargePower() < batteryNeed {
-			if n.cfg.UtilityBackup {
+			if n.UtilityAvailable() {
 				res.UtilityPower = deficit
 				res.Source = powernet.SourceUtility
 				batteryNeed = 0
@@ -383,28 +484,9 @@ func (n *Node) Step(dt time.Duration, solarForLoad, solarForCharge units.Watt) (
 	n.solarWh += units.EnergyOver(res.SolarUsed, dt)
 	n.utilityWh += units.EnergyOver(res.UtilityPower, dt)
 
-	sample := aging.Sample{
-		Dt:          dt,
-		Current:     sr.Current,
-		SoC:         n.pack.SoC(),
-		Temperature: n.pack.Temperature(),
-	}
-	if err := n.tracker.Observe(sample); err != nil {
+	if err := n.observe(dt, sr, res.Source); err != nil {
 		return StepResult{}, err
 	}
-	if err := n.model.Observe(sample); err != nil {
-		return StepResult{}, err
-	}
-	n.pack.ApplyDegradation(n.model.Degradation())
-
-	n.table.Record(powernet.Reading{
-		At:          n.clock,
-		Current:     sr.Current,
-		Voltage:     n.pack.TerminalVoltage(sr.Current),
-		Temperature: n.pack.Temperature(),
-		SoC:         n.pack.SoC(),
-		Source:      res.Source,
-	})
 	return res, nil
 }
 
@@ -443,28 +525,132 @@ func (n *Node) StepOffline(dt time.Duration, solarForCharge units.Watt) (StepRes
 	n.clock += dt
 	n.solarWh += units.EnergyOver(res.SolarUsed, dt)
 
-	sample := aging.Sample{
+	if err := n.observe(dt, sr, res.Source); err != nil {
+		return StepResult{}, err
+	}
+	return res, nil
+}
+
+// observe closes out a step: the true battery sample feeds the damage
+// model (physics cannot be fooled by a broken DAQ), while the sensor chain
+// — possibly faulted — decides what the aging tracker and the power table
+// get to see. Implausible readings the tracker rejects and stale streaks
+// quarantine the metrics instead of failing the step: a broken sensor is a
+// fault symptom for the controller to degrade around, not a simulation
+// error.
+func (n *Node) observe(dt time.Duration, sr battery.StepResult, source powernet.Source) error {
+	truth := aging.Sample{
 		Dt:          dt,
 		Current:     sr.Current,
 		SoC:         n.pack.SoC(),
 		Temperature: n.pack.Temperature(),
 	}
-	if err := n.tracker.Observe(sample); err != nil {
-		return StepResult{}, err
+
+	reported, delivered, quality := n.applySensor(truth)
+	accepted := false
+	if !delivered {
+		n.dropped++
+		n.missed++
+		n.telSensorLost.Inc()
+		if n.missed >= n.staleAfter {
+			n.suspectUntil = n.clock + n.quarantine
+		}
+	} else if err := n.tracker.Observe(reported); err != nil {
+		// The tracker's input hardening caught an implausible sample:
+		// immediate quarantine. The table will log a sanitized flagged row.
+		n.rejected++
+		n.missed++
+		n.telSensorBad.Inc()
+		n.suspectUntil = n.clock + n.quarantine
+	} else {
+		accepted = true
+		n.missed = 0
+		n.lastSample = reported
+		n.haveSample = true
 	}
-	if err := n.model.Observe(sample); err != nil {
-		return StepResult{}, err
+
+	if err := n.model.Observe(truth); err != nil {
+		return err
 	}
 	n.pack.ApplyDegradation(n.model.Degradation())
-	n.table.Record(powernet.Reading{
-		At:          n.clock,
-		Current:     sr.Current,
-		Voltage:     n.pack.TerminalVoltage(sr.Current),
-		Temperature: n.pack.Temperature(),
-		SoC:         n.pack.SoC(),
-		Source:      res.Source,
-	})
-	return res, nil
+
+	// The table row is recorded after degradation is applied, like the
+	// sensor chain sampling at the end of the interval. A clean chain
+	// reports live pack state; a corrupted one reports its own view; a
+	// rejected sample leaves a sanitized flagged row; a dropped sample
+	// leaves nothing.
+	switch {
+	case !delivered:
+	case !accepted:
+		n.table.Record(powernet.Reading{
+			At:          n.clock,
+			Current:     0,
+			Voltage:     n.pack.OpenCircuitVoltage(),
+			Temperature: n.pack.Temperature(),
+			SoC:         n.pack.SoC(),
+			Source:      source,
+			Quality:     powernet.QualityBad,
+		})
+	case quality == powernet.QualityGood:
+		n.table.Record(powernet.Reading{
+			At:          n.clock,
+			Current:     reported.Current,
+			Voltage:     n.pack.TerminalVoltage(reported.Current),
+			Temperature: n.pack.Temperature(),
+			SoC:         n.pack.SoC(),
+			Source:      source,
+		})
+	default:
+		n.table.Record(powernet.Reading{
+			At:          n.clock,
+			Current:     reported.Current,
+			Voltage:     n.pack.TerminalVoltage(reported.Current),
+			Temperature: reported.Temperature,
+			SoC:         reported.SoC,
+			Source:      source,
+			Quality:     quality,
+		})
+	}
+	return nil
+}
+
+// applySensor corrupts the true sample per the installed sensor fault and
+// reports whether a reading was delivered at all, plus the quality flag
+// the power table should carry for it.
+func (n *Node) applySensor(truth aging.Sample) (aging.Sample, bool, powernet.Quality) {
+	switch n.sensor.Mode {
+	case faults.ModeDrop:
+		return aging.Sample{}, false, powernet.QualityBad
+	case faults.ModeNaN:
+		s := truth
+		s.Current = units.Ampere(math.NaN())
+		return s, true, powernet.QualityBad
+	case faults.ModeStuck:
+		if n.haveSample {
+			s := n.lastSample
+			s.Dt = truth.Dt
+			return s, true, powernet.QualitySuspect
+		}
+		// A sensor frozen since power-on repeats its very first reading.
+		return truth, true, powernet.QualitySuspect
+	case faults.ModeNoise:
+		s := truth
+		// Relative noise on current with a 1 A absolute floor (so an idle
+		// battery still reads noisy), plus small SoC and temperature
+		// perturbations. The standard-normal draws were pre-resolved by
+		// the injector, keeping this path deterministic under parallel
+		// node stepping.
+		base := math.Abs(float64(s.Current))
+		if base < 1 {
+			base = 1
+		}
+		s.Current += units.Ampere(n.sensor.Sigma * n.sensor.Noise[0] * base)
+		s.SoC = units.Clamp01(s.SoC + 0.1*n.sensor.Sigma*n.sensor.Noise[1])
+		s.Temperature += units.Celsius(10 * n.sensor.Sigma * n.sensor.Noise[2])
+		return s, true, powernet.QualitySuspect
+	default:
+		return truth, true, powernet.QualityGood
+	}
 }
 
 // Stats aggregates node-level accounting for experiments.

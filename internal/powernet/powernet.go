@@ -78,6 +78,38 @@ func (l Losses) Validate() error {
 	return nil
 }
 
+// Quality flags how much a recorded reading can be trusted. The sensor
+// chain (front sensor + DAQ) marks rows it delivered under a known fault —
+// frozen, noisy, or flagged-invalid samples — so downstream consumers can
+// weigh or discard them.
+type Quality int
+
+// Reading trust levels.
+const (
+	// QualityGood is a clean sample (the zero value).
+	QualityGood Quality = iota
+	// QualitySuspect is a delivered but corrupted sample (stuck or noisy
+	// sensor): numerically plausible, not to be trusted.
+	QualitySuspect
+	// QualityBad is a sample the DAQ flagged invalid (non-finite or
+	// implausible values); its numeric fields are sanitized placeholders.
+	QualityBad
+)
+
+// String returns the quality label.
+func (q Quality) String() string {
+	switch q {
+	case QualityGood:
+		return "good"
+	case QualitySuspect:
+		return "suspect"
+	case QualityBad:
+		return "bad"
+	default:
+		return fmt.Sprintf("Quality(%d)", int(q))
+	}
+}
+
 // Reading is one sensor-table row (Table 2): the data each battery's front
 // sensor reports to the BAAT controller.
 type Reading struct {
@@ -93,6 +125,9 @@ type Reading struct {
 	SoC float64
 	// Source is the feed powering the attached server this interval.
 	Source Source
+	// Quality flags how trustworthy the row is (QualityGood unless the
+	// sensor chain was faulted when it was sampled).
+	Quality Quality
 }
 
 // PowerTable is the bounded history log one battery group keeps (§IV-A:

@@ -1,0 +1,92 @@
+package sim
+
+// The faulted golden trace: the clean golden scenario re-run under the
+// chaos fault profile — stuck/NaN/noisy/dropped sensors, battery capacity
+// and resistance shocks, a premature EOL, PV dropouts, a utility brownout,
+// and agent-disconnect windows. The fixture pins the degraded trajectory
+// the same way golden_trace.json pins the clean one, so both the injector
+// and the graceful-degradation machinery are regression-locked. Regenerate
+// after an intentional change with:
+//
+//	go test ./internal/sim -run TestGoldenTraceFaulted -update
+//
+// The companion equivalence test holds the determinism contract under
+// faults: the injector draws all randomness serially before the node
+// fan-out, so the faulted trace must be byte-identical at every worker
+// count.
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/green-dc/baat/internal/faults"
+)
+
+const goldenFaultedPath = "testdata/golden_trace_faulted.json"
+
+// goldenFaultedRun replays the golden scenario with the chaos profile
+// active. Faults.Seed stays zero so the run also pins the Seed+4 default
+// derivation. UtilityBackup is enabled so the brownout window actually
+// gates a code path rather than a no-op.
+func goldenFaultedRun(t *testing.T, workers int) *goldenTrace {
+	t.Helper()
+	return goldenScenario(t,
+		"golden scenario under the chaos fault profile (sensor, battery, power, and agent faults)",
+		func(c *Config) {
+			fcfg, err := faults.Profile("chaos", 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Faults = fcfg
+			c.Node.UtilityBackup = true
+			c.Workers = workers
+		})
+}
+
+func TestGoldenTraceFaulted(t *testing.T) {
+	checkGolden(t, goldenFaultedPath, goldenFaultedRun(t, 1))
+}
+
+// TestGoldenTraceFaultedWorkerEquivalence requires the 30-day faulted
+// trace to be byte-identical across worker counts: fault injection must
+// not reintroduce scheduling-dependent results.
+func TestGoldenTraceFaultedWorkerEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several 30-day replays")
+	}
+	serial, err := json.Marshal(goldenFaultedRun(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := json.Marshal(goldenFaultedRun(t, workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(serial, got) {
+			t.Errorf("Workers=%d: faulted trace diverged from serial run", workers)
+		}
+	}
+}
+
+// TestFaultedTraceDiffersFromClean guards against the injector silently
+// becoming a no-op: the chaos profile must actually move the trace.
+func TestFaultedTraceDiffersFromClean(t *testing.T) {
+	cleanTrace := goldenRun(t)
+	faultedTrace := goldenFaultedRun(t, 1)
+	// Descriptions differ by construction; blank them so the comparison
+	// sees only simulation output.
+	cleanTrace.Description, faultedTrace.Description = "", ""
+	clean, err := json.Marshal(cleanTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := json.Marshal(faultedTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(clean, faulted) {
+		t.Fatal("chaos profile produced a byte-identical trace to the clean run")
+	}
+}

@@ -89,6 +89,14 @@ type goldenTrace struct {
 // the full BAAT policy, 30 days of seed-derived mixed weather, aging
 // accelerated so the metrics move visibly within the window.
 func goldenRun(t *testing.T) *goldenTrace {
+	return goldenScenario(t,
+		"six-node prototype fleet, BAAT policy, 30 days, sunshine fraction 0.5, accel 10",
+		nil)
+}
+
+// goldenScenario runs the shared golden setup, letting variants (the faulted
+// trace) adjust the config before construction.
+func goldenScenario(t *testing.T, desc string, mutate func(*Config)) *goldenTrace {
 	t.Helper()
 	const (
 		seed = 20150614 // the paper's venue date; any fixed value works
@@ -104,6 +112,9 @@ func goldenRun(t *testing.T) *goldenTrace {
 	cfg.JobsPerDay = 2
 	cfg.Solar.Scale = 1.5
 	cfg.Node.AgingConfig.AccelFactor = 10
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	s, err := New(cfg, policy)
 	if err != nil {
 		t.Fatal(err)
@@ -113,7 +124,7 @@ func goldenRun(t *testing.T) *goldenTrace {
 	loc := solar.Location{SunshineFraction: 0.5}
 
 	trace := &goldenTrace{
-		Description: "six-node prototype fleet, BAAT policy, 30 days, sunshine fraction 0.5, accel 10",
+		Description: desc,
 		Seed:        seed,
 		Days:        days,
 		Policy:      policy.Name(),
@@ -162,7 +173,13 @@ func goldenRun(t *testing.T) *goldenTrace {
 }
 
 func TestGoldenTrace(t *testing.T) {
-	got := goldenRun(t)
+	checkGolden(t, goldenPath, goldenRun(t))
+}
+
+// checkGolden compares a trace against its pinned fixture, or regenerates
+// the fixture under -update.
+func checkGolden(t *testing.T, path string, got *goldenTrace) {
+	t.Helper()
 	raw, err := json.MarshalIndent(got, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -170,17 +187,17 @@ func TestGoldenTrace(t *testing.T) {
 	raw = append(raw, '\n')
 
 	if *update {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(goldenPath, raw, 0o644); err != nil {
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("golden trace regenerated: %s", goldenPath)
+		t.Logf("golden trace regenerated: %s", path)
 		return
 	}
 
-	want, err := os.ReadFile(goldenPath)
+	want, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("missing golden trace (run with -update to create): %v", err)
 	}
@@ -189,7 +206,7 @@ func TestGoldenTrace(t *testing.T) {
 		t.Error(d)
 	}
 	if len(diffs) > 0 {
-		t.Fatalf("%d field(s) diverged from %s; if the change is intentional, regenerate with -update and review the diff", len(diffs), goldenPath)
+		t.Fatalf("%d field(s) diverged from %s; if the change is intentional, regenerate with -update and review the diff", len(diffs), path)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"github.com/green-dc/baat/internal/aging"
 	"github.com/green-dc/baat/internal/battery"
 	"github.com/green-dc/baat/internal/core"
+	"github.com/green-dc/baat/internal/faults"
 	"github.com/green-dc/baat/internal/node"
 	"github.com/green-dc/baat/internal/solar"
 	"github.com/green-dc/baat/internal/stats"
@@ -87,6 +88,12 @@ type Config struct {
 	// internal/telemetry/names.go. Nil (the default) records nothing at
 	// effectively no cost.
 	Telemetry *telemetry.Recorder
+	// Faults configures deterministic fault injection (sensor corruption,
+	// battery degradation shocks, power disturbances). An empty config —
+	// the default — injects nothing and leaves the clean path untouched.
+	// Faults.Seed zero derives Seed+4, continuing the engine's seed-stream
+	// convention, so one Config.Seed still pins the entire run.
+	Faults faults.Config
 }
 
 // DefaultConfig mirrors the prototype: six nodes, one-minute ticks,
@@ -137,6 +144,9 @@ func (c Config) Validate() error {
 	}
 	if c.ManufacturingSigma < 0 || c.ManufacturingSigma > 0.5 {
 		return fmt.Errorf("sim: manufacturing sigma must be in [0, 0.5], got %v", c.ManufacturingSigma)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
 }
@@ -229,6 +239,12 @@ type Simulator struct {
 	// width (1 = serial).
 	workers int
 
+	// inj drives deterministic fault injection (nil when Config.Faults is
+	// empty); degraded mirrors each node's last observed suspect state so
+	// transitions emit exactly one event per edge.
+	inj      *faults.Injector
+	degraded []bool
+
 	socHist   *stats.Histogram
 	series    []MetricsPoint
 	eolAt     time.Duration
@@ -248,6 +264,9 @@ type Simulator struct {
 	telClock       *telemetry.Gauge
 	telMinHealth   *telemetry.Gauge
 	telFleetAvgSoC *telemetry.Gauge
+	telFaults      *telemetry.Counter
+	telDegraded    *telemetry.Counter
+	telSuspect     *telemetry.Gauge
 }
 
 // New builds a simulator. The policy is injected so experiments construct
@@ -306,6 +325,21 @@ func New(cfg Config, policy core.Policy) (*Simulator, error) {
 		telClock:       cfg.Telemetry.Gauge(telemetry.MetricSimClockSeconds),
 		telMinHealth:   cfg.Telemetry.Gauge(telemetry.MetricFleetMinHealth),
 		telFleetAvgSoC: cfg.Telemetry.Gauge(telemetry.MetricFleetAvgSoC),
+		telFaults:      cfg.Telemetry.Counter(telemetry.MetricFaultsInjected),
+		telDegraded:    cfg.Telemetry.Counter(telemetry.MetricDegradedTransitions),
+		telSuspect:     cfg.Telemetry.Gauge(telemetry.MetricFleetSuspectNodes),
+	}
+	if cfg.Faults.Enabled() {
+		fcfg := cfg.Faults
+		if fcfg.Seed == 0 {
+			fcfg.Seed = cfg.Seed + 4
+		}
+		inj, err := faults.NewInjector(fcfg, cfg.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		s.inj = inj
+		s.degraded = make([]bool, cfg.Nodes)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		ncfg := cfg.Node
@@ -437,6 +471,15 @@ func (s *Simulator) RunDay(w solar.Weather) (DayStats, error) {
 		return DayStats{}, err
 	}
 	s.day++
+	if s.inj != nil {
+		// Scheduled PV dropouts derate the solar profile itself;
+		// probabilistic dips ride through TickState.PVFactor instead.
+		for _, o := range s.inj.PVOutages(s.day) {
+			if err := day.Derate(o.Start, o.End, o.Factor); err != nil {
+				return DayStats{}, err
+			}
+		}
+	}
 	ds := DayStats{Day: s.day, Weather: w}
 
 	startThroughput := make([]float64, len(s.nodes))
@@ -458,8 +501,19 @@ func (s *Simulator) RunDay(w solar.Weather) (DayStats, error) {
 	for tod := time.Duration(0); tod < 24*time.Hour; tod += s.cfg.Tick {
 		inWindow := tod >= s.cfg.WindowStart && tod < s.cfg.WindowEnd
 		power := day.PowerAt(tod)
+		if s.inj != nil {
+			// The injector ticks serially before the node fan-out: all its
+			// RNG draws and node mutations happen here, in fixed order, so
+			// fault runs stay bit-identical at any worker count.
+			fs := s.inj.Tick(s.clock, s.cfg.Tick)
+			s.applyFaults(fs)
+			power = units.Watt(float64(power) * fs.PVFactor)
+		}
 		if err := s.step(power, inWindow); err != nil {
 			return DayStats{}, err
+		}
+		if s.inj != nil {
+			s.trackDegraded()
 		}
 		s.clock += s.cfg.Tick
 		s.telTicks.Inc()
@@ -651,6 +705,57 @@ func (s *Simulator) stepNodes(fn func(i int, nd *node.Node) error) error {
 	return nil
 }
 
+// applyFaults pushes one tick of injector output onto the fleet. It runs
+// serially, before the node-physics fan-out, so every mutation and
+// telemetry emission happens in deterministic node order.
+func (s *Simulator) applyFaults(fs *faults.TickState) {
+	for _, inj := range fs.Injected {
+		s.telFaults.Inc()
+		var nodeID string
+		if inj.Node >= 0 && inj.Node < len(s.nodes) {
+			nodeID = s.nodes[inj.Node].ID()
+		}
+		s.tel.Emit(s.clock, telemetry.EventFaultInjected, nodeID, inj.String())
+	}
+	for i, nd := range s.nodes {
+		nf := fs.Nodes[i]
+		nd.SetSensorFault(nf.Sensor)
+		nd.SetUtilityAvailable(!nf.UtilityDown)
+		if nf.CapacityFade > 0 || nf.ResistanceGrowth > 0 {
+			nd.InjectBatteryWear(nf.CapacityFade, nf.ResistanceGrowth, 0)
+		}
+		if nf.TargetHealth > 0 {
+			// Premature EOL: one shock dropping the pack to the target
+			// health, with resistance growth riding along at half the fade
+			// (aged packs weaken on both axes, §II-B).
+			if fade := nd.Stats().Health - nf.TargetHealth; fade > 0 {
+				nd.InjectBatteryWear(fade, 0.5*fade, 0)
+			}
+		}
+	}
+}
+
+// trackDegraded emits one telemetry event per suspect-state edge, so traces
+// show when each node entered and left degraded metrics mode.
+func (s *Simulator) trackDegraded() {
+	for i, nd := range s.nodes {
+		suspect := nd.MetricsSuspect()
+		if suspect == s.degraded[i] {
+			continue
+		}
+		s.degraded[i] = suspect
+		s.telDegraded.Inc()
+		if suspect {
+			s.tel.Emit(s.clock, telemetry.EventDegradedMode, nd.ID(),
+				fmt.Sprintf("metrics quarantined (%d rejected, %d dropped samples)",
+					nd.SensorRejected(), nd.SensorDropped()))
+		} else {
+			s.tel.Emit(s.clock, telemetry.EventDegradedRecovered, nd.ID(),
+				"sensor chain trusted again")
+		}
+	}
+}
+
 // updateFleetGauges refreshes the fleet-level telemetry gauges once per
 // control period: simulated clock, worst battery health (the EOL criterion
 // of §II-B), and average state of charge.
@@ -671,6 +776,15 @@ func (s *Simulator) updateFleetGauges() {
 	s.telMinHealth.Set(minHealth)
 	if len(s.nodes) > 0 {
 		s.telFleetAvgSoC.Set(sumSoC / float64(len(s.nodes)))
+	}
+	if s.inj != nil {
+		var suspect int
+		for _, n := range s.nodes {
+			if n.MetricsSuspect() {
+				suspect++
+			}
+		}
+		s.telSuspect.Set(float64(suspect))
 	}
 }
 
@@ -750,11 +864,4 @@ func (s *Simulator) finish(res *Result) {
 	res.SoCHistogram = s.socHist
 	res.Series = s.series
 	res.FleetLifetime = s.eolAt
-}
-
-func min(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
 }

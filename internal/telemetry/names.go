@@ -37,6 +37,14 @@ const (
 	MetricNodeDarkTicks    = "baat_node_dark_ticks_total"
 	MetricNodeUtilityTicks = "baat_node_utility_ticks_total"
 
+	// Fault injection and graceful degradation (internal/faults wired
+	// through sim and node).
+	MetricFaultsInjected      = "baat_faults_injected_total"
+	MetricNodeSensorRejected  = "baat_node_sensor_rejected_total"
+	MetricNodeSensorMissed    = "baat_node_sensor_missed_total"
+	MetricFleetSuspectNodes   = "baat_fleet_suspect_nodes"
+	MetricDegradedTransitions = "baat_sim_degraded_transitions_total"
+
 	// Cluster control plane (internal/cluster).
 	MetricClusterReportsSent     = "baat_cluster_reports_sent_total"
 	MetricClusterReportsReceived = "baat_cluster_reports_received_total"
@@ -75,6 +83,11 @@ var helpText = map[string]string{
 	MetricBatteryEOL:             "Batteries that crossed the 80% health end-of-life line.",
 	MetricNodeDarkTicks:          "Ticks a server spent dark because neither solar, battery, nor utility could carry it (§VI-E).",
 	MetricNodeUtilityTicks:       "Ticks a server drew utility power (UtilityBackup only).",
+	MetricFaultsInjected:         "Fault activations delivered by the deterministic injector (docs/FAULTS.md).",
+	MetricNodeSensorRejected:     "Battery sensor samples rejected as implausible by the aging tracker's input hardening.",
+	MetricNodeSensorMissed:       "Battery sensor samples lost before reaching the aging tracker (dropped readings).",
+	MetricFleetSuspectNodes:      "Nodes whose aging metrics are currently quarantined as untrustworthy.",
+	MetricDegradedTransitions:    "Node transitions into or out of degraded (metrics-suspect) mode.",
 	MetricClusterReportsSent:     "Sensor reports sent by cluster agents.",
 	MetricClusterReportsReceived: "Sensor reports received by the controller.",
 	MetricClusterCommandsSent:    "Actuation commands pushed by the controller.",

@@ -29,6 +29,16 @@ const (
 	// EventReconnect is a cluster agent re-establishing its controller
 	// session after a transport failure.
 	EventReconnect EventType = "agent_reconnect"
+	// EventFaultInjected is one fault activation delivered by the
+	// deterministic injector (docs/FAULTS.md).
+	EventFaultInjected EventType = "fault_injected"
+	// EventDegradedMode marks a node's aging metrics being quarantined:
+	// the controller stops trusting them and falls back to conservative
+	// placement and capped frequencies.
+	EventDegradedMode EventType = "degraded_mode"
+	// EventDegradedRecovered marks a quarantined node's metrics being
+	// trusted again after the quarantine window elapsed cleanly.
+	EventDegradedRecovered EventType = "degraded_recovered"
 )
 
 // Event is one structured telemetry event.
