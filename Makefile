@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-smoke fuzz-smoke chaos-smoke golden-update
+.PHONY: check fmt vet build test test-race bench bench-smoke bench-regression bench-baseline fuzz-smoke chaos-smoke golden-update
 
 check: ## gofmt -l + vet + build + race tests
 	./check.sh
@@ -27,6 +27,12 @@ bench: ## quick-mode experiment benchmarks
 
 bench-smoke: ## one-iteration fleet-stepping benchmark (compile + run sanity)
 	$(GO) test -run=NONE -bench=FleetStep -benchtime=1x ./internal/sim/
+
+bench-regression: ## run the fixed suite and fail on regressions vs BENCH_baseline.json
+	$(GO) run ./cmd/baatbench -bench-compare BENCH_baseline.json
+
+bench-baseline: ## re-measure and overwrite BENCH_baseline.json (commit the result)
+	$(GO) run ./cmd/baatbench -bench-json BENCH_baseline.json
 
 fuzz-smoke: ## short fuzz pass over the aging-metric tracker
 	$(GO) test -run=NONE -fuzz=FuzzAgingMetrics -fuzztime=5s ./internal/aging/

@@ -23,6 +23,9 @@ go test -race ./...
 echo "== bench smoke =="
 go test -run=NONE -bench=FleetStep -benchtime=1x ./internal/sim/
 
+echo "== bench regression =="
+go run ./cmd/baatbench -bench-compare BENCH_baseline.json
+
 echo "== fuzz smoke =="
 go test -run=NONE -fuzz=FuzzAgingMetrics -fuzztime=5s ./internal/aging/
 

@@ -8,13 +8,18 @@
 //	baatbench fig14 fig20        # selected experiments
 //	baatbench -quick             # reduced sweeps (CI-friendly)
 //	baatbench -markdown > out.md # markdown for EXPERIMENTS.md
+//
+// It also hosts the benchmark-regression harness (internal/perf):
+//
+//	baatbench -bench-json BENCH_baseline.json     # refresh the baseline
+//	baatbench -bench-compare BENCH_baseline.json  # fail on regressions
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -39,8 +44,16 @@ func run() error {
 		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /events, and /debug/pprof on this address while experiments run (empty = off)")
 		faults   = flag.String("faults", "none", "fault-injection profile applied to every simulator: "+strings.Join(baat.FaultProfileNames(), " | "))
 		faultsSd = flag.Int64("faults-seed", 0, "fault injector seed (0 derives the simulation seed+4)")
+
+		benchJSON    = flag.String("bench-json", "", "run the benchmark-regression suite and write its JSON report to this path ('-' = stdout), then exit")
+		benchCompare = flag.String("bench-compare", "", "run the benchmark-regression suite, compare against this baseline JSON, and exit non-zero on regressions")
+		benchSlack   = flag.Float64("bench-time-slack", 0.15, "tolerated fractional time/op growth for -bench-compare")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" || *benchCompare != "" {
+		return runBenchSuite(*benchJSON, *benchCompare, *benchSlack)
+	}
 
 	if *list {
 		for _, id := range baat.Experiments() {
@@ -84,6 +97,51 @@ func run() error {
 	return nil
 }
 
+// runBenchSuite executes the fixed benchmark suite once, then writes the
+// report and/or gates it against a committed baseline.
+func runBenchSuite(jsonPath, comparePath string, timeSlack float64) error {
+	fmt.Fprintln(os.Stderr, "bench: running suite (several seconds per entry)...")
+	report, err := baat.RunPerfSuite()
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		data, err := report.WriteJSON()
+		if err != nil {
+			return err
+		}
+		if jsonPath == "-" {
+			if _, err := os.Stdout.Write(data); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if comparePath == "" {
+		return nil
+	}
+	baseline, err := baat.ReadPerfReport(comparePath)
+	if err != nil {
+		return err
+	}
+	opt := baat.DefaultPerfOptions()
+	opt.TimeSlack = timeSlack
+	regressions := baat.ComparePerf(baseline, report, opt)
+	for _, e := range report.Entries {
+		fmt.Printf("bench: %-40s %12.0f ns/op %10d allocs/op %12d B/op\n",
+			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "bench regression:", r)
+		}
+		return fmt.Errorf("%d benchmark regression(s) against %s", len(regressions), comparePath)
+	}
+	fmt.Printf("bench: no regressions against %s (%d entries)\n", comparePath, len(baseline.Entries))
+	return nil
+}
+
 func printMarkdown(t *baat.ExperimentTable) {
 	fmt.Printf("### %s — %s\n\n", strings.ToUpper(t.ID[:1])+t.ID[1:], t.Title)
 	fmt.Println("| " + strings.Join(t.Columns, " | ") + " |")
@@ -101,7 +159,7 @@ func printMarkdown(t *baat.ExperimentTable) {
 		for k := range t.Values {
 			keys = append(keys, k)
 		}
-		sort.Strings(keys)
+		slices.Sort(keys)
 		fmt.Println("Headline values:")
 		for _, k := range keys {
 			fmt.Printf("- `%s` = %.4f\n", k, t.Values[k])

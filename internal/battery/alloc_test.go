@@ -1,0 +1,46 @@
+package battery
+
+// Allocation guard for the electrochemical step: Discharge/Charge/Rest run
+// once per node per tick, the innermost loop of every simulation. The
+// benchmark-regression harness (internal/perf) pins the same path across
+// releases; this test catches a regression at `go test` time with an exact
+// zero.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStepAllocFree(t *testing.T) {
+	p, err := New(DefaultSpec(), WithInitialSoC(0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if p.SoC() > 0.5 {
+			if _, err := p.Discharge(60, time.Second, 25); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, err := p.Charge(60, time.Second, 25); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Discharge/Charge allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestRestAllocFree(t *testing.T) {
+	p, err := New(DefaultSpec(), WithInitialSoC(0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Rest(time.Second, 25)
+	})
+	if allocs != 0 {
+		t.Fatalf("Rest allocates %.1f objects per call, want 0", allocs)
+	}
+}

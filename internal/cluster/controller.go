@@ -7,7 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -235,7 +235,7 @@ func (c *Controller) Snapshot() []NodeState {
 	for id := range c.states {
 		ids = append(ids, id)
 	}
-	sort.Strings(ids)
+	slices.Sort(ids)
 	now := time.Now()
 	for _, id := range ids {
 		st := c.states[id]
@@ -253,7 +253,7 @@ func (c *Controller) AgentIDs() []string {
 	for id := range c.conns {
 		out = append(out, id)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -37,13 +37,25 @@ func AblationFloor(cfg Config) (*Table, error) {
 		{"floor disabled (0.05)", "nofloor", 0.05},
 		{"default floor (0.35)", "floor", 0.35},
 	}
-	for _, v := range variants {
+	type cell struct {
+		life time.Duration
+		thr  float64
+	}
+	cells := make([]cell, len(variants))
+	if err := runSweep(cfg.sweepWorkers(), len(variants), func(i int) error {
 		ccfg := core.DefaultConfig()
-		ccfg.Slowdown.FloorSoC = v.floor
+		ccfg.Slowdown.FloorSoC = variants[i].floor
 		life, thr, err := fleetLifetime(cfg, core.BAATFull, ccfg, frac, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		cells[i] = cell{life, thr}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		life, thr := cells[i].life, cells[i].thr
 		t.Rows = append(t.Rows, []string{
 			v.name, fmt.Sprintf("%.1f", life.Hours()/(30*24)), fmt.Sprintf("%.1f", thr),
 		})
@@ -82,13 +94,25 @@ func AblationMigration(cfg Config) (*Table, error) {
 		{"live migration (2 min)", "cheap", 2 * time.Minute},
 		{"stop-and-copy (30 min)", "costly", 30 * time.Minute},
 	}
-	for _, v := range variants {
+	type cell struct {
+		life time.Duration
+		thr  float64
+	}
+	cells := make([]cell, len(variants))
+	if err := runSweep(cfg.sweepWorkers(), len(variants), func(i int) error {
 		ccfg := core.DefaultConfig()
-		ccfg.MigrationTime = v.transfer
+		ccfg.MigrationTime = variants[i].transfer
 		life, thr, err := fleetLifetime(cfg, core.BAATFull, ccfg, frac, nil)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		cells[i] = cell{life, thr}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		life, thr := cells[i].life, cells[i].thr
 		t.Rows = append(t.Rows, []string{
 			v.name, fmt.Sprintf("%.1f", life.Hours()/(30*24)), fmt.Sprintf("%.1f", thr),
 		})
@@ -125,43 +149,64 @@ func ArchitectureComparison(cfg Config) (*Table, error) {
 		Values:  map[string]float64{},
 	}
 
-	// Per-server: the standard simulated prototype under e-Buff.
-	s, err := prototypeSimWithScale(cfg, core.EBuff, core.DefaultConfig(), tightScale)
-	if err != nil {
+	// The two architectures are independent runs; slot 0 is per-server,
+	// slot 1 the per-rack pools.
+	type arch struct {
+		thr, worst, spread float64
+		down               time.Duration
+	}
+	cells := make([]arch, 2)
+	if err := runSweep(cfg.sweepWorkers(), 2, func(i int) error {
+		if i == 1 {
+			// Per-rack: two racks of three servers, each sharing a six-unit
+			// pool — the same twelve units total — driven through the same
+			// weather.
+			thr, worst, spread, down, err := runRacks(cfg, seq)
+			if err != nil {
+				return err
+			}
+			cells[1] = arch{thr, worst, spread, down}
+			return nil
+		}
+		// Per-server: the standard simulated prototype under e-Buff.
+		s, err := prototypeSimWithScale(cfg, core.EBuff, core.DefaultConfig(), tightScale)
+		if err != nil {
+			return err
+		}
+		res, err := s.Run(seq)
+		if err != nil {
+			return err
+		}
+		worst, best := 1.0, 0.0
+		var worstDown time.Duration
+		for _, n := range res.Nodes {
+			if n.Health < worst {
+				worst = n.Health
+			}
+			if n.Health > best {
+				best = n.Health
+			}
+			if n.Downtime > worstDown {
+				worstDown = n.Downtime
+			}
+		}
+		cells[0] = arch{res.Throughput, worst, best - worst, worstDown}
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	res, err := s.Run(seq)
-	if err != nil {
-		return nil, err
-	}
-	worst, best := 1.0, 0.0
-	var worstDown time.Duration
-	for _, n := range res.Nodes {
-		if n.Health < worst {
-			worst = n.Health
-		}
-		if n.Health > best {
-			best = n.Health
-		}
-		if n.Downtime > worstDown {
-			worstDown = n.Downtime
-		}
-	}
+
+	server := cells[0]
 	t.Rows = append(t.Rows, []string{
 		"per-server (6 × 2 units)",
-		fmt.Sprintf("%.1f", res.Throughput),
-		f3(worst), f3(best - worst), worstDown.Round(time.Minute).String(),
+		fmt.Sprintf("%.1f", server.thr),
+		f3(server.worst), f3(server.spread), server.down.Round(time.Minute).String(),
 	})
-	t.Values["server_throughput"] = res.Throughput
-	t.Values["server_worst_health"] = worst
-	t.Values["server_spread"] = best - worst
+	t.Values["server_throughput"] = server.thr
+	t.Values["server_worst_health"] = server.worst
+	t.Values["server_spread"] = server.spread
 
-	// Per-rack: two racks of three servers, each sharing a six-unit pool —
-	// the same twelve units total — driven through the same weather.
-	rackThr, rackWorst, rackSpread, rackDown, err := runRacks(cfg, seq)
-	if err != nil {
-		return nil, err
-	}
+	rackThr, rackWorst, rackSpread, rackDown := cells[1].thr, cells[1].worst, cells[1].spread, cells[1].down
 	t.Rows = append(t.Rows, []string{
 		"per-rack (2 × 6-unit pool)",
 		fmt.Sprintf("%.1f", rackThr),

@@ -1,0 +1,38 @@
+package experiments
+
+// BenchmarkExperimentSweep measures one quick-mode experiment end to end,
+// serially and across the variant worker pool, so `-bench=ExperimentSweep`
+// reports the sweep-level speedup directly. fig18 fans four policy kinds
+// through runSweep; the equivalence tests in parallel_test.go guarantee
+// both variants render identical tables, so this benchmark only measures
+// wall time.
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+func BenchmarkExperimentSweep(b *testing.B) {
+	runner, err := Lookup("fig18")
+	if err != nil {
+		b.Fatal(err)
+	}
+	workerCounts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("fig18/workers=%d", workers), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Quick = true
+			cfg.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := runner(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

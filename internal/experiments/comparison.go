@@ -115,22 +115,35 @@ func WeatherProfile(cfg Config) (*Table, error) {
 		Columns: []string{"weather", "solar used (kWh)", "worst NAT", "CF", "PC", "low-SoC time"},
 		Values:  map[string]float64{},
 	}
-	for _, w := range solar.Weathers() {
-		s, ds, err := runOneDay(cfg, core.EBuff, w, false)
+	weathers := solar.Weathers()
+	type cell struct {
+		ds          sim.DayStats
+		nat, cf, pc float64
+	}
+	cells := make([]cell, len(weathers))
+	if err := runSweep(cfg.sweepWorkers(), len(weathers), func(i int) error {
+		s, ds, err := runOneDay(cfg, core.EBuff, weathers[i], false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		nat, cf, pc := worstDayNAT(s)
+		cells[i] = cell{ds: ds, nat: nat, cf: cf, pc: pc}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, w := range weathers {
+		c := cells[i]
 		t.Rows = append(t.Rows, []string{
 			w.String(),
-			f2(float64(ds.SolarEnergy) / 1000),
-			fmt.Sprintf("%.5f", nat),
-			f2(cf), f3(pc),
-			ds.LowSoCTime.String(),
+			f2(float64(c.ds.SolarEnergy) / 1000),
+			fmt.Sprintf("%.5f", c.nat),
+			f2(c.cf), f3(c.pc),
+			c.ds.LowSoCTime.String(),
 		})
-		t.Values[w.String()+"_nat"] = nat
-		t.Values[w.String()+"_cf"] = cf
-		t.Values[w.String()+"_pc"] = pc
+		t.Values[w.String()+"_nat"] = c.nat
+		t.Values[w.String()+"_cf"] = c.cf
+		t.Values[w.String()+"_pc"] = c.pc
 	}
 	t.Notes = append(t.Notes,
 		"paper: sunny days show low Ah-throughput, higher CF, and high-SoC cycling;",
@@ -165,22 +178,31 @@ func AgingComparison(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		scenarios = scenarios[1:2] // young/cloudy only
 	}
-	nats := map[string]float64{}
-	for _, sc := range scenarios {
-		for _, k := range core.Kinds() {
-			s, _, err := runOneDay(cfg, k, sc.w, sc.old)
-			if err != nil {
-				return nil, err
-			}
-			nat, cf, pc := worstDayNAT(s)
-			t.Rows = append(t.Rows, []string{
-				sc.name, k.String(), fmt.Sprintf("%.5f", nat), f2(cf), f3(pc),
-			})
-			key := sc.name + "/" + k.String()
-			nats[key] = nat
-			t.Values[key+"_nat"] = nat
-			t.Values[key+"_pc"] = pc
+	kinds := core.Kinds()
+	type cell struct{ nat, cf, pc float64 }
+	cells := make([]cell, len(scenarios)*len(kinds))
+	if err := runSweep(cfg.sweepWorkers(), len(cells), func(i int) error {
+		sc, k := scenarios[i/len(kinds)], kinds[i%len(kinds)]
+		s, _, err := runOneDay(cfg, k, sc.w, sc.old)
+		if err != nil {
+			return err
 		}
+		nat, cf, pc := worstDayNAT(s)
+		cells[i] = cell{nat, cf, pc}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	nats := map[string]float64{}
+	for i, c := range cells {
+		sc, k := scenarios[i/len(kinds)], kinds[i%len(kinds)]
+		t.Rows = append(t.Rows, []string{
+			sc.name, k.String(), fmt.Sprintf("%.5f", c.nat), f2(c.cf), f3(c.pc),
+		})
+		key := sc.name + "/" + k.String()
+		nats[key] = c.nat
+		t.Values[key+"_nat"] = c.nat
+		t.Values[key+"_pc"] = c.pc
 	}
 	if v, ok := ratio(nats, "young/cloudy/e-Buff", "young/cloudy/BAAT"); ok {
 		t.Values["ebuff_vs_baat_nat_young_cloudy"] = v
@@ -232,21 +254,31 @@ func LowSoCDuration(cfg Config) (*Table, error) {
 		Values:  map[string]float64{},
 	}
 	window := float64(days) * 10 // hours of operating window
-	lows := map[core.Kind]float64{}
-	for _, k := range core.Kinds() {
-		s, err := prototypeSimWithScale(cfg, k, core.DefaultConfig(), scale)
+	kinds := core.Kinds()
+	type cell struct{ lowH, downH float64 }
+	cells := make([]cell, len(kinds))
+	if err := runSweep(cfg.sweepWorkers(), len(kinds), func(i int) error {
+		s, err := prototypeSimWithScale(cfg, kinds[i], core.DefaultConfig(), scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var lowH, downH float64
 		for _, w := range seq {
 			ds, err := s.RunDay(w)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			lowH += ds.LowSoCTime.Hours()
 			downH += ds.Downtime.Hours()
 		}
+		cells[i] = cell{lowH, downH}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	lows := map[core.Kind]float64{}
+	for i, k := range kinds {
+		lowH, downH := cells[i].lowH, cells[i].downH
 		lows[k] = lowH
 		t.Rows = append(t.Rows, []string{
 			k.String(),
@@ -283,17 +315,25 @@ func SoCDistribution(cfg Config) (*Table, error) {
 		Columns: append([]string{"SoC bin"}, policyNames()...),
 		Values:  map[string]float64{},
 	}
-	fracs := map[core.Kind][]float64{}
-	for _, k := range core.Kinds() {
-		s, err := prototypeSim(cfg, k, core.DefaultConfig())
+	kinds := core.Kinds()
+	cells := make([][]float64, len(kinds))
+	if err := runSweep(cfg.sweepWorkers(), len(kinds), func(i int) error {
+		s, err := prototypeSim(cfg, kinds[i], core.DefaultConfig())
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := s.Run(seq)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		fracs[k] = res.SoCHistogram.Fractions()
+		cells[i] = res.SoCHistogram.Fractions()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	fracs := map[core.Kind][]float64{}
+	for i, k := range kinds {
+		fracs[k] = cells[i]
 	}
 	for bin := 0; bin < len(labels); bin++ {
 		row := []string{labels[bin]}
@@ -346,20 +386,28 @@ func Throughput(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		scenarios = scenarios[3:]
 	}
-	thr := map[string]float64{}
-	for _, sc := range scenarios {
-		for _, k := range core.Kinds() {
-			_, ds, err := runOneDayOwnAging(cfg, k, sc.w, sc.old)
-			if err != nil {
-				return nil, err
-			}
-			key := sc.name + "/" + k.String()
-			thr[key] = ds.Throughput
-			t.Rows = append(t.Rows, []string{
-				sc.name, k.String(), fmt.Sprintf("%.1f", ds.Throughput), ds.Downtime.Round(time.Minute).String(),
-			})
-			t.Values[key] = ds.Throughput
+	kinds := core.Kinds()
+	cells := make([]sim.DayStats, len(scenarios)*len(kinds))
+	if err := runSweep(cfg.sweepWorkers(), len(cells), func(i int) error {
+		sc, k := scenarios[i/len(kinds)], kinds[i%len(kinds)]
+		_, ds, err := runOneDayOwnAging(cfg, k, sc.w, sc.old)
+		if err != nil {
+			return err
 		}
+		cells[i] = ds
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	thr := map[string]float64{}
+	for i, ds := range cells {
+		sc, k := scenarios[i/len(kinds)], kinds[i%len(kinds)]
+		key := sc.name + "/" + k.String()
+		thr[key] = ds.Throughput
+		t.Rows = append(t.Rows, []string{
+			sc.name, k.String(), fmt.Sprintf("%.1f", ds.Throughput), ds.Downtime.Round(time.Minute).String(),
+		})
+		t.Values[key] = ds.Throughput
 	}
 	if base := thr["old/cloudy/e-Buff"]; base > 0 {
 		t.Values["baat_gain_worst_case"] = thr["old/cloudy/BAAT"]/base - 1

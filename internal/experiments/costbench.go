@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/green-dc/baat/internal/core"
 	"github.com/green-dc/baat/internal/cost"
@@ -28,10 +29,33 @@ func DepreciationCost(cfg Config) (*Table, error) {
 		Values:  map[string]float64{},
 	}
 
-	eLife, eThr, err := fleetLifetime(cfg, core.EBuff, core.DefaultConfig(), frac, nil)
-	if err != nil {
+	thresholds := []float64{0.05, 0.15, 0.25, 0.35}
+	if cfg.Quick {
+		thresholds = []float64{0.35}
+	}
+	// Slot 0 is the e-Buff reference; slot i+1 is thresholds[i].
+	type cell struct {
+		life time.Duration
+		thr  float64
+	}
+	cells := make([]cell, 1+len(thresholds))
+	if err := runSweep(cfg.sweepWorkers(), len(cells), func(i int) error {
+		kind, ccfg := core.EBuff, core.DefaultConfig()
+		if i > 0 {
+			kind = core.BAATFull
+			ccfg.Slowdown.FloorSoC = thresholds[i-1]
+		}
+		life, thr, err := fleetLifetime(cfg, kind, ccfg, frac, nil)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{life, thr}
+		return nil
+	}); err != nil {
 		return nil, err
 	}
+
+	eLife, eThr := cells[0].life, cells[0].thr
 	eCost, err := model.AnnualBatteryDepreciation(nodes, eLife)
 	if err != nil {
 		return nil, err
@@ -42,17 +66,8 @@ func DepreciationCost(cfg Config) (*Table, error) {
 	})
 	t.Values["ebuff_cost"] = eCost
 
-	thresholds := []float64{0.05, 0.15, 0.25, 0.35}
-	if cfg.Quick {
-		thresholds = []float64{0.35}
-	}
-	for _, th := range thresholds {
-		ccfg := core.DefaultConfig()
-		ccfg.Slowdown.FloorSoC = th
-		life, thr, err := fleetLifetime(cfg, core.BAATFull, ccfg, frac, nil)
-		if err != nil {
-			return nil, err
-		}
+	for i, th := range thresholds {
+		life, thr := cells[i+1].life, cells[i+1].thr
 		c, err := model.AnnualBatteryDepreciation(nodes, life)
 		if err != nil {
 			return nil, err
@@ -91,16 +106,21 @@ func ServerExpansion(cfg Config) (*Table, error) {
 		Columns: []string{"sunshine", "e-Buff life (mo)", "BAAT life (mo)", "cost-limited", "power-limited", "allowed"},
 		Values:  map[string]float64{},
 	}
+	kinds := []core.Kind{core.EBuff, core.BAATFull}
+	cells := make([]time.Duration, len(fracs)*len(kinds))
+	if err := runSweep(cfg.sweepWorkers(), len(cells), func(i int) error {
+		life, _, err := fleetLifetime(cfg, kinds[i%len(kinds)], core.DefaultConfig(), fracs[i/len(kinds)], nil)
+		if err != nil {
+			return err
+		}
+		cells[i] = life
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var maxAllowed float64
-	for _, frac := range fracs {
-		eLife, _, err := fleetLifetime(cfg, core.EBuff, core.DefaultConfig(), frac, nil)
-		if err != nil {
-			return nil, err
-		}
-		bLife, _, err := fleetLifetime(cfg, core.BAATFull, core.DefaultConfig(), frac, nil)
-		if err != nil {
-			return nil, err
-		}
+	for fi, frac := range fracs {
+		eLife, bLife := cells[fi*2], cells[fi*2+1]
 		// Surplus solar: expected generation minus what the present fleet
 		// consumes on an average day.
 		loc := solar.Location{SunshineFraction: frac}

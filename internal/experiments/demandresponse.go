@@ -44,30 +44,39 @@ func DemandResponse(cfg Config) (*Table, error) {
 		{"baat", 0.40},
 		{"timid", 0.70},
 	}
-	for _, f := range floors {
+	type cell struct {
+		shaved, savings, wear, net float64
+	}
+	cells := make([]cell, len(floors))
+	if err := runSweep(cfg.sweepWorkers(), len(floors), func(i int) error {
 		scfg := grid.DefaultShaverConfig()
 		scfg.AgingConfig.AccelFactor = cfg.Accel
-		scfg.FloorSoC = f.floor
+		scfg.FloorSoC = floors[i].floor
 		s, err := grid.NewShaver(scfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := s.RunDays(days, units.Watt(120), time.Minute); err != nil {
-			return nil, err
+			return err
 		}
 		l := s.Ledger()
-		wear := 1 - s.Battery().Health()
-		net := s.NetBenefit(batteryCost)
+		cells[i] = cell{l.ShavedKWh, l.ArbitrageSavings, 1 - s.Battery().Health(), s.NetBenefit(batteryCost)}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, f := range floors {
+		c := cells[i]
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.0f%% (%s)", f.floor*100, f.key),
-			fmt.Sprintf("%.1f", l.ShavedKWh),
-			fmt.Sprintf("%.2f", l.ArbitrageSavings),
-			pct(wear),
-			fmt.Sprintf("%.2f", net),
+			fmt.Sprintf("%.1f", c.shaved),
+			fmt.Sprintf("%.2f", c.savings),
+			pct(c.wear),
+			fmt.Sprintf("%.2f", c.net),
 		})
-		t.Values[f.key+"_savings"] = l.ArbitrageSavings
-		t.Values[f.key+"_wear"] = wear
-		t.Values[f.key+"_net"] = net
+		t.Values[f.key+"_savings"] = c.savings
+		t.Values[f.key+"_wear"] = c.wear
+		t.Values[f.key+"_net"] = c.net
 	}
 	t.Notes = append(t.Notes,
 		"Table 1's 'demand response' row with dollars attached: the aggressive",

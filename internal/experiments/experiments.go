@@ -12,7 +12,10 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/green-dc/baat/internal/core"
@@ -94,9 +97,17 @@ type Config struct {
 	Accel float64
 	// Quick shrinks sweeps and horizons for use in unit tests.
 	Quick bool
-	// Workers is the per-simulator node-stepping fan-out
-	// (sim.Config.Workers): 0/1 serial, negative = all CPUs. Worker count
-	// never changes experiment output, only wall time.
+	// Workers caps how many of an experiment's independent variant runs
+	// (policy kinds, ablation variants, sweep points) execute concurrently.
+	// 0/1 run everything serially, negative resolves to all CPUs. The
+	// variant pool has priority over per-simulator node stepping: when the
+	// sweep is parallel, each simulator steps its six-node fleet serially —
+	// prototype fleets gain nothing from a per-tick fan-out, and nested
+	// pools would oversubscribe the host. Worker count never changes
+	// experiment output, only wall time: every variant writes into its own
+	// pre-indexed result slot and tables are assembled in index order, so
+	// parallel sweeps render byte-identically to serial ones (enforced by
+	// the equivalence tests in parallel_test.go).
 	Workers int
 	// Telemetry, when non-nil, instruments every simulator the harnesses
 	// build, so a run's /metrics endpoint aggregates counters across all
@@ -120,6 +131,75 @@ func (c Config) Validate() error {
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("experiments: %w", err)
+	}
+	return nil
+}
+
+// sweepWorkers resolves Config.Workers into the width of the variant-level
+// worker pool: at least 1, negative values meaning all CPUs.
+func (c Config) sweepWorkers() int {
+	w := c.Workers
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// simWorkers resolves the node-stepping width for simulators built inside
+// a variant sweep: serial whenever the sweep itself is parallel, the raw
+// setting otherwise.
+func (c Config) simWorkers() int {
+	if c.sweepWorkers() > 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+// runSweep executes n independent variant runs across a pool of at most
+// workers goroutines. Each run must write only into its own pre-indexed
+// result slot — no shared mutable state — so assembling the output in index
+// order is byte-identical to a serial sweep regardless of scheduling.
+// Errors reduce in index order (the first failing variant by index wins),
+// mirroring sim's node fan-out, so the reported error is deterministic too.
+func runSweep(workers, n int, run func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -150,7 +230,7 @@ func prototypeSimWithScale(cfg Config, kind core.Kind, coreCfg core.Config, scal
 	scfg.JobsPerDay = 2
 	scfg.Solar.Scale = scale
 	scfg.Telemetry = cfg.Telemetry
-	scfg.Workers = cfg.Workers
+	scfg.Workers = cfg.simWorkers()
 	scfg.Faults = cfg.Faults
 	return sim.New(scfg, policy)
 }

@@ -45,7 +45,7 @@ func fleetLifetime(cfg Config, kind core.Kind, coreCfg core.Config, frac float64
 		scfg.JobsPerDay = 2
 		scfg.Solar.Scale = 1.5
 		scfg.Telemetry = cfg.Telemetry
-		scfg.Workers = cfg.Workers
+		scfg.Workers = cfg.simWorkers()
 		scfg.Faults = cfg.Faults
 		if mutate != nil {
 			mutate(&scfg)
@@ -90,15 +90,24 @@ func LifetimeVsSunshine(cfg Config) (*Table, error) {
 		Columns: []string{"sunshine", "e-Buff (mo)", "BAAT-s (mo)", "BAAT-h (mo)", "BAAT (mo)", "BAAT gain"},
 		Values:  map[string]float64{},
 	}
+	kinds := core.Kinds()
+	cells := make([]time.Duration, len(fracs)*len(kinds))
+	if err := runSweep(cfg.sweepWorkers(), len(cells), func(i int) error {
+		frac, k := fracs[i/len(kinds)], kinds[i%len(kinds)]
+		life, _, err := fleetLifetime(cfg, k, core.DefaultConfig(), frac, nil)
+		if err != nil {
+			return err
+		}
+		cells[i] = life
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	gains := map[core.Kind][]float64{}
-	for _, frac := range fracs {
+	for fi, frac := range fracs {
 		lives := map[core.Kind]time.Duration{}
-		for _, k := range core.Kinds() {
-			life, _, err := fleetLifetime(cfg, k, core.DefaultConfig(), frac, nil)
-			if err != nil {
-				return nil, err
-			}
-			lives[k] = life
+		for ki, k := range kinds {
+			lives[k] = cells[fi*len(kinds)+ki]
 		}
 		months := func(k core.Kind) string {
 			return fmt.Sprintf("%.1f", lives[k].Hours()/(30*24))
@@ -109,7 +118,7 @@ func LifetimeVsSunshine(cfg Config) (*Table, error) {
 			pct(frac), months(core.EBuff), months(core.BAATSlowdown),
 			months(core.BAATHiding), months(core.BAATFull), pct(gain),
 		})
-		for _, k := range core.Kinds()[1:] {
+		for _, k := range kinds[1:] {
 			gains[k] = append(gains[k], lives[k].Hours()/base-1)
 		}
 		t.Values[fmt.Sprintf("ebuff_months_%.0f", frac*100)] = base / (30 * 24)
@@ -169,18 +178,24 @@ func LifetimeVsRatio(cfg Config) (*Table, error) {
 		Values:  map[string]float64{},
 	}
 	const frac = 0.6
+	ratioKinds := []core.Kind{core.EBuff, core.BAATFull}
+	cells := make([]time.Duration, len(ratios)*len(ratioKinds))
+	if err := runSweep(cfg.sweepWorkers(), len(cells), func(i int) error {
+		r, k := ratios[i/len(ratioKinds)], ratioKinds[i%len(ratioKinds)]
+		life, _, err := fleetLifetime(cfg, k, core.DefaultConfig(), frac,
+			func(sc *sim.Config) { scaleBatteryForRatio(sc, r) })
+		if err != nil {
+			return err
+		}
+		cells[i] = life
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	var firstEBuff, lastEBuff float64
 	var firstGain, lastGain float64
 	for i, r := range ratios {
-		mutate := func(sc *sim.Config) { scaleBatteryForRatio(sc, r) }
-		eLife, _, err := fleetLifetime(cfg, core.EBuff, core.DefaultConfig(), frac, mutate)
-		if err != nil {
-			return nil, err
-		}
-		bLife, _, err := fleetLifetime(cfg, core.BAATFull, core.DefaultConfig(), frac, mutate)
-		if err != nil {
-			return nil, err
-		}
+		eLife, bLife := cells[i*2], cells[i*2+1]
 		gain := bLife.Hours()/eLife.Hours() - 1
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%.0f", r),

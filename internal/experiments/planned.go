@@ -41,7 +41,7 @@ func runWindowThroughput(cfg Config, kind core.Kind, coreCfg core.Config) (thr f
 	scfg.JobsPerDay = 2
 	scfg.Solar.Scale = plannedScale
 	scfg.Telemetry = cfg.Telemetry
-	scfg.Workers = cfg.Workers
+	scfg.Workers = cfg.simWorkers()
 	scfg.Faults = cfg.Faults
 	s, err := sim.New(scfg, policy)
 	if err != nil {
@@ -79,20 +79,29 @@ func PerfVsDoD(cfg Config) (*Table, error) {
 		Columns: []string{"DoD", "throughput", "gain vs 40%", "worst health"},
 		Values:  map[string]float64{},
 	}
-	var base float64
-	var prev float64
-	var firstStep, lastStep float64
-	for i, dod := range dods {
+	type cell struct{ thr, health float64 }
+	cells := make([]cell, len(dods))
+	if err := runSweep(cfg.sweepWorkers(), len(dods), func(i int) error {
 		ccfg := core.DefaultConfig()
 		// Planned aging regulates discharge depth: floor = 1 − DoD, with
 		// the slowdown trigger just above it (§IV-D replaces the 40 %
 		// trigger with 1 − DoD_goal).
-		ccfg.Slowdown.FloorSoC = 1 - dod
-		ccfg.Slowdown.TriggerSoC = clampTriggerAbove(1 - dod + 0.10)
+		ccfg.Slowdown.FloorSoC = 1 - dods[i]
+		ccfg.Slowdown.TriggerSoC = clampTriggerAbove(1 - dods[i] + 0.10)
 		thr, health, err := runWindowThroughput(cfg, core.BAATFull, ccfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		cells[i] = cell{thr, health}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var base float64
+	var prev float64
+	var firstStep, lastStep float64
+	for i, dod := range dods {
+		thr, health := cells[i].thr, cells[i].health
 		if i == 0 {
 			base = thr
 		}
@@ -150,25 +159,35 @@ func PlannedAgingBenefit(cfg Config) (*Table, error) {
 		Columns: []string{"service life (mo)", "planned throughput", "e-Buff throughput", "gain", "worst health"},
 		Values:  map[string]float64{},
 	}
-	eThr, _, err := runWindowThroughput(cfg, core.EBuff, core.DefaultConfig())
-	if err != nil {
+	// Slot 0 is the e-Buff reference; slot i+1 is monthsList[i].
+	type cell struct{ thr, health float64 }
+	cells := make([]cell, 1+len(monthsList))
+	if err := runSweep(cfg.sweepWorkers(), len(cells), func(i int) error {
+		kind, ccfg := core.EBuff, core.DefaultConfig()
+		if i > 0 {
+			kind = core.BAATFull
+			ccfg.Planned = core.PlannedAgingConfig{
+				Enabled: true,
+				// The Ah budget Eq 7 divides is not accelerated (only damage
+				// rates are), so the planner receives the real service life:
+				// its cycle plan must count real cycles.
+				ServiceLife:  time.Duration(monthsList[i-1] * 30 * 24 * float64(time.Hour)),
+				CyclesPerDay: 1,
+			}
+		}
+		thr, health, err := runWindowThroughput(cfg, kind, ccfg)
+		if err != nil {
+			return err
+		}
+		cells[i] = cell{thr, health}
+		return nil
+	}); err != nil {
 		return nil, err
 	}
+	eThr := cells[0].thr
 	var maxGain float64
-	for _, months := range monthsList {
-		ccfg := core.DefaultConfig()
-		ccfg.Planned = core.PlannedAgingConfig{
-			Enabled: true,
-			// The Ah budget Eq 7 divides is not accelerated (only damage
-			// rates are), so the planner receives the real service life:
-			// its cycle plan must count real cycles.
-			ServiceLife:  time.Duration(months * 30 * 24 * float64(time.Hour)),
-			CyclesPerDay: 1,
-		}
-		thr, health, err := runWindowThroughput(cfg, core.BAATFull, ccfg)
-		if err != nil {
-			return nil, err
-		}
+	for mi, months := range monthsList {
+		thr, health := cells[mi+1].thr, cells[mi+1].health
 		gain := 0.0
 		if eThr > 0 {
 			gain = thr/eThr - 1

@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Runner executes one experiment.
@@ -55,7 +55,7 @@ func Lookup(id string) (Runner, error) {
 		}
 	}
 	known := IDs()
-	sort.Strings(known)
+	slices.Sort(known)
 	return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, known)
 }
 

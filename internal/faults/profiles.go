@@ -2,7 +2,7 @@ package faults
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -81,6 +81,6 @@ func ProfileNames() []string {
 	for name := range profiles {
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }

@@ -1,0 +1,124 @@
+// Package perf is the benchmark-regression harness: a fixed suite of
+// steady-state benchmarks over the hot paths (fleet stepping, aging-metric
+// tracking, battery physics, experiment sweeps), a JSON report format, and
+// a comparator that fails when a run regresses against a committed
+// baseline (BENCH_baseline.json at the repository root).
+//
+// The suite runs inside any binary via testing.Benchmark, so the
+// baatbench CLI can emit and compare reports without a test harness:
+//
+//	baatbench -bench-json BENCH_baseline.json   # refresh the baseline
+//	baatbench -bench-compare BENCH_baseline.json
+//
+// Time-per-op comparisons get a slack factor (default 15 %) because wall
+// time is machine- and load-dependent. Allocations are deterministic for
+// the steady-state paths, so entries marked Pinned — the allocation-free
+// tick paths — tolerate no allocs/op growth at all; the remaining entries
+// get a small slack that absorbs b.N-averaging jitter while still
+// catching any real allocation regression.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	// Name identifies the benchmark, e.g. "fleet_step/nodes=64/workers=1".
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation in nanoseconds.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// BytesPerOp is heap bytes per operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// Pinned marks an allocation-free hot path: the comparator rejects any
+	// allocs/op increase, however small.
+	Pinned bool `json:"pinned,omitempty"`
+}
+
+// Report is a full suite run.
+type Report struct {
+	Entries []Entry `json:"entries"`
+}
+
+// Lookup returns the entry with the given name.
+func (r Report) Lookup(name string) (Entry, bool) {
+	for _, e := range r.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// ReadReport loads a report from a JSON file.
+func ReadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("perf: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// WriteJSON serializes the report, indented, with a trailing newline.
+func (r Report) WriteJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Options tunes the comparator.
+type Options struct {
+	// TimeSlack is the tolerated fractional ns/op growth (0.15 = +15 %).
+	TimeSlack float64
+	// AllocSlack is the tolerated fractional allocs/op growth for entries
+	// that are not pinned. Pinned entries always use zero.
+	AllocSlack float64
+}
+
+// DefaultOptions matches the check.sh gate: 15 % time slack, 1 % alloc
+// slack on unpinned entries, none on pinned ones.
+func DefaultOptions() Options {
+	return Options{TimeSlack: 0.15, AllocSlack: 0.01}
+}
+
+// Compare checks current against baseline and returns one human-readable
+// line per regression; an empty slice means the gate passes. Baseline
+// entries missing from the current report are regressions (a benchmark
+// silently dropped is a blind spot, not a pass); entries new in current
+// are ignored so the baseline can lag a suite extension.
+func Compare(baseline, current Report, opt Options) []string {
+	var regressions []string
+	for _, base := range baseline.Entries {
+		cur, ok := current.Lookup(base.Name)
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: present in baseline but missing from current run", base.Name))
+			continue
+		}
+		if limit := base.NsPerOp * (1 + opt.TimeSlack); cur.NsPerOp > limit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: time/op %.0f ns exceeds baseline %.0f ns by more than %.0f%%",
+					base.Name, cur.NsPerOp, base.NsPerOp, opt.TimeSlack*100))
+		}
+		allocSlack := opt.AllocSlack
+		if base.Pinned {
+			allocSlack = 0
+		}
+		if limit := float64(base.AllocsPerOp) * (1 + allocSlack); float64(cur.AllocsPerOp) > limit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op %d exceeds baseline %d (pinned=%v)",
+					base.Name, cur.AllocsPerOp, base.AllocsPerOp, base.Pinned))
+		}
+	}
+	return regressions
+}

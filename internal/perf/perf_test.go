@@ -1,0 +1,116 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baseReport() Report {
+	return Report{Entries: []Entry{
+		{Name: "pinned_path", NsPerOp: 1000, AllocsPerOp: 3, BytesPerOp: 128, Pinned: true},
+		{Name: "sweep", NsPerOp: 50000, AllocsPerOp: 10000, BytesPerOp: 1 << 20},
+	}}
+}
+
+func TestCompareClean(t *testing.T) {
+	if regs := Compare(baseReport(), baseReport(), DefaultOptions()); len(regs) != 0 {
+		t.Fatalf("identical reports regressed: %v", regs)
+	}
+}
+
+func TestCompareTimeSlack(t *testing.T) {
+	cur := baseReport()
+	cur.Entries[0].NsPerOp = 1140 // +14%: inside the 15% slack
+	if regs := Compare(baseReport(), cur, DefaultOptions()); len(regs) != 0 {
+		t.Fatalf("+14%% time flagged: %v", regs)
+	}
+	cur.Entries[0].NsPerOp = 1200 // +20%: out
+	regs := Compare(baseReport(), cur, DefaultOptions())
+	if len(regs) != 1 || !strings.Contains(regs[0], "time/op") {
+		t.Fatalf("+20%% time not flagged correctly: %v", regs)
+	}
+}
+
+func TestComparePinnedAllocsStrict(t *testing.T) {
+	cur := baseReport()
+	cur.Entries[0].AllocsPerOp = 4 // one alloc over on a pinned entry
+	regs := Compare(baseReport(), cur, DefaultOptions())
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("pinned alloc growth not flagged: %v", regs)
+	}
+}
+
+func TestCompareUnpinnedAllocSlack(t *testing.T) {
+	cur := baseReport()
+	cur.Entries[1].AllocsPerOp = 10050 // +0.5%: inside the 1% slack
+	if regs := Compare(baseReport(), cur, DefaultOptions()); len(regs) != 0 {
+		t.Fatalf("+0.5%% unpinned allocs flagged: %v", regs)
+	}
+	cur.Entries[1].AllocsPerOp = 10200 // +2%: out
+	if regs := Compare(baseReport(), cur, DefaultOptions()); len(regs) != 1 {
+		t.Fatalf("+2%% unpinned allocs not flagged: %v", regs)
+	}
+}
+
+func TestCompareMissingEntry(t *testing.T) {
+	cur := baseReport()
+	cur.Entries = cur.Entries[:1]
+	regs := Compare(baseReport(), cur, DefaultOptions())
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("dropped benchmark not flagged: %v", regs)
+	}
+	// New entries in the current run are not regressions.
+	grown := baseReport()
+	grown.Entries = append(grown.Entries, Entry{Name: "new_bench", NsPerOp: 1})
+	if regs := Compare(baseReport(), grown, DefaultOptions()); len(regs) != 0 {
+		t.Fatalf("new benchmark flagged: %v", regs)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	data, err := baseReport().WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("round trip lost entries: %+v", got)
+	}
+	e, ok := got.Lookup("pinned_path")
+	if !ok || !e.Pinned || e.AllocsPerOp != 3 {
+		t.Fatalf("round trip mangled entry: %+v", e)
+	}
+}
+
+// TestBaselineParses keeps the committed baseline loadable: a hand-edited
+// or merge-damaged BENCH_baseline.json should fail here, not in check.sh.
+func TestBaselineParses(t *testing.T) {
+	r, err := ReadReport("../../BENCH_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Entries) == 0 {
+		t.Fatal("committed baseline has no entries")
+	}
+	pinned := 0
+	for _, e := range r.Entries {
+		if e.Name == "" {
+			t.Fatalf("baseline entry with empty name: %+v", e)
+		}
+		if e.Pinned {
+			pinned++
+		}
+	}
+	if pinned == 0 {
+		t.Fatal("baseline pins no hot-path entries; the alloc gate is inert")
+	}
+}

@@ -1,0 +1,156 @@
+package perf
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/green-dc/baat/internal/aging"
+	"github.com/green-dc/baat/internal/battery"
+	"github.com/green-dc/baat/internal/core"
+	"github.com/green-dc/baat/internal/experiments"
+	"github.com/green-dc/baat/internal/sim"
+	"github.com/green-dc/baat/internal/solar"
+)
+
+// suiteFleetNodes sizes the fleet-stepping benchmarks: big enough that the
+// per-tick fan-out dominates, small enough that the suite stays in CI
+// budget.
+const suiteFleetNodes = 64
+
+// suiteSweepID is the experiment the sweep benchmarks run in quick mode:
+// fig18 fans four policy kinds across the variant pool, so the parallel
+// entry genuinely exercises runSweep.
+const suiteSweepID = "fig18"
+
+// RunSuite executes the fixed benchmark suite and returns its report. It
+// drives testing.Benchmark directly, so it works from any binary — no test
+// runner required. Entry names are stable identifiers the comparator keys
+// on; changing one orphans its baseline line.
+func RunSuite() (Report, error) {
+	var r Report
+	var err error
+	add := func(name string, pinned bool, fn func(b *testing.B)) {
+		if err != nil {
+			return
+		}
+		res := testing.Benchmark(fn)
+		if res.N == 0 {
+			err = fmt.Errorf("perf: benchmark %s did not run", name)
+			return
+		}
+		r.Entries = append(r.Entries, Entry{
+			Name:        name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			Pinned:      pinned,
+		})
+	}
+
+	// The serial tick path is the allocation-free core this harness
+	// protects; the parallel entry adds the per-fan-out goroutine cost.
+	add(fmt.Sprintf("fleet_step/nodes=%d/workers=1", suiteFleetNodes), true, fleetStepBench(1))
+	add(fmt.Sprintf("fleet_step/nodes=%d/workers=4", suiteFleetNodes), false, fleetStepBench(4))
+	add("tracker_observe", true, trackerObserveBench)
+	add("battery_step", true, batteryStepBench)
+	add("experiment_sweep/"+suiteSweepID+"/workers=1", false, experimentSweepBench(1))
+	add("experiment_sweep/"+suiteSweepID+"/workers=4", false, experimentSweepBench(4))
+	return r, err
+}
+
+// fleetStepBench mirrors internal/sim's BenchmarkFleetStep: one simulated
+// day per op on a consolidated fleet, with the one-off placement pass
+// warmed up outside the timer so the steady-state step path is what's
+// measured.
+func fleetStepBench(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		policy, err := core.New(core.EBuff, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Nodes = suiteFleetNodes
+		cfg.Workers = workers
+		cfg.Tick = 5 * time.Minute
+		cfg.JobsPerDay = 0
+		cfg.ServiceVMs = suiteFleetNodes / 4
+		cfg.Solar.Scale = 1.5 * float64(suiteFleetNodes) / 6
+		s, err := sim.New(cfg, policy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.RunDay(solar.Sunny); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.RunDay(solar.Cloudy); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// trackerObserveBench measures one aging-metric sample fold — the call
+// every node makes every tick.
+func trackerObserveBench(b *testing.B) {
+	tr, err := aging.NewTracker(2100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	discharge := aging.Sample{Dt: time.Minute, Current: 5, SoC: 0.55, Temperature: 25}
+	charge := aging.Sample{Dt: time.Minute, Current: -5, SoC: 0.55, Temperature: 25}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := discharge
+		if i&1 == 1 {
+			s = charge
+		}
+		if err := tr.Observe(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// batteryStepBench measures one electrochemical step, alternating between
+// discharging and charging around mid-SoC so neither cut-off is reached
+// however large b.N grows.
+func batteryStepBench(b *testing.B) {
+	p, err := battery.New(battery.DefaultSpec(), battery.WithInitialSoC(0.6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.SoC() > 0.5 {
+			if _, err := p.Discharge(60, time.Second, 25); err != nil {
+				b.Fatal(err)
+			}
+		} else {
+			if _, err := p.Charge(60, time.Second, 25); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// experimentSweepBench runs one quick-mode experiment per op, serially or
+// across the variant worker pool.
+func experimentSweepBench(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		runner, err := experiments.Lookup(suiteSweepID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := experiments.DefaultConfig()
+		cfg.Quick = true
+		cfg.Workers = workers
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := runner(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

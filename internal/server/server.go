@@ -204,6 +204,25 @@ func (s *Server) Attach(v *vm.VM) error {
 	return nil
 }
 
+// DetachCompleted removes every completed VM in place, preserving the
+// relative order of the remaining VMs, and returns how many were removed.
+// It is the allocation-free bulk form of Detach for the simulator's
+// control-period reap pass.
+func (s *Server) DetachCompleted() int {
+	kept := s.vms[:0]
+	for _, v := range s.vms {
+		if v.State() != vm.Completed {
+			kept = append(kept, v)
+		}
+	}
+	removed := len(s.vms) - len(kept)
+	for i := len(kept); i < len(s.vms); i++ {
+		s.vms[i] = nil
+	}
+	s.vms = kept
+	return removed
+}
+
 // Detach removes a VM from the server.
 func (s *Server) Detach(id string) (*vm.VM, error) {
 	for i, cur := range s.vms {

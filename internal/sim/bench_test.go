@@ -60,6 +60,7 @@ func BenchmarkFleetStep(b *testing.B) {
 			b.Run(name, func(b *testing.B) {
 				s := benchFleet(b, nodes, workers)
 				ticksPerDay := int(24 * time.Hour / s.cfg.Tick)
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := s.RunDay(solar.Cloudy); err != nil {

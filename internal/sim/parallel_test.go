@@ -12,7 +12,6 @@ import (
 	"testing"
 
 	"github.com/green-dc/baat/internal/core"
-	"github.com/green-dc/baat/internal/node"
 	"github.com/green-dc/baat/internal/solar"
 	"github.com/green-dc/baat/internal/workload"
 )
@@ -108,7 +107,7 @@ func TestParallelErrorDeterministic(t *testing.T) {
 	boom := func(i int) error { return &indexError{i} }
 	var got error
 	for trial := 0; trial < 20; trial++ {
-		err := s.stepNodes(func(i int, _ *node.Node) error {
+		err := s.fanOut(func(i int) error {
 			if i >= 3 {
 				return boom(i)
 			}

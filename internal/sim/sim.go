@@ -17,10 +17,11 @@
 package sim
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -250,6 +251,30 @@ type Simulator struct {
 	eolAt     time.Duration
 	placedSvc bool
 
+	// Per-tick scratch, sized to the fleet at construction and reused every
+	// step so the steady-state tick path allocates nothing (pinned by the
+	// AllocsPerRun guards in alloc_test.go). socOrder/socSnap back bySoC:
+	// the index order is sorted against a SoC snapshot read once per call,
+	// so the sort does one pack read per node instead of O(n log n).
+	demands     []float64
+	loadGrant   []float64
+	chargeGrant []float64
+	socOrder    []int
+	socSnap     []float64
+	stepErrs    []error
+
+	// Per-day scratch for RunDay's start-of-day baselines.
+	dayThr   []float64
+	dayDown  []time.Duration
+	daySolar []units.WattHour
+	dayLow   []time.Duration
+
+	// pctx is the policy context handed to every PlaceVM/Control call.
+	// Policies act on it synchronously inside the hook, so one reusable
+	// value (with Clock refreshed per call) replaces an allocation per
+	// placement attempt and control period.
+	pctx core.Context
+
 	// Telemetry handles captured at construction (nil no-ops without a
 	// recorder); telSoC mirrors socHist's seven Fig 19 bins.
 	tel            *telemetry.Recorder
@@ -359,6 +384,18 @@ func New(cfg Config, policy core.Policy) (*Simulator, error) {
 		}
 		s.nodes = append(s.nodes, nd)
 	}
+	n := len(s.nodes)
+	s.demands = make([]float64, n)
+	s.loadGrant = make([]float64, n)
+	s.chargeGrant = make([]float64, n)
+	s.socOrder = make([]int, n)
+	s.socSnap = make([]float64, n)
+	s.stepErrs = make([]error, n)
+	s.dayThr = make([]float64, n)
+	s.dayDown = make([]time.Duration, n)
+	s.daySolar = make([]units.WattHour, n)
+	s.dayLow = make([]time.Duration, n)
+	s.pctx = core.Context{Nodes: s.nodes, Rng: s.policyRng, Telemetry: s.tel}
 	return s, nil
 }
 
@@ -380,9 +417,10 @@ func (s *Simulator) SetPolicy(p core.Policy) error {
 // Clock returns the simulated time.
 func (s *Simulator) Clock() time.Duration { return s.clock }
 
-// ctx builds the policy context.
+// ctx refreshes and returns the reusable policy context.
 func (s *Simulator) ctx() *core.Context {
-	return &core.Context{Nodes: s.nodes, Clock: s.clock, Rng: s.policyRng, Telemetry: s.tel}
+	s.pctx.Clock = s.clock
+	return &s.pctx
 }
 
 // submitJobs enqueues the day's arrivals. Jobs that do not fit immediately
@@ -453,14 +491,12 @@ func (s *Simulator) placePending() error {
 	return nil
 }
 
-// reapCompleted removes finished VMs from their hosts.
+// reapCompleted removes finished VMs from their hosts. The bulk detach
+// works in place on each server's VM list, so the control-period reap no
+// longer copies every hosted VM slice just to scan it.
 func (s *Simulator) reapCompleted() {
 	for _, n := range s.nodes {
-		for _, v := range n.Server().VMs() {
-			if v.State() == vm.Completed {
-				_, _ = n.Server().Detach(v.ID())
-			}
-		}
+		n.Server().DetachCompleted()
 	}
 }
 
@@ -482,10 +518,11 @@ func (s *Simulator) RunDay(w solar.Weather) (DayStats, error) {
 	}
 	ds := DayStats{Day: s.day, Weather: w}
 
-	startThroughput := make([]float64, len(s.nodes))
-	startDowntime := make([]time.Duration, len(s.nodes))
-	startSolar := make([]units.WattHour, len(s.nodes))
-	lowSoC := make([]time.Duration, len(s.nodes))
+	startThroughput := s.dayThr
+	startDowntime := s.dayDown
+	startSolar := s.daySolar
+	lowSoC := s.dayLow
+	clear(lowSoC)
 	for i, n := range s.nodes {
 		st := n.Stats()
 		startThroughput[i] = st.Throughput
@@ -593,8 +630,10 @@ func (s *Simulator) RunDay(w solar.Weather) (DayStats, error) {
 // All grant decisions — which read cross-node state (demands, SoC ordering,
 // charge requests) — happen before any node advances, so the final physics
 // stepping is embarrassingly parallel and fans out over the worker pool.
+// The prologue writes only into the simulator's reusable scratch buffers:
+// the SoC order is computed at most once per step and shared by every pass
+// that needs it, and the steady-state path performs zero heap allocations.
 func (s *Simulator) step(power units.Watt, inWindow bool) error {
-	n := len(s.nodes)
 	remaining := float64(power)
 
 	if !inWindow {
@@ -602,32 +641,30 @@ func (s *Simulator) step(power units.Watt, inWindow bool) error {
 		// read and grants assigned up front; a grant equals what the
 		// charger can absorb this tick, so no redistribution pass is
 		// needed after stepping.
-		chargeGrant := make([]float64, n)
+		clear(s.chargeGrant)
 		for _, idx := range s.bySoC() {
 			if remaining <= 0 {
 				break
 			}
 			g := min(remaining, float64(s.nodes[idx].ChargeRequest()))
-			chargeGrant[idx] = g
+			s.chargeGrant[idx] = g
 			remaining -= g
 		}
-		return s.stepNodes(func(i int, nd *node.Node) error {
-			_, err := nd.StepOffline(s.cfg.Tick, units.Watt(chargeGrant[i]))
-			return err
-		})
+		return s.stepNodes(true)
 	}
 
 	// Pass 1: load allocation proportional to demand. Demands are grossed
 	// up to bus-side power so the solar-direct conversion loss does not
 	// leave every node with a sliver of battery bridging.
-	demands := make([]float64, n)
+	demands := s.demands
 	var totalDemand float64
 	eff := s.cfg.Node.Losses.SolarDirectEfficiency
 	for i, nd := range s.nodes {
 		demands[i] = float64(nd.Demand()) / eff
 		totalDemand += demands[i]
 	}
-	loadGrant := make([]float64, n)
+	loadGrant := s.loadGrant
+	clear(loadGrant)
 	if totalDemand > 0 {
 		scale := 1.0
 		if remaining < totalDemand {
@@ -647,44 +684,60 @@ func (s *Simulator) step(power units.Watt, inWindow bool) error {
 	}
 
 	// Pass 2: charge allocation, lowest SoC first.
-	chargeGrant := make([]float64, n)
+	clear(s.chargeGrant)
 	for _, idx := range s.bySoC() {
 		if surplus <= 0 {
 			break
 		}
 		req := float64(s.nodes[idx].ChargeRequest())
 		g := min(surplus, req)
-		chargeGrant[idx] = g
+		s.chargeGrant[idx] = g
 		surplus -= g
 	}
 
-	return s.stepNodes(func(i int, nd *node.Node) error {
-		_, err := nd.Step(s.cfg.Tick, units.Watt(loadGrant[i]), units.Watt(chargeGrant[i]))
-		return err
-	})
+	return s.stepNodes(false)
 }
 
-// stepNodes applies fn to every node, fanning out across the configured
-// worker pool. Each node's physics touches only state that node owns (its
-// pack, servers, aging tracker, power table) plus atomic telemetry
-// counters, so any interleaving computes the same fleet state. Errors are
-// reduced in index order — the first failing node by index wins — so the
-// reported error does not depend on goroutine scheduling.
-func (s *Simulator) stepNodes(fn func(i int, nd *node.Node) error) error {
-	workers := s.workers
-	if workers <= 1 || len(s.nodes) <= 1 {
-		for i, nd := range s.nodes {
-			if err := fn(i, nd); err != nil {
+// stepNode advances one node with the grants the step prologue assigned,
+// selecting the offline (overnight charging) or in-window path.
+func (s *Simulator) stepNode(i int, offline bool) error {
+	if offline {
+		_, err := s.nodes[i].StepOffline(s.cfg.Tick, units.Watt(s.chargeGrant[i]))
+		return err
+	}
+	_, err := s.nodes[i].Step(s.cfg.Tick, units.Watt(s.loadGrant[i]), units.Watt(s.chargeGrant[i]))
+	return err
+}
+
+// stepNodes advances every node, fanning out across the configured worker
+// pool. Each node's physics touches only state that node owns (its pack,
+// servers, aging tracker, power table) plus atomic telemetry counters, so
+// any interleaving computes the same fleet state. Errors are reduced in
+// index order — the first failing node by index wins — so the reported
+// error does not depend on goroutine scheduling.
+func (s *Simulator) stepNodes(offline bool) error {
+	if s.workers <= 1 || len(s.nodes) <= 1 {
+		// The serial path calls stepNode directly — no closures, no
+		// goroutines, no allocations (the steady-state default).
+		for i := range s.nodes {
+			if err := s.stepNode(i, offline); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	errs := make([]error, len(s.nodes))
+	return s.fanOut(func(i int) error { return s.stepNode(i, offline) })
+}
+
+// fanOut runs fn for every node index across the worker pool, reducing
+// errors in index order (see stepNodes).
+func (s *Simulator) fanOut(fn func(i int) error) error {
+	errs := s.stepErrs
+	clear(errs)
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	wg.Add(workers)
-	for g := 0; g < workers; g++ {
+	wg.Add(s.workers)
+	for g := 0; g < s.workers; g++ {
 		go func() {
 			defer wg.Done()
 			for {
@@ -692,7 +745,7 @@ func (s *Simulator) stepNodes(fn func(i int, nd *node.Node) error) error {
 				if i >= len(s.nodes) {
 					return
 				}
-				errs[i] = fn(i, s.nodes[i])
+				errs[i] = fn(i)
 			}
 		}()
 	}
@@ -795,21 +848,37 @@ func controlBounds() []float64 {
 	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
 }
 
-// bySoC returns node indices sorted by ascending state of charge.
+// bySoC returns node indices sorted by ascending state of charge. The
+// order lives in a reusable buffer and is sorted against a SoC snapshot
+// read once up front — one pack read per node and zero allocations, where
+// the previous sort.SliceStable closure re-read SoC on every comparison and
+// heap-allocated its comparator each call. The stable sort on the pre-read
+// snapshot orders exactly as the live reads would: nothing mutates pack
+// state between the snapshot and the grant assignment that consumes it.
 func (s *Simulator) bySoC() []int {
-	order := make([]int, len(s.nodes))
-	for i := range order {
+	order, snap := s.socOrder, s.socSnap
+	for i, nd := range s.nodes {
 		order[i] = i
+		snap[i] = nd.Battery().SoC()
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		return s.nodes[order[a]].Battery().SoC() < s.nodes[order[b]].Battery().SoC()
+	slices.SortStableFunc(order, func(a, b int) int {
+		return cmp.Compare(snap[a], snap[b])
 	})
 	return order
 }
 
 // Run simulates the given weather sequence and assembles the result.
+// Result.Days and the series buffer are sized up front from the sequence
+// length and the configured control cadence, so a long run appends into
+// preallocated capacity instead of repeatedly regrowing.
 func (s *Simulator) Run(weathers []solar.Weather) (*Result, error) {
-	res := &Result{Policy: s.policy.Name()}
+	res := &Result{
+		Policy: s.policy.Name(),
+		Days:   make([]DayStats, 0, len(weathers)),
+	}
+	if s.cfg.RecordSeries {
+		s.series = slices.Grow(s.series, len(weathers)*s.controlsPerDay()*len(s.nodes))
+	}
 	for _, w := range weathers {
 		ds, err := s.RunDay(w)
 		if err != nil {
@@ -847,8 +916,15 @@ func (s *Simulator) RunUntilEndOfLife(loc solar.Location, maxDays int) (*Result,
 	return res, nil
 }
 
+// controlsPerDay bounds how many control periods fall inside one operating
+// window — the per-day growth rate of the series buffer under RecordSeries.
+func (s *Simulator) controlsPerDay() int {
+	return int((s.cfg.WindowEnd-s.cfg.WindowStart)/s.cfg.ControlPeriod) + 1
+}
+
 // finish populates the result's fleet-wide fields.
 func (s *Simulator) finish(res *Result) {
+	res.Nodes = make([]NodeSummary, 0, len(s.nodes))
 	for _, n := range s.nodes {
 		st := n.Stats()
 		res.Nodes = append(res.Nodes, NodeSummary{

@@ -11,7 +11,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Histogram is a fixed-bin histogram over [lo, hi). Construct with
@@ -149,7 +149,7 @@ func Quantile(xs []float64, q float64) (float64, error) {
 		return 0, fmt.Errorf("stats: quantile q must be in [0, 1], got %v", q)
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))

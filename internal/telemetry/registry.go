@@ -3,7 +3,7 @@ package telemetry
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -281,7 +281,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if ok {
 		return h
 	}
-	if len(bounds) == 0 || !sort.Float64sAreSorted(bounds) {
+	if len(bounds) == 0 || !slices.IsSorted(bounds) {
 		return nil
 	}
 	r.mu.Lock()
@@ -343,7 +343,7 @@ func sortedNames[V any](m map[string]V) []string {
 	for k := range m {
 		out = append(out, k)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -1,0 +1,31 @@
+package baat
+
+import "github.com/green-dc/baat/internal/perf"
+
+// PerfEntry is one benchmark measurement in a performance report.
+type PerfEntry = perf.Entry
+
+// PerfReport is a full run of the benchmark-regression suite.
+type PerfReport = perf.Report
+
+// PerfOptions tunes the benchmark-regression comparator.
+type PerfOptions = perf.Options
+
+// DefaultPerfOptions matches the check.sh gate: 15 % time slack, strict
+// allocation counts on the pinned hot-path entries.
+func DefaultPerfOptions() PerfOptions { return perf.DefaultOptions() }
+
+// RunPerfSuite executes the fixed benchmark suite (fleet stepping,
+// aging-metric tracking, battery physics, experiment sweeps) and returns
+// the measured report.
+func RunPerfSuite() (PerfReport, error) { return perf.RunSuite() }
+
+// ReadPerfReport loads a benchmark report from a JSON file, typically the
+// committed BENCH_baseline.json.
+func ReadPerfReport(path string) (PerfReport, error) { return perf.ReadReport(path) }
+
+// ComparePerf checks current against baseline and returns one line per
+// regression; empty means the gate passes.
+func ComparePerf(baseline, current PerfReport, opt PerfOptions) []string {
+	return perf.Compare(baseline, current, opt)
+}
