@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-smoke bench-regression bench-baseline fuzz-smoke chaos-smoke golden-update
+.PHONY: check fmt vet build test test-race bench bench-smoke bench-regression bench-baseline fuzz-smoke chaos-smoke checkpoint-smoke golden-update
 
 check: ## gofmt -l + vet + build + race tests
 	./check.sh
@@ -40,6 +40,9 @@ fuzz-smoke: ## short fuzz pass over the aging-metric tracker
 chaos-smoke: ## cluster kill/restart chaos + degraded-mode scenarios under -race
 	$(GO) test -race -count=1 -run 'TestClusterChaos|TestFailPending|TestChaosReRegistration' ./internal/cluster/
 	$(GO) test -count=1 -run 'TestGoldenTraceFaulted$$|TestDegradedModeScenarios' ./internal/sim/
+
+checkpoint-smoke: ## checkpoint a baatsim run mid-flight, resume it, diff the reports
+	./scripts/checkpoint_smoke.sh
 
 golden-update: ## regenerate the 30-day golden trace fixtures (clean + faulted)
 	$(GO) test ./internal/sim/ -run 'TestGoldenTrace$$|TestGoldenTraceFaulted$$' -update

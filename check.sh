@@ -33,4 +33,7 @@ echo "== chaos smoke =="
 go test -race -count=1 -run 'TestClusterChaos|TestFailPending|TestChaosReRegistration' ./internal/cluster/
 go test -count=1 -run 'TestGoldenTraceFaulted$|TestDegradedModeScenarios' ./internal/sim/
 
+echo "== checkpoint smoke =="
+./scripts/checkpoint_smoke.sh
+
 echo "OK"

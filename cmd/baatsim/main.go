@@ -13,8 +13,8 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -47,7 +47,10 @@ func run() error {
 		csvPath    = flag.String("csv", "", "write per-day stats to this CSV file")
 		planned    = flag.Float64("planned-months", 0, "enable planned aging with this expected service life in months (0 = off)")
 		faultsName = flag.String("faults", "none", "fault-injection profile: "+strings.Join(baat.FaultProfileNames(), " | "))
-		faultsSeed = flag.Int64("faults-seed", 0, "fault injector seed (0 derives seed+4)")
+		faultsSeed = flag.Int64("faults-seed", 0, "fault injector seed (0 derives from -seed via the named fault substream)")
+		ckEvery    = flag.Int("checkpoint-every", 0, "write a checkpoint every N simulated days (requires -checkpoint; fixed-days runs only)")
+		ckPath     = flag.String("checkpoint", "", "checkpoint file written by -checkpoint-every")
+		resumePath = flag.String("resume", "", "resume a fixed-days run from this checkpoint; -days stays the total horizon")
 		telAddr    = flag.String("telemetry-addr", "", "serve /metrics, /events, and /debug/pprof on this address (e.g. :8080; empty = off)")
 		telHold    = flag.Duration("telemetry-hold", 0, "keep the telemetry endpoint alive this long after the run (so scrapers catch the final state)")
 	)
@@ -101,6 +104,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *ckEvery > 0 && *ckPath == "" {
+		return fmt.Errorf("-checkpoint-every requires -checkpoint")
+	}
+	resumedDays := 0
+	if *resumePath != "" {
+		if err := resumeFromFile(s, *resumePath); err != nil {
+			return err
+		}
+		resumedDays = s.Day()
+		fmt.Printf("resumed from %s after day %d\n", *resumePath, resumedDays)
+	}
 
 	var res *baat.SimResult
 	if *untilEOL {
@@ -110,10 +124,38 @@ func run() error {
 		if serr != nil {
 			return serr
 		}
-		res, err = s.Run(seq)
+		// A resumed run replays only the weather suffix the checkpoint has
+		// not consumed; the -days horizon counts from day one.
+		if done := s.Day(); done > 0 {
+			if done >= len(seq) {
+				return fmt.Errorf("checkpoint already covers day %d of a %d-day horizon", done, *days)
+			}
+			seq = seq[done:]
+		}
+		if *ckEvery > 0 {
+			res, err = s.RunWithCheckpoints(seq, *ckEvery, func(day int, data []byte) error {
+				if werr := writeFileAtomic(*ckPath, data); werr != nil {
+					return werr
+				}
+				fmt.Printf("checkpoint after day %d written to %s\n", day, *ckPath)
+				return nil
+			})
+		} else {
+			res, err = s.Run(seq)
+		}
 	}
 	if err != nil {
 		return err
+	}
+	if resumedDays > 0 {
+		// The Result covers only the days this process executed; the
+		// simulator's serialized history covers the checkpointed prefix
+		// too, so the report spans the whole horizon.
+		res.Days = s.History()
+		res.Throughput = 0
+		for _, d := range res.Days {
+			res.Throughput += d.Throughput
+		}
 	}
 
 	printResult(res, *accel)
@@ -173,12 +215,42 @@ func weatherSeq(name string, frac float64, days int, seed int64) ([]baat.Weather
 	if err := loc.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(seed + 7))
+	stream := baat.NewStream(seed, baat.StreamCLIWeather)
 	seq := make([]baat.Weather, days)
 	for i := range seq {
-		seq[i] = loc.DrawWeather(rng)
+		seq[i] = loc.DrawWeather(stream.Rand)
 	}
 	return seq, nil
+}
+
+// resumeFromFile restores a checkpoint written by -checkpoint-every.
+func resumeFromFile(s *baat.Simulator, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	return s.ResumeFrom(f)
+}
+
+// writeFileAtomic writes data via a temp file + rename so an interrupted
+// run never leaves a truncated checkpoint behind.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 func printResult(res *baat.SimResult, accel float64) {

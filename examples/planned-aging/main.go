@@ -15,7 +15,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 	"time"
 
 	baat "github.com/green-dc/baat"
@@ -28,11 +27,11 @@ const (
 
 func main() {
 	// Shared weather for every variant: a moderately sunny site.
-	rng := rand.New(rand.NewSource(99))
+	stream := baat.NewStream(99, "examples/planned-aging")
 	loc := baat.Location{SunshineFraction: 0.5}
 	weather := make([]baat.Weather, days)
 	for i := range weather {
-		weather[i] = loc.DrawWeather(rng)
+		weather[i] = loc.DrawWeather(stream.Rand)
 	}
 
 	// Eq 7 by hand first: how deep should a battery cycle if we want to

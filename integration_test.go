@@ -5,7 +5,7 @@ package baat_test
 // regardless of policy decisions.
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 	"time"
 
@@ -14,7 +14,7 @@ import (
 
 func weekSequence(t *testing.T) []baat.Weather {
 	t.Helper()
-	rng := rand.New(rand.NewSource(2024))
+	rng := rand.New(rand.NewPCG(uint64(2024), 0))
 	loc := baat.Location{SunshineFraction: 0.5}
 	seq := make([]baat.Weather, 7)
 	for i := range seq {

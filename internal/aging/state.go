@@ -1,0 +1,146 @@
+package aging
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// TrackerState is the serializable state of a Tracker: every accumulated
+// quantity behind the five metrics. The lifetime denominator is
+// construction-time input and is revalidated on restore.
+type TrackerState struct {
+	AhOut     float64    `json:"ah_out"`
+	AhIn      float64    `json:"ah_in"`
+	AhByRange [4]float64 `json:"ah_by_range"`
+
+	Total   time.Duration `json:"total"`
+	Deep    time.Duration `json:"deep"`
+	DisTime time.Duration `json:"dis_time"`
+	LowTime time.Duration `json:"low_time"`
+
+	DRSum    float64 `json:"dr_sum"`
+	DRLowSum float64 `json:"dr_low_sum"`
+	DRPeak   float64 `json:"dr_peak"`
+}
+
+// Snapshot captures the tracker's accumulated state.
+func (t *Tracker) Snapshot() TrackerState {
+	return TrackerState{
+		AhOut:     t.ahOut,
+		AhIn:      t.ahIn,
+		AhByRange: t.ahByRange,
+		Total:     t.total,
+		Deep:      t.deep,
+		DisTime:   t.disTime,
+		LowTime:   t.lowTime,
+		DRSum:     t.drSum,
+		DRLowSum:  t.drLowSum,
+		DRPeak:    t.drPeak,
+	}
+}
+
+// Restore overwrites the tracker's accumulated state from a snapshot,
+// keeping its lifetime denominator. Non-finite or negative quantities are
+// rejected wholesale — the tracker guarantees finite metrics by
+// construction, and a restore must not be a way around that.
+func (t *Tracker) Restore(st TrackerState) error {
+	nonNeg := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("aging: restore tracker: %s must be finite and non-negative, got %v", name, v)
+		}
+		return nil
+	}
+	checks := []error{
+		nonNeg("ah out", st.AhOut),
+		nonNeg("ah in", st.AhIn),
+		nonNeg("dr sum", st.DRSum),
+		nonNeg("dr low sum", st.DRLowSum),
+		nonNeg("dr peak", st.DRPeak),
+	}
+	for i, ah := range st.AhByRange {
+		checks = append(checks, nonNeg(fmt.Sprintf("ah by range[%d]", i), ah))
+	}
+	for _, err := range checks {
+		if err != nil {
+			return err
+		}
+	}
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{{"total", st.Total}, {"deep", st.Deep}, {"dis time", st.DisTime}, {"low time", st.LowTime}} {
+		if d.v < 0 {
+			return fmt.Errorf("aging: restore tracker: %s must be non-negative, got %v", d.name, d.v)
+		}
+	}
+	if st.Deep > st.Total || st.DisTime > st.Total || st.LowTime > st.Total {
+		return fmt.Errorf("aging: restore tracker: sub-durations exceed total observed time")
+	}
+	t.ahOut = st.AhOut
+	t.ahIn = st.AhIn
+	t.ahByRange = st.AhByRange
+	t.total = st.Total
+	t.deep = st.Deep
+	t.disTime = st.DisTime
+	t.lowTime = st.LowTime
+	t.drSum = st.DRSum
+	t.drLowSum = st.DRLowSum
+	t.drPeak = st.DRPeak
+	return nil
+}
+
+// ModelState is the serializable state of a damage Model: accumulated
+// per-mechanism stress, the rendered damage totals, and the
+// stratification driver. Rate constants and the capacity normalizer are
+// construction-time input.
+type ModelState struct {
+	ByMechanism [NumMechanisms]float64 `json:"by_mechanism"`
+	ResGrowth   float64                `json:"res_growth"`
+	CapFade     float64                `json:"cap_fade"`
+	EffLoss     float64                `json:"eff_loss"`
+	SinceFull   float64                `json:"since_full"`
+}
+
+// Snapshot captures the model's accumulated damage.
+func (m *Model) Snapshot() ModelState {
+	return ModelState{
+		ByMechanism: m.byMech,
+		ResGrowth:   m.resGrow,
+		CapFade:     m.capFade,
+		EffLoss:     m.effLoss,
+		SinceFull:   m.sinceFull,
+	}
+}
+
+// Restore overwrites the model's accumulated damage from a snapshot.
+// Damage is cumulative and irreversible, so every field must be finite
+// and non-negative; anything else is a corrupt checkpoint.
+func (m *Model) Restore(st ModelState) error {
+	nonNeg := func(name string, v float64) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("aging: restore model: %s must be finite and non-negative, got %v", name, v)
+		}
+		return nil
+	}
+	checks := []error{
+		nonNeg("res growth", st.ResGrowth),
+		nonNeg("cap fade", st.CapFade),
+		nonNeg("eff loss", st.EffLoss),
+		nonNeg("since full", st.SinceFull),
+	}
+	for i, v := range st.ByMechanism {
+		checks = append(checks, nonNeg(Mechanism(i+1).String()+" stress", v))
+	}
+	for _, err := range checks {
+		if err != nil {
+			return err
+		}
+	}
+	m.byMech = st.ByMechanism
+	m.resGrow = st.ResGrowth
+	m.capFade = st.CapFade
+	m.effLoss = st.EffLoss
+	m.sinceFull = st.SinceFull
+	return nil
+}

@@ -11,7 +11,7 @@ package battery
 
 import (
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 	"time"
@@ -27,10 +27,10 @@ func quickConfig() *quick.Config {
 // randomStep applies one randomized operation to the pack and returns the
 // realized step result (zero for rest).
 func randomStep(rng *rand.Rand, p *Pack) (StepResult, time.Duration, error) {
-	dt := time.Duration(1+rng.Intn(120)) * time.Second * 30 // 30 s – 1 h
+	dt := time.Duration(1+rng.IntN(120)) * time.Second * 30 // 30 s – 1 h
 	amb := units.Celsius(-10 + rng.Float64()*55)
 	pw := units.Watt(rng.Float64() * 2000)
-	switch rng.Intn(3) {
+	switch rng.IntN(3) {
 	case 0:
 		res, err := p.Discharge(pw, dt, amb)
 		return res, dt, err
@@ -47,7 +47,7 @@ func randomStep(rng *rand.Rand, p *Pack) (StepResult, time.Duration, error) {
 // the case temperature outside its physical clamp.
 func TestQuickSoCBounds(t *testing.T) {
 	prop := func(seed int64, initialSoC float64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(rand.NewPCG(uint64(seed), 0))
 		p, err := New(DefaultSpec(), WithInitialSoC(math.Abs(math.Mod(initialSoC, 1))))
 		if err != nil {
 			t.Fatal(err)
@@ -82,19 +82,19 @@ func TestQuickSoCBounds(t *testing.T) {
 func TestQuickStepBalance(t *testing.T) {
 	const tol = 1e-9
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(rand.NewPCG(uint64(seed), 0))
 		p, err := New(DefaultSpec(), WithInitialSoC(0.2+0.6*rng.Float64()))
 		if err != nil {
 			t.Fatal(err)
 		}
 		for i := 0; i < 150; i++ {
-			dt := time.Duration(1+rng.Intn(120)) * time.Second * 30
+			dt := time.Duration(1+rng.IntN(120)) * time.Second * 30
 			amb := units.Celsius(25)
 			pw := units.Watt(rng.Float64() * 1500)
 			socBefore := p.SoC()
 			countersBefore := p.Counters()
 			var res StepResult
-			discharging := rng.Intn(2) == 0
+			discharging := rng.IntN(2) == 0
 			if discharging {
 				res, err = p.Discharge(pw, dt, amb)
 			} else {

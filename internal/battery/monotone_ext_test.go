@@ -8,7 +8,7 @@ package battery_test
 
 import (
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 	"time"
@@ -20,7 +20,7 @@ import (
 
 func TestQuickHealthMonotone(t *testing.T) {
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(rand.NewPCG(uint64(seed), 0))
 		p, err := battery.New(battery.DefaultSpec())
 		if err != nil {
 			t.Fatal(err)
@@ -33,11 +33,11 @@ func TestQuickHealthMonotone(t *testing.T) {
 		}
 		health := p.Health()
 		for i := 0; i < 150; i++ {
-			dt := time.Duration(1+rng.Intn(120)) * time.Second * 30
+			dt := time.Duration(1+rng.IntN(120)) * time.Second * 30
 			amb := units.Celsius(-10 + rng.Float64()*55)
 			pw := units.Watt(rng.Float64() * 2000)
 			var res battery.StepResult
-			switch rng.Intn(3) {
+			switch rng.IntN(3) {
 			case 0:
 				res, err = p.Discharge(pw, dt, amb)
 			case 1:

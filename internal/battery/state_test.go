@@ -1,0 +1,96 @@
+package battery
+
+// Property tests over the snapshot/restore pair: for any reachable pack
+// state, Restore(Snapshot()) is the identity, and a corrupted snapshot —
+// NaN, infinity, or out-of-range in any field — is rejected without
+// touching the pack.
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"github.com/green-dc/baat/internal/units"
+)
+
+// walkedPack drives a fresh pack through a short random operation sequence
+// so snapshots cover arbitrary reachable states, not just the factory one.
+func walkedPack(t *testing.T, seed int64) *Pack {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(uint64(seed), 0))
+	p, err := New(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, _, err := randomStep(rng, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// TestQuickSnapshotRestoreIdentity: restoring a snapshot onto a pack in any
+// other state reproduces the snapshot exactly.
+func TestQuickSnapshotRestoreIdentity(t *testing.T) {
+	prop := func(seed int64) bool {
+		p := walkedPack(t, seed)
+		want := p.Snapshot()
+
+		// Drive the pack away from the snapshot, then restore.
+		rng := rand.New(rand.NewPCG(uint64(seed), 1))
+		for i := 0; i < 20; i++ {
+			if _, _, err := randomStep(rng, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Restore(want); err != nil {
+			t.Logf("seed %d: restore of own snapshot rejected: %v", seed, err)
+			return false
+		}
+		return p.Snapshot() == want
+	}
+	if err := quick.Check(prop, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRestoreRejectsCorrupt: poisoning any single field with NaN,
+// infinity, or a sign flip must fail the restore and leave the pack
+// untouched.
+func TestQuickRestoreRejectsCorrupt(t *testing.T) {
+	corruptions := []struct {
+		name string
+		f    func(*State)
+	}{
+		{"nan soc", func(st *State) { st.SoC = math.NaN() }},
+		{"soc above one", func(st *State) { st.SoC = 1.5 }},
+		{"negative soc", func(st *State) { st.SoC = -0.01 }},
+		{"nan capacity scale", func(st *State) { st.CapacityScale = math.NaN() }},
+		{"zero capacity scale", func(st *State) { st.CapacityScale = 0 }},
+		{"inf ah out", func(st *State) { st.AhOut = units.AmpereHour(math.Inf(1)) }},
+		{"negative ah in", func(st *State) { st.AhIn = -1 }},
+		{"negative wh out", func(st *State) { st.WhOut = -1 }},
+		{"nan cycles", func(st *State) { st.Cycles = math.NaN() }},
+		{"negative operating", func(st *State) { st.Operating = -1 }},
+		{"fade above one", func(st *State) { st.Degradation.CapacityFade = 1.5 }},
+		{"nan fade", func(st *State) { st.Degradation.CapacityFade = math.NaN() }},
+		{"frozen temperature", func(st *State) { st.Temperature = -300 }},
+	}
+	prop := func(seed int64, which uint8) bool {
+		p := walkedPack(t, seed)
+		before := p.Snapshot()
+		c := corruptions[int(which)%len(corruptions)]
+		st := before
+		c.f(&st)
+		if err := p.Restore(st); err == nil {
+			t.Logf("seed %d: corrupt state (%s) accepted", seed, c.name)
+			return false
+		}
+		return p.Snapshot() == before
+	}
+	if err := quick.Check(prop, quickConfig()); err != nil {
+		t.Error(err)
+	}
+}

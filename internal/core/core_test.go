@@ -3,7 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 	"time"
 
@@ -27,7 +27,7 @@ func newFleet(t *testing.T, n int) []*node.Node {
 
 func newCtx(t *testing.T, n int) *Context {
 	t.Helper()
-	return &Context{Nodes: newFleet(t, n), Rng: rand.New(rand.NewSource(1))}
+	return &Context{Nodes: newFleet(t, n), Rng: rand.New(rand.NewPCG(uint64(1), 0))}
 }
 
 func newVM(t *testing.T, id string, k workload.Kind) *vm.VM {

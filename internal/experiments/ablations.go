@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"time"
 
-	"math/rand"
-
 	"github.com/green-dc/baat/internal/core"
 	"github.com/green-dc/baat/internal/rack"
+	"github.com/green-dc/baat/internal/rng"
 	"github.com/green-dc/baat/internal/solar"
 	"github.com/green-dc/baat/internal/units"
 	"github.com/green-dc/baat/internal/vm"
@@ -140,7 +139,7 @@ func ArchitectureComparison(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		days = 4
 	}
-	seq := weatherSequence(cfg.Seed+13, 0.4, days)
+	seq := weatherSequence(cfg.Seed, rng.ExpArchitecture, 0.4, days)
 
 	t := &Table{
 		ID:      "arch-comparison",
@@ -249,14 +248,14 @@ func runRacks(cfg Config, seq []solar.Weather) (thr, worstHealth, spread float64
 
 	scfg := solar.DefaultConfig()
 	scfg.Scale = tightScale
-	rng := rand.New(rand.NewSource(cfg.Seed + 13))
+	wx := rng.New(cfg.Seed, rng.ExpRacks)
 	const (
 		tick        = time.Minute
 		windowStart = 8*time.Hour + 30*time.Minute
 		windowEnd   = 18*time.Hour + 30*time.Minute
 	)
 	for _, w := range seq {
-		day, derr := solar.NewDay(w, scfg, rng)
+		day, derr := solar.NewDay(w, scfg, wx.Rand)
 		if derr != nil {
 			return 0, 0, 0, 0, derr
 		}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/green-dc/baat/internal/core"
+	"github.com/green-dc/baat/internal/rng"
 	"github.com/green-dc/baat/internal/sim"
 	"github.com/green-dc/baat/internal/solar"
 )
@@ -39,10 +40,24 @@ func runOneDay(cfg Config, kind core.Kind, w solar.Weather, old bool) (*sim.Simu
 		return nil, sim.DayStats{}, err
 	}
 	if old {
-		for _, pw := range weatherSequence(cfg.Seed+11, 0.5, preAgeDays(cfg)) {
-			if _, err := s.RunDay(pw); err != nil {
-				return nil, sim.DayStats{}, err
+		// The neutral burn-in is identical for every (policy, weather)
+		// cell: run it once, then fast-forward via the checkpoint memo.
+		err := preAge(cfg, s, "neutral", func() (*sim.Simulator, error) {
+			fresh, err := prototypeSimWithScale(cfg, core.EBuff, core.DefaultConfig(), tightScale)
+			if err != nil {
+				return nil, err
 			}
+			np, err := core.New(core.EBuff, core.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			if err := fresh.SetPolicy(np); err != nil {
+				return nil, err
+			}
+			return fresh, nil
+		})
+		if err != nil {
+			return nil, sim.DayStats{}, err
 		}
 		for _, n := range s.Nodes() {
 			n.ResetMetrics()
@@ -73,10 +88,13 @@ func runOneDayOwnAging(cfg Config, kind core.Kind, w solar.Weather, old bool) (*
 		return nil, sim.DayStats{}, err
 	}
 	if old {
-		for _, pw := range weatherSequence(cfg.Seed+11, 0.5, preAgeDays(cfg)) {
-			if _, err := s.RunDay(pw); err != nil {
-				return nil, sim.DayStats{}, err
-			}
+		// Own-aging burn-ins differ per policy but repeat across weather
+		// scenarios; memoize one checkpoint per managing policy.
+		err := preAge(cfg, s, "own/"+kind.String(), func() (*sim.Simulator, error) {
+			return prototypeSimWithScale(cfg, kind, core.DefaultConfig(), tightScale)
+		})
+		if err != nil {
+			return nil, sim.DayStats{}, err
 		}
 		for _, n := range s.Nodes() {
 			n.ResetMetrics()
@@ -246,7 +264,7 @@ func LowSoCDuration(cfg Config) (*Table, error) {
 		frac = 0.3
 		scale = tightScale
 	}
-	seq := weatherSequence(cfg.Seed+3, frac, days)
+	seq := weatherSequence(cfg.Seed, rng.ExpLowSoC, frac, days)
 	t := &Table{
 		ID:      "fig18",
 		Title:   "Low-SoC duration comparison (worst node)",
@@ -305,7 +323,7 @@ func SoCDistribution(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		days = 5
 	}
-	seq := weatherSequence(cfg.Seed+5, 0.5, days)
+	seq := weatherSequence(cfg.Seed, rng.ExpSoCDist, 0.5, days)
 	labels := []string{
 		"[0,15%)", "[15,30%)", "[30,45%)", "[45,60%)", "[60,75%)", "[75,90%)", "[90,100%]",
 	}

@@ -11,7 +11,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
@@ -20,6 +19,7 @@ import (
 
 	"github.com/green-dc/baat/internal/core"
 	"github.com/green-dc/baat/internal/faults"
+	"github.com/green-dc/baat/internal/rng"
 	"github.com/green-dc/baat/internal/sim"
 	"github.com/green-dc/baat/internal/solar"
 	"github.com/green-dc/baat/internal/telemetry"
@@ -235,14 +235,16 @@ func prototypeSimWithScale(cfg Config, kind core.Kind, coreCfg core.Config, scal
 	return sim.New(scfg, policy)
 }
 
-// weatherSequence draws a reproducible weather sequence for a location, so
-// every policy replays identical days (§VI-B's matched-scenario method).
-func weatherSequence(seed int64, frac float64, days int) []solar.Weather {
-	rng := rand.New(rand.NewSource(seed))
+// weatherSequence draws a reproducible weather sequence for a location from
+// the named substream of seed, so every policy replays identical days
+// (§VI-B's matched-scenario method) and distinct experiments never share a
+// stream.
+func weatherSequence(seed int64, name string, frac float64, days int) []solar.Weather {
+	stream := rng.New(seed, name)
 	loc := solar.Location{SunshineFraction: frac}
 	seq := make([]solar.Weather, days)
 	for i := range seq {
-		seq[i] = loc.DrawWeather(rng)
+		seq[i] = loc.DrawWeather(stream.Rand)
 	}
 	return seq
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/green-dc/baat/internal/core"
+	"github.com/green-dc/baat/internal/rng"
 	"github.com/green-dc/baat/internal/sim"
 	"github.com/green-dc/baat/internal/workload"
 )
@@ -47,7 +48,7 @@ func runWindowThroughput(cfg Config, kind core.Kind, coreCfg core.Config) (thr f
 	if err != nil {
 		return 0, 0, err
 	}
-	seq := weatherSequence(cfg.Seed+9, 0.5, plannedWindowDays(cfg))
+	seq := weatherSequence(cfg.Seed, rng.ExpPlanned, 0.5, plannedWindowDays(cfg))
 	res, err := s.Run(seq)
 	if err != nil {
 		return 0, 0, err

@@ -1,0 +1,106 @@
+package experiments
+
+// The warm-start acceptance suite: a sweep that fast-forwards its variants
+// from a memoized burn-in checkpoint must render byte-identically to one
+// that re-simulates every burn-in, and a warm sweep with one distinct
+// burn-in must execute it exactly once. AgingComparison is the probe
+// because its old-battery cells all share the neutral burn-in.
+
+import (
+	"testing"
+)
+
+// coldTable runs exp with memoization disabled (every cell re-simulates
+// its own burn-in) and returns the rendered table.
+func coldTable(t *testing.T, exp func(Config) (*Table, error), cfg Config) string {
+	t.Helper()
+	warmStartOff.Store(true)
+	defer warmStartOff.Store(false)
+	tab, err := exp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab.Render()
+}
+
+// warmTable runs exp against an empty memo and returns the rendered table
+// plus how many burn-ins actually executed.
+func warmTable(t *testing.T, exp func(Config) (*Table, error), cfg Config) (string, int64) {
+	t.Helper()
+	resetWarmStarts()
+	defer resetWarmStarts()
+	tab, err := exp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab.Render(), burnInRuns.Load()
+}
+
+// TestWarmSweepMatchesCold: warm-started sweeps are an optimization, not a
+// different experiment — their output must be byte-identical to the cold
+// path, with the shared neutral burn-in run exactly once.
+func TestWarmSweepMatchesCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("duplicate sweep")
+	}
+	// Quick mode drops the old-battery scenarios, which are the whole
+	// point here — run the full sweep with aging compressed hard so each
+	// burn-in is only a couple of days.
+	cfg := quickCfg()
+	cfg.Quick = false
+	cfg.Accel = 135
+	cold := coldTable(t, AgingComparison, cfg)
+	warm, runs := warmTable(t, AgingComparison, cfg)
+	if warm != cold {
+		t.Errorf("warm-started sweep rendered differently from cold sweep:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+	if runs != 1 {
+		t.Errorf("warm sweep executed %d burn-ins, want exactly 1", runs)
+	}
+}
+
+// TestWarmSweepMatchesColdOwnAging: the Fig 20 deployment sweep ages each
+// policy under its own management, so the warm path must keep the
+// per-policy burn-ins distinct — one execution per policy, never shared.
+func TestWarmSweepMatchesColdOwnAging(t *testing.T) {
+	if testing.Short() {
+		t.Skip("duplicate sweep")
+	}
+	cfg := quickCfg()
+	cold := coldTable(t, Throughput, cfg)
+	warm, runs := warmTable(t, Throughput, cfg)
+	if warm != cold {
+		t.Errorf("warm-started sweep rendered differently from cold sweep:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+	// Quick mode sweeps two policies in their old-battery scenario; each
+	// needs its own burn-in and nothing more.
+	if runs < 1 || runs > int64(len(policyNames())) {
+		t.Errorf("own-aging warm sweep executed %d burn-ins, want one per swept policy (≤%d)", runs, len(policyNames()))
+	}
+}
+
+// TestWarmStartMemoSharing: two runs of the same experiment share one memo
+// — the second sweep must not re-execute any burn-in.
+func TestWarmStartMemoSharing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("duplicate sweep")
+	}
+	resetWarmStarts()
+	defer resetWarmStarts()
+	cfg := quickCfg()
+	first, err := AgingComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := burnInRuns.Load()
+	second, err := AgingComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := burnInRuns.Load(); got != after {
+		t.Errorf("second sweep re-ran burn-ins (%d -> %d), memo not shared", after, got)
+	}
+	if first.Render() != second.Render() {
+		t.Error("two warm sweeps of the same experiment rendered differently")
+	}
+}

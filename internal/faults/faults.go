@@ -190,10 +190,11 @@ func (r Rule) magnitude() float64 {
 // Config is a complete fault plan: a seed for the injector's private rand
 // stream plus the rule list. The zero value (no rules) injects nothing.
 type Config struct {
-	// Seed feeds the injector's own rand stream, kept separate from every
-	// simulation stream so enabling faults never perturbs weather, job
-	// mix, or policy tie-breaks. Zero lets the simulator derive a seed
-	// from its own (sim seed + 4).
+	// Seed feeds the injector's own random substream (the rng.Faults
+	// stream of this seed), kept separate from every simulation stream so
+	// enabling faults never perturbs weather, job mix, or policy
+	// tie-breaks. Zero lets the simulator copy its own seed in; the named
+	// substream keeps the sequences independent even then.
 	Seed int64
 	// Rules are the fault sources, evaluated in order every tick.
 	Rules []Rule

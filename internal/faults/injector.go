@@ -2,12 +2,13 @@ package faults
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
+
+	"github.com/green-dc/baat/internal/rng"
 )
 
-// Injector resolves a fault plan tick by tick. It owns a private rand
-// stream (never shared with simulation randomness) and all of its state
+// Injector resolves a fault plan tick by tick. It owns a private random
+// substream (never shared with simulation randomness) and all of its state
 // transitions happen inside Tick, which the simulator calls serially before
 // fanning node physics out to workers — so every probabilistic trigger and
 // noise draw lands in a fixed rule-then-node order and the resolved
@@ -15,7 +16,7 @@ import (
 //
 // An Injector is not safe for concurrent use; the engine owns it.
 type Injector struct {
-	rng   *rand.Rand
+	rng   *rng.Stream
 	nodes int
 	rules []ruleState
 	state TickState // reused across ticks
@@ -39,8 +40,10 @@ type targetState struct {
 }
 
 // NewInjector compiles a fault plan for a fleet of the given size. The
-// caller resolves Config.Seed before construction (the simulator derives
-// sim seed + 4 when it is zero).
+// caller resolves Config.Seed before construction (the simulator copies
+// its own seed in when it is zero); the injector's stream is the named
+// rng.Faults substream of that seed, so it never collides with any
+// simulation stream.
 func NewInjector(cfg Config, nodes int) (*Injector, error) {
 	if nodes <= 0 {
 		return nil, fmt.Errorf("faults: injector needs at least one node, got %d", nodes)
@@ -49,7 +52,7 @@ func NewInjector(cfg Config, nodes int) (*Injector, error) {
 		return nil, err
 	}
 	inj := &Injector{
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		rng:   rng.New(cfg.Seed, rng.Faults),
 		nodes: nodes,
 	}
 	for _, r := range cfg.Rules {

@@ -1,0 +1,83 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+)
+
+// TargetState is the serialized activation bookkeeping of one
+// (rule, node) pair.
+type TargetState struct {
+	Node  int           `json:"node"`
+	Until time.Duration `json:"until"`
+	Open  bool          `json:"open"`
+	Fired bool          `json:"fired"`
+}
+
+// RuleState is the serialized activation state of one rule across its
+// targets. The rule itself recompiles from Config; only the live
+// bookkeeping is state.
+type RuleState struct {
+	Targets []TargetState `json:"targets"`
+}
+
+// InjectorState is the serializable state of an Injector: its private
+// stream position plus every rule's activation bookkeeping.
+type InjectorState struct {
+	RNG   []byte      `json:"rng"`
+	Rules []RuleState `json:"rules"`
+}
+
+// Snapshot captures the injector's state.
+func (inj *Injector) Snapshot() InjectorState {
+	b, _ := inj.rng.MarshalBinary() // never fails for PCG sources
+	st := InjectorState{RNG: b, Rules: make([]RuleState, len(inj.rules))}
+	for i, rs := range inj.rules {
+		ts := make([]TargetState, len(rs.targets))
+		for j, t := range rs.targets {
+			ts[j] = TargetState{Node: t.node, Until: t.until, Open: t.open, Fired: t.fired}
+		}
+		st.Rules[i] = RuleState{Targets: ts}
+	}
+	return st
+}
+
+// Restore overwrites the injector's state from a snapshot taken from an
+// injector compiled from the same Config and fleet size. The snapshot's
+// shape must match the compiled rules exactly; a mismatch means the
+// checkpoint belongs to a different fault plan and is rejected.
+func (inj *Injector) Restore(st InjectorState) error {
+	if len(st.RNG) == 0 {
+		return fmt.Errorf("faults: restore: empty rng state")
+	}
+	if len(st.Rules) != len(inj.rules) {
+		return fmt.Errorf("faults: restore: snapshot has %d rules, plan has %d",
+			len(st.Rules), len(inj.rules))
+	}
+	for i, rs := range st.Rules {
+		have := inj.rules[i].targets
+		if len(rs.Targets) != len(have) {
+			return fmt.Errorf("faults: restore: rule %d has %d targets, plan has %d",
+				i, len(rs.Targets), len(have))
+		}
+		for j, t := range rs.Targets {
+			if t.Node != have[j].node {
+				return fmt.Errorf("faults: restore: rule %d target %d is node %d, plan has node %d",
+					i, j, t.Node, have[j].node)
+			}
+			if t.Until < 0 {
+				return fmt.Errorf("faults: restore: rule %d target %d has negative hold %v", i, j, t.Until)
+			}
+		}
+	}
+	if err := inj.rng.UnmarshalBinary(st.RNG); err != nil {
+		return fmt.Errorf("faults: restore: %w", err)
+	}
+	for i := range inj.rules {
+		for j := range inj.rules[i].targets {
+			t := st.Rules[i].Targets[j]
+			inj.rules[i].targets[j] = targetState{node: t.Node, until: t.Until, open: t.Open, fired: t.Fired}
+		}
+	}
+	return nil
+}

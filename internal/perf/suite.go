@@ -1,6 +1,7 @@
 package perf
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 	"time"
@@ -56,6 +57,7 @@ func RunSuite() (Report, error) {
 	add("battery_step", true, batteryStepBench)
 	add("experiment_sweep/"+suiteSweepID+"/workers=1", false, experimentSweepBench(1))
 	add("experiment_sweep/"+suiteSweepID+"/workers=4", false, experimentSweepBench(4))
+	add("checkpoint_roundtrip", false, checkpointRoundtripBench)
 	return r, err
 }
 
@@ -131,6 +133,41 @@ func batteryStepBench(b *testing.B) {
 			if _, err := p.Charge(60, time.Second, 25); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// checkpointRoundtripBench measures one full checkpoint/resume cycle on a
+// live prototype-scale fleet: serialize the simulator mid-run, then
+// restore into a freshly built one. This is the fixed cost a warm-started
+// sweep pays per variant instead of re-simulating the burn-in.
+func checkpointRoundtripBench(b *testing.B) {
+	build := func() *sim.Simulator {
+		policy, err := core.New(core.BAATFull, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := sim.DefaultConfig()
+		s, err := sim.New(cfg, policy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	src := build()
+	if _, err := src.RunDay(solar.Cloudy); err != nil {
+		b.Fatal(err)
+	}
+	dst := build()
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := src.Checkpoint(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if err := dst.ResumeFrom(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -9,7 +9,7 @@ package rack
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 	"time"
@@ -22,7 +22,7 @@ import (
 func TestQuickRackPoolInvariants(t *testing.T) {
 	services := workload.PrototypeServices()
 	prop := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := rand.New(rand.NewPCG(uint64(seed), 0))
 		cfg := DefaultConfig()
 		cfg.AgingConfig.AccelFactor = 1000
 		r, err := New("rack-quick", cfg)
@@ -32,10 +32,10 @@ func TestQuickRackPoolInvariants(t *testing.T) {
 		// Random subset of the six prototype workloads across the servers,
 		// so some sequences run server-heavy and others battery-idle.
 		for i, srv := range r.Servers() {
-			if rng.Intn(2) == 0 {
+			if rng.IntN(2) == 0 {
 				continue
 			}
-			v, verr := vm.New(fmt.Sprintf("vm-%d-%d", seed&0xffff, i), services[rng.Intn(len(services))])
+			v, verr := vm.New(fmt.Sprintf("vm-%d-%d", seed&0xffff, i), services[rng.IntN(len(services))])
 			if verr != nil {
 				t.Fatal(verr)
 			}
@@ -45,9 +45,9 @@ func TestQuickRackPoolInvariants(t *testing.T) {
 		}
 		health := r.Pool().Health()
 		for i := 0; i < 200; i++ {
-			dt := time.Duration(1+rng.Intn(10)) * time.Minute
+			dt := time.Duration(1+rng.IntN(10)) * time.Minute
 			var res StepResult
-			if rng.Intn(4) == 0 {
+			if rng.IntN(4) == 0 {
 				res, err = r.StepOffline(dt, units.Watt(rng.Float64()*2000))
 			} else {
 				res, err = r.Step(dt, units.Watt(rng.Float64()*2000), units.Watt(rng.Float64()*1000))

@@ -1,0 +1,112 @@
+package rack
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/green-dc/baat/internal/aging"
+	"github.com/green-dc/baat/internal/battery"
+	"github.com/green-dc/baat/internal/powernet"
+	"github.com/green-dc/baat/internal/server"
+)
+
+// State is the serializable state of a Rack: the pooled battery, its aging
+// bookkeeping, the sensor table, every server's state, and the rack's own
+// clock and shedding accounting. The Config is construction-time input; a
+// snapshot restores only onto a rack built from the same Config.
+type State struct {
+	ID      string             `json:"id"`
+	Pool    battery.State      `json:"pool"`
+	Tracker aging.TrackerState `json:"tracker"`
+	Model   aging.ModelState   `json:"model"`
+	Table   powernet.State     `json:"table"`
+	Servers []server.State     `json:"servers"`
+
+	Clock      time.Duration   `json:"clock"`
+	DownTicks  int             `json:"down_ticks"`
+	TotalTicks int             `json:"total_ticks"`
+	ServerDown []time.Duration `json:"server_down"`
+}
+
+// Snapshot captures the rack's full state.
+func (r *Rack) Snapshot() State {
+	st := State{
+		ID:         r.id,
+		Pool:       r.pool.Snapshot(),
+		Tracker:    r.tracker.Snapshot(),
+		Model:      r.model.Snapshot(),
+		Table:      r.table.Snapshot(),
+		Clock:      r.clock,
+		DownTicks:  r.downTicks,
+		TotalTicks: r.totalTicks,
+		ServerDown: append([]time.Duration(nil), r.serverDown...),
+	}
+	for _, s := range r.servers {
+		st.Servers = append(st.Servers, s.Snapshot())
+	}
+	return st
+}
+
+// Restore overwrites the rack's state from a snapshot taken from a rack
+// built with the same Config. Everything is validated before anything is
+// mutated, so a corrupt checkpoint leaves the rack untouched.
+func (r *Rack) Restore(st State) error {
+	if st.ID != r.id {
+		return fmt.Errorf("rack %s: restore: snapshot belongs to rack %s", r.id, st.ID)
+	}
+	if len(st.Servers) != len(r.servers) {
+		return fmt.Errorf("rack %s: restore: snapshot has %d servers, rack has %d",
+			r.id, len(st.Servers), len(r.servers))
+	}
+	if len(st.ServerDown) != len(r.servers) {
+		return fmt.Errorf("rack %s: restore: snapshot tracks %d server downtimes, rack has %d servers",
+			r.id, len(st.ServerDown), len(r.servers))
+	}
+	if st.Clock < 0 {
+		return fmt.Errorf("rack %s: restore: negative clock %v", r.id, st.Clock)
+	}
+	if st.DownTicks < 0 || st.TotalTicks < 0 || st.DownTicks > st.TotalTicks {
+		return fmt.Errorf("rack %s: restore: inconsistent tick counters (%d down of %d total)",
+			r.id, st.DownTicks, st.TotalTicks)
+	}
+	for i, d := range st.ServerDown {
+		if d < 0 {
+			return fmt.Errorf("rack %s: restore: negative downtime for server %d", r.id, i)
+		}
+	}
+
+	pool := *r.pool
+	if err := pool.Restore(st.Pool); err != nil {
+		return fmt.Errorf("rack %s: restore: %w", r.id, err)
+	}
+	tracker := *r.tracker
+	if err := tracker.Restore(st.Tracker); err != nil {
+		return fmt.Errorf("rack %s: restore: %w", r.id, err)
+	}
+	model := *r.model
+	if err := model.Restore(st.Model); err != nil {
+		return fmt.Errorf("rack %s: restore: %w", r.id, err)
+	}
+	table, err := powernet.NewPowerTable(r.cfg.TableCapacity)
+	if err != nil {
+		return fmt.Errorf("rack %s: restore: %w", r.id, err)
+	}
+	if err := table.Restore(st.Table); err != nil {
+		return fmt.Errorf("rack %s: restore: %w", r.id, err)
+	}
+	for i, s := range r.servers {
+		if err := s.Restore(st.Servers[i]); err != nil {
+			return fmt.Errorf("rack %s: restore: %w", r.id, err)
+		}
+	}
+
+	*r.pool = pool
+	*r.tracker = tracker
+	*r.model = model
+	r.table = table
+	r.clock = st.Clock
+	r.downTicks = st.DownTicks
+	r.totalTicks = st.TotalTicks
+	copy(r.serverDown, st.ServerDown)
+	return nil
+}

@@ -26,9 +26,10 @@ import (
 const goldenFaultedPath = "testdata/golden_trace_faulted.json"
 
 // goldenFaultedRun replays the golden scenario with the chaos profile
-// active. Faults.Seed stays zero so the run also pins the Seed+4 default
-// derivation. UtilityBackup is enabled so the brownout window actually
-// gates a code path rather than a no-op.
+// active. Faults.Seed stays zero so the run also pins the default
+// derivation from Config.Seed via the named fault substream. UtilityBackup
+// is enabled so the brownout window actually gates a code path rather than
+// a no-op.
 func goldenFaultedRun(t *testing.T, workers int) *goldenTrace {
 	t.Helper()
 	return goldenScenario(t,

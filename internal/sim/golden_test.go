@@ -23,13 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"math/rand"
 	"os"
 	"path/filepath"
 	"strconv"
 	"testing"
 
 	"github.com/green-dc/baat/internal/core"
+	"github.com/green-dc/baat/internal/rng"
 	"github.com/green-dc/baat/internal/solar"
 	"github.com/green-dc/baat/internal/workload"
 )
@@ -94,20 +94,22 @@ func goldenRun(t *testing.T) *goldenTrace {
 		nil)
 }
 
-// goldenScenario runs the shared golden setup, letting variants (the faulted
-// trace) adjust the config before construction.
-func goldenScenario(t *testing.T, desc string, mutate func(*Config)) *goldenTrace {
+const (
+	goldenSeed = 20150614 // the paper's venue date; any fixed value works
+	goldenDays = 30
+)
+
+// goldenSim constructs a simulator for the pinned golden configuration,
+// letting variants (the faulted trace, worker sweeps) adjust the config
+// before construction.
+func goldenSim(t *testing.T, mutate func(*Config)) *Simulator {
 	t.Helper()
-	const (
-		seed = 20150614 // the paper's venue date; any fixed value works
-		days = 30
-	)
 	policy, err := core.New(core.BAATFull, core.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := DefaultConfig()
-	cfg.Seed = seed
+	cfg.Seed = goldenSeed
 	cfg.Services = workload.PrototypeServices()
 	cfg.JobsPerDay = 2
 	cfg.Solar.Scale = 1.5
@@ -119,18 +121,28 @@ func goldenScenario(t *testing.T, desc string, mutate func(*Config)) *goldenTrac
 	if err != nil {
 		t.Fatal(err)
 	}
+	return s
+}
 
-	wxRng := rand.New(rand.NewSource(seed + 7))
+// goldenWeather draws the pinned 30-day weather sequence up front, exactly
+// as cmd/baatsim's -weather mix does, so a run can be split at any day
+// boundary without disturbing the sequence.
+func goldenWeather() []solar.Weather {
+	wxRng := rng.New(goldenSeed, rng.CLIWeather)
 	loc := solar.Location{SunshineFraction: 0.5}
-
-	trace := &goldenTrace{
-		Description: desc,
-		Seed:        seed,
-		Days:        days,
-		Policy:      policy.Name(),
+	seq := make([]solar.Weather, goldenDays)
+	for i := range seq {
+		seq[i] = loc.DrawWeather(wxRng.Rand)
 	}
-	for d := 0; d < days; d++ {
-		ds, err := s.RunDay(loc.DrawWeather(wxRng))
+	return seq
+}
+
+// traceDays steps the simulator through the weather slice, appending each
+// day's stats and per-node aging metrics to the trace.
+func traceDays(t *testing.T, s *Simulator, weathers []solar.Weather, trace *goldenTrace) {
+	t.Helper()
+	for _, w := range weathers {
+		ds, err := s.RunDay(w)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -151,8 +163,11 @@ func goldenScenario(t *testing.T, desc string, mutate func(*Config)) *goldenTrac
 		trace.DayTrace = append(trace.DayTrace, gd)
 		trace.Throughput += ds.Throughput
 	}
+}
 
-	res := &Result{Policy: policy.Name()}
+// traceFinish folds the end-of-run fleet state into the trace.
+func traceFinish(s *Simulator, trace *goldenTrace) {
+	res := &Result{Policy: trace.Policy}
 	s.finish(res)
 	trace.FleetLifetimeNS = int64(res.FleetLifetime)
 	trace.SoCCounts = res.SoCHistogram.Counts()
@@ -169,6 +184,20 @@ func goldenScenario(t *testing.T, desc string, mutate func(*Config)) *goldenTrac
 			EquivalentFullCycles: n.Counters.EquivalentFullCycles,
 		})
 	}
+}
+
+// goldenScenario runs the shared golden setup end to end.
+func goldenScenario(t *testing.T, desc string, mutate func(*Config)) *goldenTrace {
+	t.Helper()
+	s := goldenSim(t, mutate)
+	trace := &goldenTrace{
+		Description: desc,
+		Seed:        goldenSeed,
+		Days:        goldenDays,
+		Policy:      s.policy.Name(),
+	}
+	traceDays(t, s, goldenWeather(), trace)
+	traceFinish(s, trace)
 	return trace
 }
 

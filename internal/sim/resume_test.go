@@ -1,0 +1,204 @@
+package sim
+
+// The checkpoint/resume acceptance suite. The contract under test: stepping
+// the golden scenario to day 15, checkpointing, and resuming in a *fresh*
+// Simulator must produce the remaining 15 days byte-identical to the
+// uninterrupted run — for the clean and the chaos-faulted fixture alike,
+// and independent of the resumed simulator's worker count. A checkpoint
+// that survives this is a complete serialization of the simulation state:
+// any forgotten field (an RNG position, a pending VM, a sensor fault
+// window) shows up as a trace diff here.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/green-dc/baat/internal/faults"
+)
+
+// resumeSplitDay is where the split runs checkpoint: halfway through the
+// 30-day golden window, late enough that aging, faults, and pending batch
+// jobs all carry real state across the boundary.
+const resumeSplitDay = 15
+
+// faultedMutate applies the chaos profile exactly as the faulted golden
+// fixture does.
+func faultedMutate(t *testing.T) func(*Config) {
+	return func(c *Config) {
+		fcfg, err := faults.Profile("chaos", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Faults = fcfg
+		c.Node.UtilityBackup = true
+	}
+}
+
+// splitTrace runs the golden scenario to resumeSplitDay, checkpoints,
+// resumes into a fresh simulator with the given worker count, and finishes
+// the window there. The returned trace stitches both halves together so it
+// is directly comparable to an uninterrupted run.
+func splitTrace(t *testing.T, mutate func(*Config), workers int) *goldenTrace {
+	t.Helper()
+	weathers := goldenWeather()
+
+	first := goldenSim(t, mutate)
+	trace := &goldenTrace{
+		Seed:   goldenSeed,
+		Days:   goldenDays,
+		Policy: first.policy.Name(),
+	}
+	traceDays(t, first, weathers[:resumeSplitDay], trace)
+
+	var buf bytes.Buffer
+	if err := first.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	second := goldenSim(t, func(c *Config) {
+		if mutate != nil {
+			mutate(c)
+		}
+		c.Workers = workers
+	})
+	if err := second.ResumeFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := second.Day(); got != resumeSplitDay {
+		t.Fatalf("resumed simulator reports day %d, want %d", got, resumeSplitDay)
+	}
+	traceDays(t, second, weathers[resumeSplitDay:], trace)
+	traceFinish(second, trace)
+	return trace
+}
+
+// fullTrace is the uninterrupted reference, shaped like splitTrace's output
+// (no Description) so the two marshal byte-identically when equivalent.
+func fullTrace(t *testing.T, mutate func(*Config)) *goldenTrace {
+	t.Helper()
+	tr := goldenScenario(t, "", mutate)
+	tr.Description = ""
+	return tr
+}
+
+// TestResumeEquivalence is the acceptance check for the checkpoint format:
+// checkpoint at day 15, resume fresh, and the remaining trace must be
+// byte-identical to the uninterrupted run at every worker count — for both
+// golden fixtures.
+func TestResumeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many 30-day replays")
+	}
+	scenarios := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"clean", nil},
+		{"faulted", faultedMutate(t)},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			want, err := json.Marshal(fullTrace(t, sc.mutate))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4, 8} {
+				got, err := json.Marshal(splitTrace(t, sc.mutate, workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(want, got) {
+					t.Errorf("workers=%d: resumed trace diverged from uninterrupted run", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestResumeRejectsWrongConfig pins the envelope guard: a checkpoint only
+// resumes into a simulator built from the configuration that wrote it.
+func TestResumeRejectsWrongConfig(t *testing.T) {
+	s := goldenSim(t, nil)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := goldenSim(t, func(c *Config) { c.Seed = goldenSeed + 1 })
+	err := other.ResumeFrom(bytes.NewReader(buf.Bytes()))
+	if err == nil {
+		t.Fatal("checkpoint resumed into a simulator with a different config")
+	}
+	if !strings.Contains(err.Error(), "config") {
+		t.Errorf("config-mismatch error does not mention the config: %v", err)
+	}
+}
+
+// TestResumeIgnoresWorkerCount pins a deliberate exclusion: Workers is an
+// execution knob, not simulation state, so it must not participate in the
+// config hash.
+func TestResumeIgnoresWorkerCount(t *testing.T) {
+	s := goldenSim(t, func(c *Config) { c.Workers = 1 })
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := goldenSim(t, func(c *Config) { c.Workers = 8 })
+	if err := other.ResumeFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("worker count leaked into the config hash: %v", err)
+	}
+}
+
+// TestResumeRejectsCorruptCheckpoint feeds the restore path mangled
+// payloads: every failure must be loud, and a failed ResumeFrom must leave
+// the target unusable-by-convention (the caller discards it), never
+// half-restored silently.
+func TestResumeRejectsCorruptCheckpoint(t *testing.T) {
+	s := goldenSim(t, nil)
+	if _, err := s.RunDay(goldenWeather()[0]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	mangle := func(name string, f func(map[string]any)) []byte {
+		t.Helper()
+		var env map[string]any
+		if err := json.Unmarshal(good, &env); err != nil {
+			t.Fatal(err)
+		}
+		f(env)
+		out, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	cases := map[string][]byte{
+		"truncated":      good[:len(good)/2],
+		"not json":       []byte("not a checkpoint"),
+		"wrong format":   mangle("format", func(m map[string]any) { m["format"] = 999 }),
+		"wrong confhash": mangle("confhash", func(m map[string]any) { m["config_hash"] = "deadbeef" }),
+		"negative clock": mangle("clock", func(m map[string]any) {
+			st := m["state"].(map[string]any)
+			st["clock"] = -5
+		}),
+		"nan soc": mangle("soc", func(m map[string]any) {
+			st := m["state"].(map[string]any)
+			nodes := st["nodes"].([]any)
+			pack := nodes[0].(map[string]any)["pack"].(map[string]any)
+			pack["soc"] = "NaN" // strings where numbers belong must not decode
+		}),
+	}
+	for name, data := range cases {
+		fresh := goldenSim(t, nil)
+		if err := fresh.ResumeFrom(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: corrupt checkpoint resumed without error", name)
+		}
+	}
+}

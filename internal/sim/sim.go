@@ -19,7 +19,6 @@ package sim
 import (
 	"cmp"
 	"fmt"
-	"math/rand"
 	"runtime"
 	"slices"
 	"sync"
@@ -31,6 +30,7 @@ import (
 	"github.com/green-dc/baat/internal/core"
 	"github.com/green-dc/baat/internal/faults"
 	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/rng"
 	"github.com/green-dc/baat/internal/solar"
 	"github.com/green-dc/baat/internal/stats"
 	"github.com/green-dc/baat/internal/telemetry"
@@ -92,8 +92,9 @@ type Config struct {
 	// Faults configures deterministic fault injection (sensor corruption,
 	// battery degradation shocks, power disturbances). An empty config —
 	// the default — injects nothing and leaves the clean path untouched.
-	// Faults.Seed zero derives Seed+4, continuing the engine's seed-stream
-	// convention, so one Config.Seed still pins the entire run.
+	// Faults.Seed zero copies Config.Seed; the injector draws from its own
+	// named substream of that seed (rng.Faults), so one Config.Seed still
+	// pins the entire run without any stream collision.
 	Faults faults.Config
 }
 
@@ -222,14 +223,14 @@ type Simulator struct {
 	cfg    Config
 	policy core.Policy
 	nodes  []*node.Node
-	// rng seeds construction-time variation; wxRng drives weather and
-	// cloud patterns; policyRng feeds policy tie-breaking. Keeping them
-	// separate guarantees every policy replays identical solar days
-	// (§VI-B's matched-scenario methodology).
-	rng       *rand.Rand
-	wxRng     *rand.Rand
-	policyRng *rand.Rand
-	jobRng    *rand.Rand
+	// mfgRng seeds construction-time variation; wxRng drives weather and
+	// cloud patterns; policyRng feeds policy tie-breaking. Each is a named
+	// PCG substream of Config.Seed (internal/rng), so every policy replays
+	// identical solar days (§VI-B's matched-scenario methodology) and every
+	// stream position round-trips through Snapshot/Restore.
+	mfgRng    *rng.Stream
+	wxRng     *rng.Stream
+	policyRng *rng.Stream
 	gen       *workload.Generator
 
 	clock     time.Duration
@@ -250,6 +251,13 @@ type Simulator struct {
 	series    []MetricsPoint
 	eolAt     time.Duration
 	placedSvc bool
+
+	// history accumulates the per-day stats of every completed day over
+	// the simulator's lifetime. It is serialized state: a resumed run can
+	// report the full horizon, not just the days it executed itself. The
+	// initial capacity keeps RunDay's append out of the per-day
+	// allocation budget for typical horizons.
+	history []DayStats
 
 	// Per-tick scratch, sized to the fleet at construction and reused every
 	// step so the steady-state tick path allocates nothing (pinned by the
@@ -303,10 +311,10 @@ func New(cfg Config, policy core.Policy) (*Simulator, error) {
 	if policy == nil {
 		return nil, fmt.Errorf("sim: policy must not be nil")
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	jobRng := rand.New(rand.NewSource(cfg.Seed + 1))
-	wxRng := rand.New(rand.NewSource(cfg.Seed + 2))
-	policyRng := rand.New(rand.NewSource(cfg.Seed + 3))
+	mfgRng := rng.New(cfg.Seed, rng.Manufacturing)
+	jobRng := rng.New(cfg.Seed, rng.Jobs)
+	wxRng := rng.New(cfg.Seed, rng.Weather)
+	policyRng := rng.New(cfg.Seed, rng.Policy)
 	gen, err := workload.NewGenerator(jobRng)
 	if err != nil {
 		return nil, err
@@ -330,13 +338,13 @@ func New(cfg Config, policy core.Policy) (*Simulator, error) {
 	s := &Simulator{
 		cfg:       cfg,
 		policy:    policy,
-		rng:       rng,
+		mfgRng:    mfgRng,
 		wxRng:     wxRng,
 		policyRng: policyRng,
-		jobRng:    jobRng,
 		gen:       gen,
 		socHist:   hist,
 		workers:   workers,
+		history:   make([]DayStats, 0, 64),
 
 		tel:            cfg.Telemetry,
 		telTicks:       cfg.Telemetry.Counter(telemetry.MetricSimTicks),
@@ -357,7 +365,7 @@ func New(cfg Config, policy core.Policy) (*Simulator, error) {
 	if cfg.Faults.Enabled() {
 		fcfg := cfg.Faults
 		if fcfg.Seed == 0 {
-			fcfg.Seed = cfg.Seed + 4
+			fcfg.Seed = cfg.Seed
 		}
 		inj, err := faults.NewInjector(fcfg, cfg.Nodes)
 		if err != nil {
@@ -370,8 +378,8 @@ func New(cfg Config, policy core.Policy) (*Simulator, error) {
 		ncfg := cfg.Node
 		ncfg.Telemetry = cfg.Telemetry
 		if cfg.ManufacturingSigma > 0 {
-			capScale := 1 + rng.NormFloat64()*cfg.ManufacturingSigma
-			resScale := 1 + rng.NormFloat64()*cfg.ManufacturingSigma
+			capScale := 1 + mfgRng.NormFloat64()*cfg.ManufacturingSigma
+			resScale := 1 + mfgRng.NormFloat64()*cfg.ManufacturingSigma
 			ncfg.BatteryOptions = append(append([]battery.Option(nil), ncfg.BatteryOptions...),
 				battery.WithManufacturingVariation(
 					units.Clamp(capScale, 0.7, 1.3),
@@ -395,7 +403,7 @@ func New(cfg Config, policy core.Policy) (*Simulator, error) {
 	s.dayDown = make([]time.Duration, n)
 	s.daySolar = make([]units.WattHour, n)
 	s.dayLow = make([]time.Duration, n)
-	s.pctx = core.Context{Nodes: s.nodes, Rng: s.policyRng, Telemetry: s.tel}
+	s.pctx = core.Context{Nodes: s.nodes, Rng: s.policyRng.Rand, Telemetry: s.tel}
 	return s, nil
 }
 
@@ -416,6 +424,11 @@ func (s *Simulator) SetPolicy(p core.Policy) error {
 
 // Clock returns the simulated time.
 func (s *Simulator) Clock() time.Duration { return s.clock }
+
+// Day returns how many simulated days have completed (or started; RunDay
+// increments it on entry). A resumed run uses it to skip the weather
+// prefix already consumed before the checkpoint.
+func (s *Simulator) Day() int { return s.day }
 
 // ctx refreshes and returns the reusable policy context.
 func (s *Simulator) ctx() *core.Context {
@@ -502,7 +515,7 @@ func (s *Simulator) reapCompleted() {
 
 // RunDay simulates one full day of the given weather and returns its stats.
 func (s *Simulator) RunDay(w solar.Weather) (DayStats, error) {
-	day, err := solar.NewDay(w, s.cfg.Solar, s.wxRng)
+	day, err := solar.NewDay(w, s.cfg.Solar, s.wxRng.Rand)
 	if err != nil {
 		return DayStats{}, err
 	}
@@ -621,8 +634,14 @@ func (s *Simulator) RunDay(w solar.Weather) (DayStats, error) {
 		}
 		ds.SolarEnergy += st.SolarEnergy - startSolar[i]
 	}
+	s.history = append(s.history, ds)
 	return ds, nil
 }
+
+// History returns the per-day stats of every day this simulator has ever
+// completed — including days inherited from a restored checkpoint, which
+// the Result of a resumed Run does not cover.
+func (s *Simulator) History() []DayStats { return slices.Clone(s.history) }
 
 // step advances every node one tick, allocating the shared solar feed:
 // loads first (proportional water-fill), then charging (lowest SoC first).
@@ -872,23 +891,7 @@ func (s *Simulator) bySoC() []int {
 // length and the configured control cadence, so a long run appends into
 // preallocated capacity instead of repeatedly regrowing.
 func (s *Simulator) Run(weathers []solar.Weather) (*Result, error) {
-	res := &Result{
-		Policy: s.policy.Name(),
-		Days:   make([]DayStats, 0, len(weathers)),
-	}
-	if s.cfg.RecordSeries {
-		s.series = slices.Grow(s.series, len(weathers)*s.controlsPerDay()*len(s.nodes))
-	}
-	for _, w := range weathers {
-		ds, err := s.RunDay(w)
-		if err != nil {
-			return nil, err
-		}
-		res.Days = append(res.Days, ds)
-		res.Throughput += ds.Throughput
-	}
-	s.finish(res)
-	return res, nil
+	return s.RunWithCheckpoints(weathers, 0, nil)
 }
 
 // RunUntilEndOfLife draws weather from the location until the first battery
@@ -902,7 +905,7 @@ func (s *Simulator) RunUntilEndOfLife(loc solar.Location, maxDays int) (*Result,
 	}
 	res := &Result{Policy: s.policy.Name()}
 	for d := 0; d < maxDays; d++ {
-		ds, err := s.RunDay(loc.DrawWeather(s.wxRng))
+		ds, err := s.RunDay(loc.DrawWeather(s.wxRng.Rand))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"time"
+
+	"github.com/green-dc/baat/internal/faults"
+	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/solar"
+	"github.com/green-dc/baat/internal/stats"
+	"github.com/green-dc/baat/internal/vm"
+	"github.com/green-dc/baat/internal/workload"
+)
+
+// CheckpointFormat versions the checkpoint envelope. It bumps whenever the
+// serialized State shape changes incompatibly; ResumeFrom rejects any other
+// version explicitly rather than guessing.
+const CheckpointFormat = 1
+
+// State is the serializable state of a Simulator: the full state of every
+// node, the pending job queue, every named RNG stream position, the fault
+// injector's bookkeeping, and the engine's own clock and accounting. The
+// Config is construction-time input; a snapshot restores only onto a
+// simulator built from an equivalent Config (enforced by the checkpoint
+// envelope's config hash).
+type State struct {
+	Clock     time.Duration `json:"clock"`
+	Day       int           `json:"day"`
+	VMCounter int           `json:"vm_counter"`
+	PlacedSvc bool          `json:"placed_svc"`
+	EOLAt     time.Duration `json:"eol_at"`
+
+	Nodes   []node.State `json:"nodes"`
+	Pending []vm.State   `json:"pending"`
+
+	MfgRNG    []byte                  `json:"mfg_rng"`
+	WxRNG     []byte                  `json:"wx_rng"`
+	PolicyRNG []byte                  `json:"policy_rng"`
+	Generator workload.GeneratorState `json:"generator"`
+
+	Faults   *faults.InjectorState `json:"faults,omitempty"`
+	Degraded []bool                `json:"degraded,omitempty"`
+
+	SoCHist stats.HistogramState `json:"soc_hist"`
+	Series  []MetricsPoint       `json:"series,omitempty"`
+
+	// History carries the per-day stats of every completed day, so a
+	// resumed run can report the whole horizon. Its length must equal Day:
+	// exactly one entry per completed day.
+	History []DayStats `json:"history,omitempty"`
+}
+
+// envelope wraps a State with the format version and the hash of the
+// configuration that produced it, so a checkpoint can never silently
+// restore into a simulator built from a different world.
+type envelope struct {
+	Format     int    `json:"format"`
+	ConfigHash string `json:"config_hash"`
+	State      State  `json:"state"`
+}
+
+// ConfigHash returns the hex SHA-256 of the simulator's configuration in
+// canonical JSON form, excluding the fields that must not pin a resume:
+// Workers (resume must be worker-count-independent), telemetry handles
+// (observation, not state), and BatteryOptions (opaque functions whose
+// observable effect — per-pack capacity/resistance scales — serializes
+// inside each node's battery state instead).
+func (s *Simulator) ConfigHash() (string, error) {
+	c := s.cfg
+	c.Workers = 0
+	c.Telemetry = nil
+	c.Node.Telemetry = nil
+	c.Node.BatteryOptions = nil
+	b, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("sim: hash config: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Snapshot captures the simulator's full state. It must not be called
+// concurrently with Run/RunDay (the engine is single-threaded between
+// ticks, so day boundaries are natural checkpoint sites).
+func (s *Simulator) Snapshot() State {
+	st := State{
+		Clock:     s.clock,
+		Day:       s.day,
+		VMCounter: s.vmCounter,
+		PlacedSvc: s.placedSvc,
+		EOLAt:     s.eolAt,
+		Generator: s.gen.Snapshot(),
+		SoCHist:   s.socHist.Snapshot(),
+	}
+	st.MfgRNG, _ = s.mfgRng.MarshalBinary() // never fails for PCG sources
+	st.WxRNG, _ = s.wxRng.MarshalBinary()
+	st.PolicyRNG, _ = s.policyRng.MarshalBinary()
+	for _, n := range s.nodes {
+		st.Nodes = append(st.Nodes, n.Snapshot())
+	}
+	for _, v := range s.pending {
+		st.Pending = append(st.Pending, v.Snapshot())
+	}
+	if s.inj != nil {
+		ist := s.inj.Snapshot()
+		st.Faults = &ist
+		st.Degraded = append([]bool(nil), s.degraded...)
+	}
+	if len(s.series) > 0 {
+		st.Series = append([]MetricsPoint(nil), s.series...)
+	}
+	if len(s.history) > 0 {
+		st.History = append([]DayStats(nil), s.history...)
+	}
+	return st
+}
+
+// Restore overwrites the simulator's state from a snapshot taken from a
+// simulator built with an equivalent Config. Validation is front-loaded,
+// but a failure partway through sub-restores can leave the simulator
+// inconsistent — callers (ResumeFrom) restore into a freshly built
+// simulator and discard it on error.
+func (s *Simulator) Restore(st State) error {
+	if st.Clock < 0 || st.EOLAt < 0 {
+		return fmt.Errorf("sim: restore: negative clock (%v) or EOL time (%v)", st.Clock, st.EOLAt)
+	}
+	if st.Day < 0 || st.VMCounter < 0 {
+		return fmt.Errorf("sim: restore: negative day (%d) or VM counter (%d)", st.Day, st.VMCounter)
+	}
+	if len(st.Nodes) != len(s.nodes) {
+		return fmt.Errorf("sim: restore: snapshot has %d nodes, fleet has %d", len(st.Nodes), len(s.nodes))
+	}
+	if (st.Faults != nil) != (s.inj != nil) {
+		return fmt.Errorf("sim: restore: snapshot and configuration disagree on fault injection")
+	}
+	if s.inj != nil && len(st.Degraded) != len(s.nodes) {
+		return fmt.Errorf("sim: restore: snapshot tracks %d degraded flags, fleet has %d nodes",
+			len(st.Degraded), len(s.nodes))
+	}
+	if len(st.MfgRNG) == 0 || len(st.WxRNG) == 0 || len(st.PolicyRNG) == 0 {
+		return fmt.Errorf("sim: restore: missing RNG stream state")
+	}
+	if len(st.History) != st.Day {
+		return fmt.Errorf("sim: restore: %d history entries for %d completed days", len(st.History), st.Day)
+	}
+
+	// Rebuild the pending queue first: vm.FromState validates each entry
+	// without touching live state.
+	pending := make([]*vm.VM, 0, len(st.Pending))
+	for _, vst := range st.Pending {
+		v, err := vm.FromState(vst)
+		if err != nil {
+			return fmt.Errorf("sim: restore: pending queue: %w", err)
+		}
+		pending = append(pending, v)
+	}
+
+	for i, n := range s.nodes {
+		if err := n.Restore(st.Nodes[i]); err != nil {
+			return fmt.Errorf("sim: restore: %w", err)
+		}
+	}
+	if err := s.mfgRng.UnmarshalBinary(st.MfgRNG); err != nil {
+		return fmt.Errorf("sim: restore: manufacturing stream: %w", err)
+	}
+	if err := s.wxRng.UnmarshalBinary(st.WxRNG); err != nil {
+		return fmt.Errorf("sim: restore: weather stream: %w", err)
+	}
+	if err := s.policyRng.UnmarshalBinary(st.PolicyRNG); err != nil {
+		return fmt.Errorf("sim: restore: policy stream: %w", err)
+	}
+	if err := s.gen.Restore(st.Generator); err != nil {
+		return fmt.Errorf("sim: restore: %w", err)
+	}
+	if err := s.socHist.Restore(st.SoCHist); err != nil {
+		return fmt.Errorf("sim: restore: %w", err)
+	}
+	if s.inj != nil {
+		if err := s.inj.Restore(*st.Faults); err != nil {
+			return fmt.Errorf("sim: restore: %w", err)
+		}
+		copy(s.degraded, st.Degraded)
+	}
+
+	s.clock = st.Clock
+	s.day = st.Day
+	s.vmCounter = st.VMCounter
+	s.placedSvc = st.PlacedSvc
+	s.eolAt = st.EOLAt
+	s.pending = pending
+	s.series = append(s.series[:0], st.Series...)
+	s.history = append(s.history[:0], st.History...)
+	return nil
+}
+
+// Checkpoint writes the simulator's state to w as a versioned JSON
+// envelope carrying the configuration hash. Call it between days (or
+// before Run); the engine must not be mid-tick.
+func (s *Simulator) Checkpoint(w io.Writer) error {
+	hash, err := s.ConfigHash()
+	if err != nil {
+		return err
+	}
+	env := envelope{Format: CheckpointFormat, ConfigHash: hash, State: s.Snapshot()}
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		return fmt.Errorf("sim: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ResumeFrom restores the simulator from a checkpoint previously written
+// by Checkpoint. The receiver must be freshly built from a Config
+// equivalent to the one that wrote the checkpoint (same hash; Workers and
+// telemetry may differ). A format or configuration mismatch, or any
+// corruption the layer validations catch, fails loudly — and on error the
+// simulator must be discarded, not run.
+func (s *Simulator) ResumeFrom(r io.Reader) error {
+	var env envelope
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&env); err != nil {
+		return fmt.Errorf("sim: resume: decode checkpoint: %w", err)
+	}
+	if env.Format != CheckpointFormat {
+		return fmt.Errorf("sim: resume: checkpoint format %d, this build reads format %d",
+			env.Format, CheckpointFormat)
+	}
+	hash, err := s.ConfigHash()
+	if err != nil {
+		return err
+	}
+	if env.ConfigHash != hash {
+		return fmt.Errorf("sim: resume: checkpoint was written by a different configuration (hash %.12s, want %.12s)",
+			env.ConfigHash, hash)
+	}
+	if err := s.Restore(env.State); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RunWithCheckpoints is Run with a checkpoint emitted after every `every`
+// completed days (and after the final day if it lands on the cadence).
+// every <= 0 or a nil emit disables checkpointing, degenerating to Run.
+// The emit callback receives the 1-based count of days completed so far
+// in the simulator's lifetime (not just this call) and the serialized
+// envelope; returning an error aborts the run.
+func (s *Simulator) RunWithCheckpoints(weathers []solar.Weather, every int, emit func(day int, checkpoint []byte) error) (*Result, error) {
+	res := &Result{
+		Policy: s.policy.Name(),
+		Days:   make([]DayStats, 0, len(weathers)),
+	}
+	if s.cfg.RecordSeries {
+		s.series = slices.Grow(s.series, len(weathers)*s.controlsPerDay()*len(s.nodes))
+	}
+	var buf bytes.Buffer
+	for _, w := range weathers {
+		ds, err := s.RunDay(w)
+		if err != nil {
+			return nil, err
+		}
+		res.Days = append(res.Days, ds)
+		res.Throughput += ds.Throughput
+		if every > 0 && emit != nil && s.day%every == 0 {
+			buf.Reset()
+			if err := s.Checkpoint(&buf); err != nil {
+				return nil, err
+			}
+			if err := emit(s.day, buf.Bytes()); err != nil {
+				return nil, fmt.Errorf("sim: checkpoint after day %d: %w", s.day, err)
+			}
+		}
+	}
+	s.finish(res)
+	return res, nil
+}

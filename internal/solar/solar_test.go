@@ -1,7 +1,7 @@
 package solar
 
 import (
-	"math/rand"
+	"math/rand/v2"
 	"testing"
 	"testing/quick"
 	"time"
@@ -11,7 +11,7 @@ import (
 
 func newDay(t *testing.T, w Weather, seed int64) *Day {
 	t.Helper()
-	d, err := NewDay(w, DefaultConfig(), rand.New(rand.NewSource(seed)))
+	d, err := NewDay(w, DefaultConfig(), rand.New(rand.NewPCG(uint64(seed), 0)))
 	if err != nil {
 		t.Fatalf("NewDay(%v): %v", w, err)
 	}
@@ -45,7 +45,7 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestNewDayErrors(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewPCG(uint64(1), 0))
 	if _, err := NewDay(Weather(42), DefaultConfig(), rng); err == nil {
 		t.Error("unknown weather accepted")
 	}
@@ -93,7 +93,7 @@ func TestDayEnergyMatchesBudget(t *testing.T) {
 func TestScaleMultipliesEnergy(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Scale = 2.5
-	d, err := NewDay(Sunny, cfg, rand.New(rand.NewSource(3)))
+	d, err := NewDay(Sunny, cfg, rand.New(rand.NewPCG(uint64(3), 0)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +168,7 @@ func TestSunnyDaySmootherThanRainy(t *testing.T) {
 
 func TestPowerNonNegativeProperty(t *testing.T) {
 	f := func(seed int64, minutes uint16) bool {
-		d, err := NewDay(Cloudy, DefaultConfig(), rand.New(rand.NewSource(seed)))
+		d, err := NewDay(Cloudy, DefaultConfig(), rand.New(rand.NewPCG(uint64(seed), 0)))
 		if err != nil {
 			return false
 		}
@@ -192,7 +192,7 @@ func TestLocationValidate(t *testing.T) {
 }
 
 func TestDrawWeatherDistribution(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
+	rng := rand.New(rand.NewPCG(uint64(9), 0))
 	loc := Location{SunshineFraction: 0.7}
 	counts := map[Weather]int{}
 	const n = 10000
@@ -209,7 +209,7 @@ func TestDrawWeatherDistribution(t *testing.T) {
 }
 
 func TestDrawWeatherExtremes(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	rng := rand.New(rand.NewPCG(uint64(5), 0))
 	always := Location{SunshineFraction: 1}
 	for i := 0; i < 100; i++ {
 		if w := always.DrawWeather(rng); w != Sunny {

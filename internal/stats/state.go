@@ -1,0 +1,51 @@
+package stats
+
+import "fmt"
+
+// HistogramState is the serializable state of a Histogram: the per-bin
+// counts plus the out-of-range tallies. The bin layout (lo, hi, n) is
+// construction-time input and is checked on restore.
+type HistogramState struct {
+	Counts []int64 `json:"counts"`
+	Total  int64   `json:"total"`
+	Under  int64   `json:"under"`
+	Over   int64   `json:"over"`
+}
+
+// Snapshot captures the histogram's counts.
+func (h *Histogram) Snapshot() HistogramState {
+	return HistogramState{
+		Counts: h.Counts(),
+		Total:  h.total,
+		Under:  h.under,
+		Over:   h.over,
+	}
+}
+
+// Restore overwrites the histogram's counts from a snapshot taken from a
+// histogram with the same bin layout.
+func (h *Histogram) Restore(st HistogramState) error {
+	if len(st.Counts) != len(h.counts) {
+		return fmt.Errorf("stats: restore: snapshot has %d bins, histogram has %d",
+			len(st.Counts), len(h.counts))
+	}
+	var sum int64
+	for i, c := range st.Counts {
+		if c < 0 {
+			return fmt.Errorf("stats: restore: negative count in bin %d", i)
+		}
+		sum += c
+	}
+	if st.Under < 0 || st.Over < 0 {
+		return fmt.Errorf("stats: restore: negative out-of-range tallies")
+	}
+	if st.Total != sum+st.Under+st.Over {
+		return fmt.Errorf("stats: restore: total %d does not match bin sum %d",
+			st.Total, sum+st.Under+st.Over)
+	}
+	copy(h.counts, st.Counts)
+	h.total = st.Total
+	h.under = st.Under
+	h.over = st.Over
+	return nil
+}

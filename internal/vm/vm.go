@@ -15,19 +15,19 @@ import (
 	"github.com/green-dc/baat/internal/workload"
 )
 
-// State is a VM lifecycle state.
-type State int
+// Lifecycle is a VM lifecycle state.
+type Lifecycle int
 
 // VM lifecycle states.
 const (
-	Running State = iota + 1
+	Running Lifecycle = iota + 1
 	Paused
 	Migrating
 	Completed
 )
 
 // String returns the state name.
-func (s State) String() string {
+func (s Lifecycle) String() string {
 	switch s {
 	case Running:
 		return "running"
@@ -52,7 +52,7 @@ const DefaultMigrationTime = 2 * time.Minute
 type VM struct {
 	id      string
 	profile workload.Profile
-	state   State
+	state   Lifecycle
 
 	progress   float64       // work units completed (batch)
 	elapsed    time.Duration // wall time while running (drives service phase)
@@ -79,7 +79,7 @@ func (v *VM) ID() string { return v.id }
 func (v *VM) Profile() workload.Profile { return v.profile }
 
 // State returns the lifecycle state.
-func (v *VM) State() State { return v.state }
+func (v *VM) State() Lifecycle { return v.state }
 
 // Migrations returns how many times the VM has been migrated.
 func (v *VM) Migrations() int { return v.migrations }

@@ -195,12 +195,12 @@ func TestAdvanceNonPositiveDuration(t *testing.T) {
 }
 
 func TestStateString(t *testing.T) {
-	for _, s := range []State{Running, Paused, Migrating, Completed} {
+	for _, s := range []Lifecycle{Running, Paused, Migrating, Completed} {
 		if s.String() == "" {
 			t.Errorf("state %d has empty label", s)
 		}
 	}
-	if State(9).String() == "" {
+	if Lifecycle(9).String() == "" {
 		t.Error("unknown state should render")
 	}
 }

@@ -13,9 +13,9 @@ package workload
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
 	"github.com/green-dc/baat/internal/aging"
+	"github.com/green-dc/baat/internal/rng"
 )
 
 // Kind identifies one of the six prototype workloads.
@@ -212,16 +212,19 @@ func PrototypeServices() []Profile {
 }
 
 // Generator produces arrival sequences of jobs for multi-day experiments.
+// It owns its random stream, so its draw position snapshots and restores
+// with the rest of the simulation state.
 type Generator struct {
-	rng   *rand.Rand
+	rng   *rng.Stream
 	kinds []Kind
 }
 
 // NewGenerator builds a job generator drawing uniformly from kinds (all six
-// when kinds is empty).
-func NewGenerator(rng *rand.Rand, kinds ...Kind) (*Generator, error) {
-	if rng == nil {
-		return nil, fmt.Errorf("workload: rng must not be nil")
+// when kinds is empty). The stream should be dedicated to this generator:
+// its position is part of the generator's serialized state.
+func NewGenerator(stream *rng.Stream, kinds ...Kind) (*Generator, error) {
+	if stream == nil {
+		return nil, fmt.Errorf("workload: rng stream must not be nil")
 	}
 	if len(kinds) == 0 {
 		kinds = Kinds()
@@ -231,14 +234,34 @@ func NewGenerator(rng *rand.Rand, kinds ...Kind) (*Generator, error) {
 			return nil, err
 		}
 	}
-	return &Generator{rng: rng, kinds: append([]Kind(nil), kinds...)}, nil
+	return &Generator{rng: stream, kinds: append([]Kind(nil), kinds...)}, nil
 }
 
 // Next draws the next job's profile.
 func (g *Generator) Next() Profile {
-	k := g.kinds[g.rng.Intn(len(g.kinds))]
+	k := g.kinds[g.rng.IntN(len(g.kinds))]
 	p, _ := ProfileFor(k) // kinds validated at construction
 	return p
+}
+
+// GeneratorState is the serializable state of a Generator: the exact
+// position of its arrival stream. The kind set is construction-time input.
+type GeneratorState struct {
+	RNG []byte `json:"rng"`
+}
+
+// Snapshot captures the generator's stream position.
+func (g *Generator) Snapshot() GeneratorState {
+	b, _ := g.rng.MarshalBinary() // never fails for PCG sources
+	return GeneratorState{RNG: b}
+}
+
+// Restore rewinds the generator's stream to a snapshot position.
+func (g *Generator) Restore(st GeneratorState) error {
+	if len(st.RNG) == 0 {
+		return fmt.Errorf("workload: restore: empty rng state")
+	}
+	return g.rng.UnmarshalBinary(st.RNG)
 }
 
 // Batch draws n jobs.

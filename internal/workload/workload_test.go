@@ -1,11 +1,11 @@
 package workload
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"github.com/green-dc/baat/internal/aging"
+	"github.com/green-dc/baat/internal/rng"
 )
 
 func TestAllProfilesValid(t *testing.T) {
@@ -137,7 +137,7 @@ func TestDemandClassCoversTable3(t *testing.T) {
 }
 
 func TestGenerator(t *testing.T) {
-	g, err := NewGenerator(rand.New(rand.NewSource(1)))
+	g, err := NewGenerator(rng.New(1, "test"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +158,7 @@ func TestGenerator(t *testing.T) {
 }
 
 func TestGeneratorRestrictedKinds(t *testing.T) {
-	g, err := NewGenerator(rand.New(rand.NewSource(2)), KMeans, WordCount)
+	g, err := NewGenerator(rng.New(2, "test"), KMeans, WordCount)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,14 +173,14 @@ func TestGeneratorErrors(t *testing.T) {
 	if _, err := NewGenerator(nil); err == nil {
 		t.Error("nil rng accepted")
 	}
-	if _, err := NewGenerator(rand.New(rand.NewSource(1)), Kind(77)); err == nil {
+	if _, err := NewGenerator(rng.New(1, "test"), Kind(77)); err == nil {
 		t.Error("unknown kind accepted")
 	}
 }
 
 func TestGeneratorDeterminism(t *testing.T) {
-	a, _ := NewGenerator(rand.New(rand.NewSource(5)))
-	b, _ := NewGenerator(rand.New(rand.NewSource(5)))
+	a, _ := NewGenerator(rng.New(5, "test"))
+	b, _ := NewGenerator(rng.New(5, "test"))
 	for i := 0; i < 20; i++ {
 		if a.Next().Kind != b.Next().Kind {
 			t.Fatal("same seed diverged")

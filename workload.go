@@ -1,10 +1,9 @@
 package baat
 
 import (
-	"math/rand"
-
 	"github.com/green-dc/baat/internal/cluster"
 	"github.com/green-dc/baat/internal/cost"
+	"github.com/green-dc/baat/internal/rng"
 	"github.com/green-dc/baat/internal/vm"
 	"github.com/green-dc/baat/internal/workload"
 )
@@ -42,17 +41,29 @@ func PrototypeServices() []WorkloadProfile { return workload.PrototypeServices()
 // WorkloadGenerator produces job arrival sequences for multi-day runs.
 type WorkloadGenerator = workload.Generator
 
+// RandomStream is a named, serializable random substream (see NewStream).
+type RandomStream = rng.Stream
+
+// NewStream derives the named random substream of a seed. The same
+// (seed, name) pair always yields the same sequence, and the stream's
+// exact position round-trips through MarshalBinary/UnmarshalBinary.
+func NewStream(seed int64, name string) *RandomStream { return rng.New(seed, name) }
+
+// StreamCLIWeather names the substream drawing mixed-weather day sequences
+// in cmd/baatsim and the golden-trace fixtures (see NewStream).
+const StreamCLIWeather = rng.CLIWeather
+
 // NewWorkloadGenerator builds a generator drawing uniformly from kinds
 // (all six when empty).
-func NewWorkloadGenerator(rng *rand.Rand, kinds ...WorkloadKind) (*WorkloadGenerator, error) {
-	return workload.NewGenerator(rng, kinds...)
+func NewWorkloadGenerator(stream *RandomStream, kinds ...WorkloadKind) (*WorkloadGenerator, error) {
+	return workload.NewGenerator(stream, kinds...)
 }
 
 // VM is one schedulable virtual machine.
 type VM = vm.VM
 
 // VMState is a VM lifecycle state.
-type VMState = vm.State
+type VMState = vm.Lifecycle
 
 // VM lifecycle states.
 const (
