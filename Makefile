@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-smoke bench-regression bench-baseline fuzz-smoke chaos-smoke checkpoint-smoke golden-update
+.PHONY: check fmt vet build test test-race bench bench-smoke bench-regression bench-baseline fuzz-smoke chaos-smoke checkpoint-smoke docs-check golden-update
 
 check: ## gofmt -l + vet + build + race tests
 	./check.sh
@@ -25,8 +25,8 @@ test-race:
 bench: ## quick-mode experiment benchmarks
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
-bench-smoke: ## one-iteration fleet-stepping benchmark (compile + run sanity)
-	$(GO) test -run=NONE -bench=FleetStep -benchtime=1x ./internal/sim/
+bench-smoke: ## one-iteration fleet-stepping benchmark (compile + run sanity; warehouse sizes are covered by bench-regression)
+	$(GO) test -run=NONE -bench='FleetStep/nodes=(16|256|2048)$$/' -benchtime=1x ./internal/sim/
 
 bench-regression: ## run the fixed suite and fail on regressions vs BENCH_baseline.json
 	$(GO) run ./cmd/baatbench -bench-compare BENCH_baseline.json
@@ -43,6 +43,9 @@ chaos-smoke: ## cluster kill/restart chaos + degraded-mode scenarios under -race
 
 checkpoint-smoke: ## checkpoint a baatsim run mid-flight, resume it, diff the reports
 	./scripts/checkpoint_smoke.sh
+
+docs-check: ## every docs/*.md linked from README; intra-repo doc links resolve
+	./scripts/docs_check.sh
 
 golden-update: ## regenerate the 30-day golden trace fixtures (clean + faulted)
 	$(GO) test ./internal/sim/ -run 'TestGoldenTrace$$|TestGoldenTraceFaulted$$' -update

@@ -145,13 +145,25 @@ type Model struct {
 // NewModel creates a damage integrator for a battery with nominal capacity
 // capNom (the per-cycle normalizer for throughput-driven mechanisms).
 func NewModel(cfg ModelConfig, capNom units.AmpereHour) (*Model, error) {
-	if err := cfg.Validate(); err != nil {
+	m := new(Model)
+	if err := NewModelInto(m, cfg, capNom); err != nil {
 		return nil, err
 	}
-	if capNom <= 0 {
-		return nil, fmt.Errorf("aging: nominal capacity must be positive, got %v", capNom)
+	return m, nil
+}
+
+// NewModelInto initializes a damage integrator in place, overwriting *m.
+// It exists so a fleet can lay models out in one contiguous slice; the
+// resulting value is identical to one built by NewModel.
+func NewModelInto(m *Model, cfg ModelConfig, capNom units.AmpereHour) error {
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
-	return &Model{cfg: cfg, capNom: capNom}, nil
+	if capNom <= 0 {
+		return fmt.Errorf("aging: nominal capacity must be positive, got %v", capNom)
+	}
+	*m = Model{cfg: cfg, capNom: capNom}
+	return nil
 }
 
 // tempFactor returns the Arrhenius-style acceleration at temperature t,

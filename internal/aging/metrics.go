@@ -131,10 +131,22 @@ type Tracker struct {
 // NewTracker creates a metric tracker for a battery whose nominal life-long
 // throughput (the NAT denominator, CAP_nom in Eq 1) is lifetime.
 func NewTracker(lifetime units.AmpereHour) (*Tracker, error) {
-	if lifetime <= 0 {
-		return nil, fmt.Errorf("aging: lifetime throughput must be positive, got %v", lifetime)
+	t := new(Tracker)
+	if err := NewTrackerInto(t, lifetime); err != nil {
+		return nil, err
 	}
-	return &Tracker{lifetime: lifetime}, nil
+	return t, nil
+}
+
+// NewTrackerInto initializes a metric tracker in place, overwriting *t.
+// It exists so a fleet can lay trackers out in one contiguous slice; the
+// resulting value is identical to one built by NewTracker.
+func NewTrackerInto(t *Tracker, lifetime units.AmpereHour) error {
+	if lifetime <= 0 {
+		return fmt.Errorf("aging: lifetime throughput must be positive, got %v", lifetime)
+	}
+	*t = Tracker{lifetime: lifetime}
+	return nil
 }
 
 // maxPlausibleCurrent bounds sample currents the tracker accepts (in

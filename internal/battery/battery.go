@@ -246,10 +246,22 @@ func WithRecorder(rec *telemetry.Recorder) Option {
 
 // New constructs a Pack from spec.
 func New(spec Spec, opts ...Option) (*Pack, error) {
-	if err := spec.Validate(); err != nil {
+	p := new(Pack)
+	if err := NewInto(p, spec, opts...); err != nil {
 		return nil, err
 	}
-	p := &Pack{
+	return p, nil
+}
+
+// NewInto initializes a Pack from spec in place, overwriting *p. It
+// exists so a fleet can lay packs out in one contiguous slice instead of
+// allocating each behind its own pointer; the resulting value is
+// identical to one built by New.
+func NewInto(p *Pack, spec Spec, opts ...Option) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	*p = Pack{
 		spec:            spec,
 		capacityScale:   1,
 		resistanceScale: 1,
@@ -259,7 +271,7 @@ func New(spec Spec, opts ...Option) (*Pack, error) {
 	for _, opt := range opts {
 		opt(p)
 	}
-	return p, nil
+	return nil
 }
 
 // Spec returns the nameplate specification.

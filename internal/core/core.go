@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/green-dc/baat/internal/aging"
+	"github.com/green-dc/baat/internal/fleet"
 	"github.com/green-dc/baat/internal/node"
 	"github.com/green-dc/baat/internal/telemetry"
 	"github.com/green-dc/baat/internal/vm"
@@ -40,6 +41,14 @@ type Context struct {
 	// adjustments) as counters and traced events. Nil is valid and
 	// records nothing.
 	Telemetry *telemetry.Recorder
+	// Summary, when non-nil and Valid, is the engine's merged per-shard
+	// fleet summary for the current tick. Its integer aggregates (suspect
+	// and DVFS-capped counts, end-of-life index, extremum indices) let a
+	// policy skip O(nodes) scans whose outcome the summary already
+	// decides; the float sums are telemetry-grade and must never pick
+	// between otherwise-equal trace-visible decisions. Nil is valid:
+	// every policy must behave identically without it, just slower.
+	Summary *fleet.Summary
 }
 
 // Policy is a battery power-management scheme.

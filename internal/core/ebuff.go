@@ -24,8 +24,14 @@ func (*eBuff) PlaceVM(ctx *Context, v *vm.VM) (*node.Node, error) {
 }
 
 // Control restores any external frequency caps to full speed — e-Buff
-// always runs servers flat out, spending battery as needed.
+// always runs servers flat out, spending battery as needed. When the
+// engine's shard summary shows no server below its top frequency the whole
+// scan is a no-op and is skipped, making the common-case control cost
+// independent of fleet size.
 func (*eBuff) Control(ctx *Context) error {
+	if ctx.Summary != nil && ctx.Summary.Valid && ctx.Summary.Capped == 0 {
+		return nil
+	}
 	for _, n := range ctx.Nodes {
 		for n.Server().StepUpFrequency() {
 		}

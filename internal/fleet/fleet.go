@@ -1,0 +1,177 @@
+// Package fleet owns the warehouse-scale storage layout of a battery-node
+// fleet: a struct-of-arrays arrangement where every node's server, battery
+// pack, aging tracker, damage model, and power-table rows live in
+// contiguous per-component slabs instead of individually heap-allocated
+// objects. The existing component types (node.Node, battery.Pack, …) are
+// kept as views into the slabs — node i is &nodes[i], its pack is
+// &packs[i] — so every API built on *node.Node keeps working while the
+// hot per-tick loops walk dense memory.
+//
+// The fleet is partitioned into rack-group shards (Shard), each owning a
+// contiguous index range and a named RNG substream derived from the run
+// seed via rng.Shard(i). The shard→stream mapping depends only on the
+// shard index, never on worker count, so sharded runs stay bit-identical
+// however many goroutines execute them. Per-shard Summary values
+// accumulate integer aggregates (suspect counts, SoC histogram bins,
+// end-of-life and migration-candidate indices) that recombine exactly —
+// bin-by-bin, count-by-count — to whole-fleet values, which is what lets
+// a controller consume O(shards) summaries instead of rescanning O(nodes)
+// state. Float fields (SoC and energy sums) merge in shard order and are
+// deterministic for a fixed shard size, but their rounding differs from a
+// flat serial sum; consumers must treat them as telemetry-grade and never
+// let them pick between otherwise-equal trace-visible decisions.
+//
+// Pool is the reusable worker fan-out that executes shards concurrently:
+// workers are long-lived and claim shard indices from an atomic cursor,
+// so the steady-state tick path spawns no goroutines and allocates
+// nothing. See docs/ARCHITECTURE.md for how the pieces compose with the
+// simulation engine, checkpoint/resume, and fault injection.
+package fleet
+
+import (
+	"fmt"
+
+	"github.com/green-dc/baat/internal/aging"
+	"github.com/green-dc/baat/internal/battery"
+	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/powernet"
+	"github.com/green-dc/baat/internal/server"
+)
+
+// DefaultShardSize is the rack-group granularity when Config.ShardSize is
+// zero: 64 nodes ≈ two Open Rack columns, small enough that shards spread
+// across workers at modest fleet sizes and large enough that per-shard
+// bookkeeping amortizes.
+const DefaultShardSize = 64
+
+// Config assembles a fleet.
+type Config struct {
+	// Nodes is the fleet size.
+	Nodes int
+	// ShardSize is the rack-group partition width (the last shard may be
+	// smaller). Zero means DefaultShardSize.
+	ShardSize int
+	// Seed derives each shard's named RNG substream (rng.Shard).
+	Seed int64
+	// ID names node i. Nil defaults to "node-<i>".
+	ID func(i int) string
+	// Node returns node i's configuration. It is called exactly once per
+	// node, in ascending index order — construction-time randomness (e.g.
+	// manufacturing variation drawn from a caller stream) therefore lands
+	// on the same node it always has, which golden traces rely on.
+	Node func(i int) (node.Config, error)
+}
+
+// Columns is the fleet-wide allocator scratch: one dense column per
+// per-node quantity the tick prologue reads or writes (SoC snapshot,
+// demand, grants, sort order). The engine reuses them every tick, so the
+// steady-state step path allocates nothing.
+type Columns struct {
+	SoC         []float64
+	Demand      []float64
+	LoadGrant   []float64
+	ChargeGrant []float64
+	Order       []int
+}
+
+// Fleet is the struct-of-arrays storage of a node fleet. All component
+// state lives in the contiguous slabs below; the views slice exposes the
+// conventional *node.Node handles into them.
+type Fleet struct {
+	nodes    []node.Node
+	views    []*node.Node
+	servers  []server.Server
+	packs    []battery.Pack
+	trackers []aging.Tracker
+	models   []aging.Model
+	tables   []powernet.PowerTable
+	rows     []powernet.Reading
+	shards   []Shard
+	cols     Columns
+}
+
+// New builds a fleet: one contiguous slab per component type, every node
+// initialized in place into its slab slots, and the shard partition laid
+// over the index space.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("fleet: need at least one node, got %d", cfg.Nodes)
+	}
+	if cfg.ShardSize < 0 {
+		return nil, fmt.Errorf("fleet: shard size must be non-negative, got %d", cfg.ShardSize)
+	}
+	if cfg.Node == nil {
+		return nil, fmt.Errorf("fleet: Config.Node must not be nil")
+	}
+	id := cfg.ID
+	if id == nil {
+		id = func(i int) string { return fmt.Sprintf("node-%d", i) }
+	}
+	n := cfg.Nodes
+	f := &Fleet{
+		nodes:    make([]node.Node, n),
+		views:    make([]*node.Node, n),
+		servers:  make([]server.Server, n),
+		packs:    make([]battery.Pack, n),
+		trackers: make([]aging.Tracker, n),
+		models:   make([]aging.Model, n),
+		tables:   make([]powernet.PowerTable, n),
+	}
+	// The power-table row slab is sized off the first node's capacity;
+	// a node with a different capacity (heterogeneous configs) falls back
+	// to private rows rather than fragmenting the slab.
+	rowCap := -1
+	for i := 0; i < n; i++ {
+		ncfg, err := cfg.Node(i)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: node %d config: %w", i, err)
+		}
+		if rowCap < 0 {
+			rowCap = ncfg.TableCapacity
+			f.rows = make([]powernet.Reading, n*rowCap)
+		}
+		parts := node.Parts{
+			Server:  &f.servers[i],
+			Pack:    &f.packs[i],
+			Tracker: &f.trackers[i],
+			Model:   &f.models[i],
+			Table:   &f.tables[i],
+		}
+		if ncfg.TableCapacity == rowCap {
+			parts.TableRows = f.rows[i*rowCap : (i+1)*rowCap : (i+1)*rowCap]
+		}
+		if err := node.NewInto(&f.nodes[i], id(i), ncfg, parts); err != nil {
+			return nil, err
+		}
+		f.views[i] = &f.nodes[i]
+	}
+	f.cols = Columns{
+		SoC:         make([]float64, n),
+		Demand:      make([]float64, n),
+		LoadGrant:   make([]float64, n),
+		ChargeGrant: make([]float64, n),
+		Order:       make([]int, n),
+	}
+	f.shards = partition(n, cfg.ShardSize, cfg.Seed)
+	return f, nil
+}
+
+// Len returns the fleet size.
+func (f *Fleet) Len() int { return len(f.nodes) }
+
+// Views returns the conventional *node.Node handles into the fleet's
+// slabs. The slice is shared, not copied: callers must treat it as
+// read-only (the nodes themselves are mutable through the pointers, as
+// with any fleet).
+func (f *Fleet) Views() []*node.Node { return f.views }
+
+// View returns node i's handle.
+func (f *Fleet) View(i int) *node.Node { return f.views[i] }
+
+// Shards returns the rack-group partition. The slice is shared; shard
+// boundaries and streams are fixed at construction.
+func (f *Fleet) Shards() []Shard { return f.shards }
+
+// Cols returns the fleet's allocator scratch columns (shared, reused
+// every tick by the engine).
+func (f *Fleet) Cols() *Columns { return &f.cols }

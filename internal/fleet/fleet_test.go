@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/rng"
+	"github.com/green-dc/baat/internal/units"
+)
+
+// defaultFleet builds an n-node fleet of default nodes.
+func defaultFleet(t *testing.T, n, shardSize int) *Fleet {
+	t.Helper()
+	f, err := New(Config{
+		Nodes:     n,
+		ShardSize: shardSize,
+		Seed:      1,
+		Node:      func(int) (node.Config, error) { return node.DefaultConfig(), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestFleetMatchesNodeNew pins the view contract: a node initialized into
+// the fleet's slabs is indistinguishable — same ID, same serialized state
+// — from one built by node.New, and stepping it produces identical state.
+func TestFleetMatchesNodeNew(t *testing.T) {
+	f := defaultFleet(t, 3, 0)
+	for i, view := range f.Views() {
+		ref, err := node.New(fmt.Sprintf("node-%d", i), node.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := view.StepOffline(time.Minute, units.Watt(50)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.StepOffline(time.Minute, units.Watt(50)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(view.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(ref.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("node %d: slab-initialized state diverged from node.New:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+}
+
+// TestPartition pins shard geometry: full shards of the configured size,
+// the remainder in the last shard, ascending contiguous coverage.
+func TestPartition(t *testing.T) {
+	tests := []struct {
+		nodes, size int
+		wantShards  int
+		wantLast    int // size of the last shard
+	}{
+		{nodes: 6, size: 0, wantShards: 1, wantLast: 6},
+		{nodes: 64, size: 0, wantShards: 1, wantLast: 64},
+		{nodes: 100, size: 64, wantShards: 2, wantLast: 36},
+		{nodes: 128, size: 64, wantShards: 2, wantLast: 64},
+		{nodes: 12, size: 3, wantShards: 4, wantLast: 3},
+		{nodes: 13, size: 3, wantShards: 5, wantLast: 1},
+	}
+	for _, tt := range tests {
+		shards := partition(tt.nodes, tt.size, 1)
+		if len(shards) != tt.wantShards {
+			t.Errorf("partition(%d, %d): %d shards, want %d", tt.nodes, tt.size, len(shards), tt.wantShards)
+			continue
+		}
+		next := 0
+		for i, sh := range shards {
+			if sh.Index != i || sh.Lo != next || sh.Hi <= sh.Lo {
+				t.Errorf("partition(%d, %d): shard %d = [%d, %d), want contiguous from %d",
+					tt.nodes, tt.size, i, sh.Lo, sh.Hi, next)
+			}
+			next = sh.Hi
+			if sh.Rng == nil {
+				t.Errorf("partition(%d, %d): shard %d has no stream", tt.nodes, tt.size, i)
+			}
+		}
+		if next != tt.nodes {
+			t.Errorf("partition(%d, %d): covers %d nodes, want %d", tt.nodes, tt.size, next, tt.nodes)
+		}
+		if last := shards[len(shards)-1].Len(); last != tt.wantLast {
+			t.Errorf("partition(%d, %d): last shard holds %d, want %d", tt.nodes, tt.size, last, tt.wantLast)
+		}
+	}
+}
+
+// TestShardStreams pins the substream contract: shard i's stream depends
+// only on (seed, i) — rebuilding the partition reproduces it — and
+// distinct shards draw distinct sequences.
+func TestShardStreams(t *testing.T) {
+	a := partition(256, 64, 42)
+	b := partition(256, 64, 42)
+	for i := range a {
+		if x, y := a[i].Rng.Uint64(), b[i].Rng.Uint64(); x != y {
+			t.Errorf("shard %d: stream not reproducible (%d vs %d)", i, x, y)
+		}
+	}
+	fresh := partition(256, 64, 42)
+	draws := make(map[uint64]int)
+	for i, sh := range fresh {
+		v := sh.Rng.Uint64()
+		if prev, dup := draws[v]; dup {
+			t.Errorf("shards %d and %d drew the same first value %d", prev, i, v)
+		}
+		draws[v] = i
+	}
+	if rng.Shard(3) == rng.Shard(30) {
+		t.Error("distinct shard indices produced the same stream name")
+	}
+}
+
+// TestFleetConfigErrors covers the constructor's validation surface.
+func TestFleetConfigErrors(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0, Node: func(int) (node.Config, error) { return node.DefaultConfig(), nil }},
+		{Nodes: 4, ShardSize: -1, Node: func(int) (node.Config, error) { return node.DefaultConfig(), nil }},
+		{Nodes: 4},
+		{Nodes: 4, Node: func(int) (node.Config, error) { return node.Config{}, nil }},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d: New() accepted an invalid configuration", i)
+		}
+	}
+}
+
+// TestFleetHeterogeneousTables exercises the private-rows fallback: a
+// node whose table capacity differs from the slab stride still gets a
+// working history log.
+func TestFleetHeterogeneousTables(t *testing.T) {
+	f, err := New(Config{
+		Nodes: 3,
+		Seed:  1,
+		Node: func(i int) (node.Config, error) {
+			cfg := node.DefaultConfig()
+			if i == 1 {
+				cfg.TableCapacity = 8
+			}
+			return cfg, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, view := range f.Views() {
+		if _, err := view.StepOffline(time.Minute, 0); err != nil {
+			t.Fatal(err)
+		}
+		if got := view.PowerTable().Len(); got != 1 {
+			t.Errorf("node %d: table holds %d rows after one step, want 1", i, got)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package fleet
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolRunsEveryShardOnce checks the scheduling contract across
+// repeated rounds: every shard index in [0, total) executes exactly once
+// per Run, whatever the worker interleaving.
+func TestPoolRunsEveryShardOnce(t *testing.T) {
+	const shards = 97
+	var hits [shards]atomic.Int64
+	p := NewPool(4, func(i int) { hits[i].Add(1) })
+	p.Start()
+	defer p.Stop()
+	for round := 1; round <= 5; round++ {
+		p.Run(shards)
+		for i := range hits {
+			if got := hits[i].Load(); got != int64(round) {
+				t.Fatalf("round %d: shard %d executed %d times, want %d", round, i, got, round)
+			}
+		}
+	}
+}
+
+// TestPoolUnstartedRunsSerially pins the fallback: Run on an unstarted
+// pool executes in ascending shard order on the caller's goroutine.
+func TestPoolUnstartedRunsSerially(t *testing.T) {
+	var order []int
+	p := NewPool(4, func(i int) { order = append(order, i) })
+	p.Run(5)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial fallback order %v, want ascending", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("serial fallback ran %d shards, want 5", len(order))
+	}
+}
+
+// TestPoolRestart checks Stop/Start round-trips: a stopped pool can be
+// restarted and keeps the run contract.
+func TestPoolRestart(t *testing.T) {
+	var n atomic.Int64
+	p := NewPool(2, func(int) { n.Add(1) })
+	p.Start()
+	p.Run(10)
+	p.Stop()
+	p.Start()
+	p.Run(10)
+	p.Stop()
+	if got := n.Load(); got != 20 {
+		t.Fatalf("two started rounds ran %d shards, want 20", got)
+	}
+}
+
+// TestPoolRunAllocFree pins the steady-state fan-out at zero heap
+// allocations per Run: workers are long-lived, claims go through the
+// atomic cursor, and releasing a round is channel sends of an empty
+// struct — nothing escapes.
+func TestPoolRunAllocFree(t *testing.T) {
+	var n atomic.Int64
+	p := NewPool(4, func(int) { n.Add(1) })
+	p.Start()
+	defer p.Stop()
+	p.Run(64) // warm up
+	if allocs := testing.AllocsPerRun(100, func() { p.Run(64) }); allocs != 0 {
+		t.Fatalf("steady-state Run allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestPoolErrorReductionDeterministic reproduces the engine's error
+// handling: workers record failures into per-shard slots and the caller
+// reduces them in ascending shard order, so the reported error is the
+// lowest failing shard's regardless of which worker hit it first.
+func TestPoolErrorReductionDeterministic(t *testing.T) {
+	const shards = 16
+	errShard := errors.New("shard failure")
+	slots := make([]error, shards)
+	p := NewPool(4, func(i int) {
+		if i >= 5 {
+			slots[i] = errShard
+		}
+	})
+	p.Start()
+	defer p.Stop()
+	for trial := 0; trial < 20; trial++ {
+		clear(slots)
+		p.Run(shards)
+		first := -1
+		for i, err := range slots {
+			if err != nil {
+				first = i
+				break
+			}
+		}
+		if first != 5 {
+			t.Fatalf("trial %d: reduced to shard %d, want 5", trial, first)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/green-dc/baat/internal/battery"
+	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/stats"
+)
+
+// Summary aggregates one pass over a set of nodes — typically one shard's
+// index range for one tick. Per-shard summaries merged in shard order
+// (Add) recombine to exactly the values a single whole-fleet pass would
+// produce for every integer field: counts count each node once, histogram
+// bins add, and index fields resolve by the same ascending-index
+// tie-break a serial scan uses. The float sums (SoCSum, SolarWhSum)
+// recombine up to floating-point associativity: deterministic for a fixed
+// shard size, but rounded differently than a flat sum, so they feed
+// telemetry gauges only — never trace-visible decisions.
+type Summary struct {
+	// Valid reports the summary reflects a completed pass; the engine
+	// leaves it false until the first tick has run.
+	Valid bool
+	// Nodes is how many nodes the pass observed.
+	Nodes int
+	// Suspect counts nodes whose sensor chain is quarantined.
+	Suspect int
+	// Capped counts servers below their top DVFS level — the population
+	// a frequency-restoring controller would touch. Zero lets such a
+	// controller skip its O(n) scan entirely.
+	Capped int
+	// EOLIndex is the lowest node index at or below end-of-life health,
+	// or -1. The engine uses it in place of a per-tick fleet scan.
+	EOLIndex int
+	// MinHealth and MinHealthIndex locate the weakest battery (lowest
+	// index on ties — the serial-scan order).
+	MinHealth      float64
+	MinHealthIndex int
+	// MaxNAT and MaxNATIndex locate the fastest-aging battery by
+	// normalized aging throughput — the canonical migration candidate.
+	MaxNAT      float64
+	MaxNATIndex int
+	// SoCSum and SolarWhSum accumulate state-of-charge and solar energy
+	// across the pass (telemetry-grade; see the type comment).
+	SoCSum     float64
+	SolarWhSum float64
+	// Hist, when non-nil, receives one SoC observation per node when the
+	// caller asks for it (the engine only samples inside the operating
+	// window, matching the Fig 19 distribution).
+	Hist *stats.Histogram
+	// Changed collects, in ascending order, the indices of nodes whose
+	// suspect state differs from the caller-tracked previous state. It is
+	// appended by ObserveChanged and not merged by Add: callers walk the
+	// per-shard summaries in shard order, which is ascending index order.
+	Changed []int
+}
+
+// Reset clears the summary for a new pass, keeping Hist's geometry and
+// Changed's capacity.
+func (s *Summary) Reset() {
+	s.Valid = false
+	s.Nodes = 0
+	s.Suspect = 0
+	s.Capped = 0
+	s.EOLIndex = -1
+	s.MinHealth = math.Inf(1)
+	s.MinHealthIndex = -1
+	s.MaxNAT = math.Inf(-1)
+	s.MaxNATIndex = -1
+	s.SoCSum = 0
+	s.SolarWhSum = 0
+	if s.Hist != nil {
+		s.Hist.Reset()
+	}
+	s.Changed = s.Changed[:0]
+}
+
+// ObserveNode folds node i into the summary and returns its state of
+// charge (saving the caller a second pack read for its own per-node
+// bookkeeping). observeSoC gates the histogram sample.
+func (s *Summary) ObserveNode(i int, n *node.Node, observeSoC bool) float64 {
+	s.Nodes++
+	pack := n.Battery()
+	soc := pack.SoC()
+	s.SoCSum += soc
+	s.SolarWhSum += float64(n.SolarEnergy())
+	if observeSoC && s.Hist != nil {
+		s.Hist.Observe(soc)
+	}
+	health := pack.Health()
+	if health < s.MinHealth {
+		s.MinHealth = health
+		s.MinHealthIndex = i
+	}
+	if s.EOLIndex < 0 && health < battery.EndOfLifeHealth {
+		s.EOLIndex = i
+	}
+	if nat := n.Metrics().NAT; nat > s.MaxNAT {
+		s.MaxNAT = nat
+		s.MaxNATIndex = i
+	}
+	if n.MetricsSuspect() {
+		s.Suspect++
+	}
+	srv := n.Server()
+	if srv.FrequencyIndex() < srv.TopFrequencyIndex() {
+		s.Capped++
+	}
+	return soc
+}
+
+// ObserveChanged records node i as having flipped suspect state. Callers
+// invoke it in ascending index order within a pass.
+func (s *Summary) ObserveChanged(i int) {
+	s.Changed = append(s.Changed, i)
+}
+
+// Add merges o into s. Merging per-shard summaries in ascending shard
+// order reproduces a serial whole-fleet scan: first-match fields
+// (EOLIndex) keep the earliest, extremum fields keep the lowest index on
+// ties because within-shard observation already did, and counts and bins
+// add exactly. Changed is deliberately not merged (see the field
+// comment). Histograms must share geometry.
+func (s *Summary) Add(o *Summary) error {
+	s.Nodes += o.Nodes
+	s.Suspect += o.Suspect
+	s.Capped += o.Capped
+	if s.EOLIndex < 0 {
+		s.EOLIndex = o.EOLIndex
+	}
+	if o.MinHealth < s.MinHealth {
+		s.MinHealth = o.MinHealth
+		s.MinHealthIndex = o.MinHealthIndex
+	}
+	if o.MaxNAT > s.MaxNAT {
+		s.MaxNAT = o.MaxNAT
+		s.MaxNATIndex = o.MaxNATIndex
+	}
+	s.SoCSum += o.SoCSum
+	s.SolarWhSum += o.SolarWhSum
+	if s.Hist != nil && o.Hist != nil {
+		if err := s.Hist.Merge(o.Hist); err != nil {
+			return fmt.Errorf("fleet: merge summary: %w", err)
+		}
+	}
+	return nil
+}

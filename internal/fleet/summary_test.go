@@ -1,0 +1,213 @@
+package fleet
+
+// The shard-aggregation property tests: per-shard summaries, merged in
+// shard order, must recombine to exactly the values one whole-fleet pass
+// produces — integer fields (counts, histogram bins, indices) exactly,
+// float sums (state of charge, energy balance) to floating-point
+// associativity tolerance. The fleet is perturbed through the real node
+// step path so SoC, health, aging metrics, DVFS state, and suspect flags
+// all vary across nodes.
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"testing"
+	"time"
+
+	"github.com/green-dc/baat/internal/faults"
+	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/stats"
+	"github.com/green-dc/baat/internal/units"
+	"github.com/green-dc/baat/internal/vm"
+	"github.com/green-dc/baat/internal/workload"
+)
+
+const propNodes = 16
+
+// perturbedFleet builds a fleet whose nodes have diverged: most host a
+// service VM and were stepped different numbers of ticks under scarce
+// solar (varying SoC, aging throughput, and solar energy), some are
+// frequency-capped, some carry battery wear past end-of-life, and some
+// have a quarantined sensor chain. The perturbation is deterministic, so
+// every call reproduces identical per-node state regardless of shard
+// size.
+func perturbedFleet(t *testing.T, shardSize int) *Fleet {
+	t.Helper()
+	f, err := New(Config{
+		Nodes:     propNodes,
+		ShardSize: shardSize,
+		Seed:      7,
+		Node: func(i int) (node.Config, error) {
+			cfg := node.DefaultConfig()
+			cfg.AgingConfig.AccelFactor = 50
+			return cfg, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := workload.ProfileFor(workload.WebServing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, nd := range f.Views() {
+		if i%3 != 0 {
+			v, err := vm.New(fmt.Sprintf("vm-%d", i), prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := nd.Server().Attach(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k := 0; k < 1+i%5; k++ {
+			if _, err := nd.Step(15*time.Minute, units.Watt(float64(10*i)), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%4 == 0 {
+			nd.Server().StepDownFrequency()
+		}
+		if i%5 == 0 {
+			// Wear deep enough that some nodes cross the 0.8 end-of-life
+			// line while others stay above it.
+			nd.InjectBatteryWear(0.1+0.03*float64(i), 0.05, 0)
+		}
+		if i%6 == 2 {
+			nd.SetSensorFault(faults.SensorFault{Mode: faults.ModeNaN})
+			if _, err := nd.Step(time.Minute, 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return f
+}
+
+// newSummary allocates a summary with the engine's seven-bin SoC
+// histogram attached.
+func newSummary(t *testing.T) *Summary {
+	t.Helper()
+	hist, err := stats.NewHistogram(0, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Summary{Hist: hist}
+	s.Reset()
+	return s
+}
+
+// summarize runs one whole pass over [lo, hi), tracking suspect edges
+// against prev.
+func summarize(s *Summary, f *Fleet, lo, hi int, prev []bool) {
+	for i := lo; i < hi; i++ {
+		nd := f.View(i)
+		s.ObserveNode(i, nd, true)
+		if nd.MetricsSuspect() != prev[i] {
+			s.ObserveChanged(i)
+		}
+	}
+	s.Valid = true
+}
+
+func TestSummaryShardRecombination(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			shardSize := (propNodes + shards - 1) / shards
+			f := perturbedFleet(t, shardSize)
+			if got := len(f.Shards()); got != shards {
+				t.Fatalf("fleet partitioned into %d shards, want %d", got, shards)
+			}
+			prev := make([]bool, propNodes)
+
+			// Reference: one serial whole-fleet pass.
+			whole := newSummary(t)
+			summarize(whole, f, 0, propNodes, prev)
+
+			// Per-shard passes merged in shard order.
+			total := newSummary(t)
+			var changed []int
+			for _, sh := range f.Shards() {
+				part := newSummary(t)
+				summarize(part, f, sh.Lo, sh.Hi, prev)
+				if err := total.Add(part); err != nil {
+					t.Fatal(err)
+				}
+				changed = append(changed, part.Changed...)
+			}
+			total.Valid = true
+
+			// Integer fields recombine exactly.
+			if total.Nodes != whole.Nodes || total.Suspect != whole.Suspect || total.Capped != whole.Capped {
+				t.Errorf("counts diverged: merged {nodes %d, suspect %d, capped %d}, whole {%d, %d, %d}",
+					total.Nodes, total.Suspect, total.Capped, whole.Nodes, whole.Suspect, whole.Capped)
+			}
+			if total.EOLIndex != whole.EOLIndex {
+				t.Errorf("EOLIndex = %d, want %d", total.EOLIndex, whole.EOLIndex)
+			}
+			if total.MinHealthIndex != whole.MinHealthIndex || total.MinHealth != whole.MinHealth {
+				t.Errorf("min health = %v@%d, want %v@%d",
+					total.MinHealth, total.MinHealthIndex, whole.MinHealth, whole.MinHealthIndex)
+			}
+			if total.MaxNATIndex != whole.MaxNATIndex || total.MaxNAT != whole.MaxNAT {
+				t.Errorf("max NAT = %v@%d, want %v@%d",
+					total.MaxNAT, total.MaxNATIndex, whole.MaxNAT, whole.MaxNATIndex)
+			}
+			if !slices.Equal(total.Hist.Counts(), whole.Hist.Counts()) {
+				t.Errorf("histogram bins diverged: %v vs %v", total.Hist.Counts(), whole.Hist.Counts())
+			}
+			if total.Hist.Total() != whole.Hist.Total() {
+				t.Errorf("histogram totals diverged: %d vs %d", total.Hist.Total(), whole.Hist.Total())
+			}
+			if !slices.Equal(changed, whole.Changed) {
+				t.Errorf("changed indices diverged: %v vs %v", changed, whole.Changed)
+			}
+
+			// Float sums recombine to associativity tolerance.
+			relClose := func(name string, got, want float64) {
+				tol := 1e-12 * math.Max(1, math.Abs(want))
+				if math.Abs(got-want) > tol {
+					t.Errorf("%s = %v, want %v (±%g)", name, got, want, tol)
+				}
+			}
+			relClose("SoCSum", total.SoCSum, whole.SoCSum)
+			relClose("SolarWhSum", total.SolarWhSum, whole.SolarWhSum)
+			if whole.SolarWhSum == 0 {
+				t.Error("perturbation consumed no solar energy; the energy-balance check is vacuous")
+			}
+			if whole.Suspect == 0 || whole.Capped == 0 || whole.EOLIndex < 0 {
+				t.Errorf("perturbation too tame (suspect %d, capped %d, eol %d); properties not exercised",
+					whole.Suspect, whole.Capped, whole.EOLIndex)
+			}
+		})
+	}
+}
+
+// TestSummaryTieBreaks pins the ascending-index tie-break: identical
+// extremum values must resolve to the lowest index both within a pass and
+// across merges.
+func TestSummaryTieBreaks(t *testing.T) {
+	f := defaultFleet(t, 8, 4) // untouched fleet: every node identical
+	prev := make([]bool, 8)
+
+	whole := newSummary(t)
+	summarize(whole, f, 0, 8, prev)
+
+	total := newSummary(t)
+	for _, sh := range f.Shards() {
+		part := newSummary(t)
+		summarize(part, f, sh.Lo, sh.Hi, prev)
+		if err := total.Add(part); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if whole.MinHealthIndex != 0 || whole.MaxNATIndex != 0 {
+		t.Errorf("serial tie-break picked indices %d/%d, want 0/0", whole.MinHealthIndex, whole.MaxNATIndex)
+	}
+	if total.MinHealthIndex != 0 || total.MaxNATIndex != 0 {
+		t.Errorf("merged tie-break picked indices %d/%d, want 0/0", total.MinHealthIndex, total.MaxNATIndex)
+	}
+	if total.EOLIndex != -1 || whole.EOLIndex != -1 {
+		t.Errorf("healthy fleet reported EOL indices %d/%d, want -1", total.EOLIndex, whole.EOLIndex)
+	}
+}

@@ -193,34 +193,83 @@ type Node struct {
 
 // New assembles a node.
 func New(id string, cfg Config) (*Node, error) {
+	n := new(Node)
+	if err := NewInto(n, id, cfg, Parts{}); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Parts is caller-provided storage for a node's components. A fleet that
+// lays batteries, servers, trackers, models, and power-table rows out in
+// contiguous slabs passes pointers into those slabs here; NewInto
+// initializes each component in place. Any nil part is heap-allocated
+// individually, so the zero Parts reproduces New exactly. TableRows, when
+// non-nil, backs the power table and must have length Config.TableCapacity
+// and not be shared with any other table.
+type Parts struct {
+	Server    *server.Server
+	Pack      *battery.Pack
+	Tracker   *aging.Tracker
+	Model     *aging.Model
+	Table     *powernet.PowerTable
+	TableRows []powernet.Reading
+}
+
+// NewInto assembles a node in place, overwriting *n and initializing its
+// components into the storage parts provides (allocating whatever parts
+// leaves nil). The resulting node is identical to one built by New.
+func NewInto(n *Node, id string, cfg Config, parts Parts) error {
 	if id == "" {
-		return nil, fmt.Errorf("node: id must not be empty")
+		return fmt.Errorf("node: id must not be empty")
 	}
 	if err := cfg.Validate(); err != nil {
-		return nil, fmt.Errorf("node %s: %w", id, err)
+		return fmt.Errorf("node %s: %w", id, err)
 	}
-	srv, err := server.New(id+"/server", cfg.ServerSpec)
-	if err != nil {
-		return nil, err
+	srv := parts.Server
+	if srv == nil {
+		srv = new(server.Server)
+	}
+	if err := server.NewInto(srv, id+"/server", cfg.ServerSpec); err != nil {
+		return err
 	}
 	// The pack's recorder option goes first so an explicit WithRecorder in
 	// BatteryOptions can still override it.
 	packOpts := append([]battery.Option{battery.WithRecorder(cfg.Telemetry)}, cfg.BatteryOptions...)
-	pack, err := battery.New(cfg.BatterySpec, packOpts...)
-	if err != nil {
-		return nil, err
+	pack := parts.Pack
+	if pack == nil {
+		pack = new(battery.Pack)
 	}
-	tracker, err := aging.NewTracker(cfg.BatterySpec.LifetimeThroughput)
-	if err != nil {
-		return nil, err
+	if err := battery.NewInto(pack, cfg.BatterySpec, packOpts...); err != nil {
+		return err
 	}
-	model, err := aging.NewModel(cfg.AgingConfig, cfg.BatterySpec.NominalCapacity)
-	if err != nil {
-		return nil, err
+	tracker := parts.Tracker
+	if tracker == nil {
+		tracker = new(aging.Tracker)
 	}
-	table, err := powernet.NewPowerTable(cfg.TableCapacity)
-	if err != nil {
-		return nil, err
+	if err := aging.NewTrackerInto(tracker, cfg.BatterySpec.LifetimeThroughput); err != nil {
+		return err
+	}
+	model := parts.Model
+	if model == nil {
+		model = new(aging.Model)
+	}
+	if err := aging.NewModelInto(model, cfg.AgingConfig, cfg.BatterySpec.NominalCapacity); err != nil {
+		return err
+	}
+	rows := parts.TableRows
+	if rows == nil {
+		rows = make([]powernet.Reading, cfg.TableCapacity)
+	} else if len(rows) != cfg.TableCapacity {
+		return fmt.Errorf("node %s: %d table rows provided for capacity %d",
+			id, len(rows), cfg.TableCapacity)
+	}
+	table := parts.Table
+	if table == nil {
+		table = new(powernet.PowerTable)
+	}
+	if err := powernet.NewPowerTableInto(table, rows); err != nil {
+		return err
 	}
 	quarantine := cfg.SensorQuarantine
 	if quarantine == 0 {
@@ -230,7 +279,7 @@ func New(id string, cfg Config) (*Node, error) {
 	if staleAfter == 0 {
 		staleAfter = DefaultStaleAfter
 	}
-	return &Node{
+	*n = Node{
 		id:            id,
 		cfg:           cfg,
 		srv:           srv,
@@ -245,7 +294,8 @@ func New(id string, cfg Config) (*Node, error) {
 		telUtility:    cfg.Telemetry.Counter(telemetry.MetricNodeUtilityTicks),
 		telSensorBad:  cfg.Telemetry.Counter(telemetry.MetricNodeSensorRejected),
 		telSensorLost: cfg.Telemetry.Counter(telemetry.MetricNodeSensorMissed),
-	}, nil
+	}
+	return nil
 }
 
 // ID returns the node identifier.
@@ -681,6 +731,10 @@ func (n *Node) Stats() Stats {
 	}
 	return s
 }
+
+// SolarEnergy returns accumulated solar consumption — Stats().SolarEnergy
+// without assembling the whole Stats value, for per-tick fleet summaries.
+func (n *Node) SolarEnergy() units.WattHour { return n.solarWh }
 
 // AtEndOfLife reports whether the battery fell below the 80 % health line.
 func (n *Node) AtEndOfLife() bool {

@@ -37,6 +37,12 @@ type Entry struct {
 	// Pinned marks an allocation-free hot path: the comparator rejects any
 	// allocs/op increase, however small.
 	Pinned bool `json:"pinned,omitempty"`
+	// NodeStepsPerSec is simulated node-steps per wall second for the
+	// fleet-stepping entries (nodes × ticks-per-day ÷ time-per-day): the
+	// throughput figure the ROADMAP's scaling axis is tracked by. It is
+	// derived from NsPerOp, so the comparator gates only the latter;
+	// zero for entries where the notion does not apply.
+	NodeStepsPerSec float64 `json:"node_steps_per_sec,omitempty"`
 }
 
 // Report is a full suite run.

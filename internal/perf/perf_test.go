@@ -113,4 +113,13 @@ func TestBaselineParses(t *testing.T) {
 	if pinned == 0 {
 		t.Fatal("baseline pins no hot-path entries; the alloc gate is inert")
 	}
+	// The warehouse-scale stepping entry is the scaling axis's anchor: it
+	// must stay in the baseline, gated, with its throughput figure.
+	e, ok := r.Lookup("fleet_step/nodes=65536/workers=1")
+	if !ok {
+		t.Fatal("baseline lost the warehouse-scale fleet_step entry")
+	}
+	if e.NodeStepsPerSec <= 0 {
+		t.Fatalf("warehouse entry carries no node-steps/s figure: %+v", e)
+	}
 }

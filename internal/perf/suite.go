@@ -14,10 +14,20 @@ import (
 	"github.com/green-dc/baat/internal/solar"
 )
 
-// suiteFleetNodes sizes the fleet-stepping benchmarks: big enough that the
-// per-tick fan-out dominates, small enough that the suite stays in CI
-// budget.
+// suiteFleetNodes sizes the small fleet-stepping benchmarks: big enough
+// that the per-tick fan-out dominates, small enough that the suite stays
+// in CI budget.
 const suiteFleetNodes = 64
+
+// suiteWarehouseNodes is the warehouse-scale stepping entry: 65536 nodes
+// exercises the struct-of-arrays slab layout at the fleet sizes the
+// ROADMAP's scaling axis targets. One simulated day at this size is
+// seconds, not milliseconds, so the suite runs exactly one op of it.
+const suiteWarehouseNodes = 65536
+
+// suiteTick is the simulated tick the fleet-stepping entries use; it sets
+// the ticks-per-day factor in the node-steps/s derivation.
+const suiteTick = 5 * time.Minute
 
 // suiteSweepID is the experiment the sweep benchmarks run in quick mode:
 // fig18 fans four policy kinds across the variant pool, so the parallel
@@ -48,11 +58,29 @@ func RunSuite() (Report, error) {
 			Pinned:      pinned,
 		})
 	}
+	// addFleet derives node-steps/s for a fleet-stepping entry (one op is
+	// one simulated day of ticksPerDay ticks across the whole fleet).
+	addFleet := func(name string, pinned bool, nodes int, fn func(b *testing.B)) {
+		add(name, pinned, fn)
+		if err != nil {
+			return
+		}
+		e := &r.Entries[len(r.Entries)-1]
+		ticksPerDay := float64(24 * time.Hour / suiteTick)
+		e.NodeStepsPerSec = float64(nodes) * ticksPerDay * 1e9 / e.NsPerOp
+	}
 
 	// The serial tick path is the allocation-free core this harness
-	// protects; the parallel entry adds the per-fan-out goroutine cost.
-	add(fmt.Sprintf("fleet_step/nodes=%d/workers=1", suiteFleetNodes), true, fleetStepBench(1))
-	add(fmt.Sprintf("fleet_step/nodes=%d/workers=4", suiteFleetNodes), false, fleetStepBench(4))
+	// protects. Both 64-node entries are pinned: below the engine's
+	// parallel threshold Workers=4 takes the same serial path, which is
+	// exactly the fix for the old per-tick goroutine churn that made the
+	// small parallel entry 1.8× slower with thousands of allocations.
+	addFleet(fmt.Sprintf("fleet_step/nodes=%d/workers=1", suiteFleetNodes), true,
+		suiteFleetNodes, fleetStepBench(suiteFleetNodes, 1))
+	addFleet(fmt.Sprintf("fleet_step/nodes=%d/workers=4", suiteFleetNodes), true,
+		suiteFleetNodes, fleetStepBench(suiteFleetNodes, 4))
+	addFleet(fmt.Sprintf("fleet_step/nodes=%d/workers=1", suiteWarehouseNodes), true,
+		suiteWarehouseNodes, fleetStepBench(suiteWarehouseNodes, 1))
 	add("tracker_observe", true, trackerObserveBench)
 	add("battery_step", true, batteryStepBench)
 	add("experiment_sweep/"+suiteSweepID+"/workers=1", false, experimentSweepBench(1))
@@ -64,23 +92,35 @@ func RunSuite() (Report, error) {
 // fleetStepBench mirrors internal/sim's BenchmarkFleetStep: one simulated
 // day per op on a consolidated fleet, with the one-off placement pass
 // warmed up outside the timer so the steady-state step path is what's
-// measured.
-func fleetStepBench(workers int) func(b *testing.B) {
+// measured. Warehouse sizes provision services directly (the policy's
+// placement scan is O(nodes) per VM) and trim the per-node power-table
+// history so the row slab stays within a sane footprint.
+func fleetStepBench(nodes, workers int) func(b *testing.B) {
 	return func(b *testing.B) {
 		policy, err := core.New(core.EBuff, core.DefaultConfig())
 		if err != nil {
 			b.Fatal(err)
 		}
 		cfg := sim.DefaultConfig()
-		cfg.Nodes = suiteFleetNodes
+		cfg.Nodes = nodes
 		cfg.Workers = workers
-		cfg.Tick = 5 * time.Minute
+		cfg.Tick = suiteTick
 		cfg.JobsPerDay = 0
-		cfg.ServiceVMs = suiteFleetNodes / 4
-		cfg.Solar.Scale = 1.5 * float64(suiteFleetNodes) / 6
+		cfg.ServiceVMs = nodes / 4
+		cfg.Solar.Scale = 1.5 * float64(nodes) / 6
+		warehouse := nodes >= 16384
+		if warehouse {
+			cfg.ServiceVMs = 0 // provisioned directly below
+			cfg.Node.TableCapacity = 64
+		}
 		s, err := sim.New(cfg, policy)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if warehouse {
+			if err := s.ProvisionServices(nodes / 4); err != nil {
+				b.Fatal(err)
+			}
 		}
 		if _, err := s.RunDay(solar.Sunny); err != nil {
 			b.Fatal(err)

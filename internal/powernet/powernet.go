@@ -148,7 +148,24 @@ func NewPowerTable(capacity int) (*PowerTable, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("powernet: power table capacity must be positive, got %d", capacity)
 	}
-	return &PowerTable{cap: capacity, rows: make([]Reading, capacity)}, nil
+	t := new(PowerTable)
+	if err := NewPowerTableInto(t, make([]Reading, capacity)); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// NewPowerTableInto initializes a table in place over caller-provided row
+// storage, overwriting *t. The table retains the latest len(rows)
+// readings. It exists so a fleet can back every node's history log with
+// one contiguous row slab; rows must not be shared between tables.
+func NewPowerTableInto(t *PowerTable, rows []Reading) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("powernet: power table needs at least one row, got %d", len(rows))
+	}
+	clear(rows)
+	*t = PowerTable{cap: len(rows), rows: rows}
+	return nil
 }
 
 // Record appends a reading, evicting the oldest once full.

@@ -152,12 +152,16 @@ func New(id string, cfg Config) (*Rack, error) {
 		table:      table,
 		serverDown: make([]time.Duration, cfg.Servers),
 	}
+	// The rack's servers live in one contiguous slab (initialized in
+	// place), the same struct-of-arrays layout internal/fleet uses for
+	// whole-fleet stepping; r.servers holds views into it.
+	slab := make([]server.Server, cfg.Servers)
+	r.servers = make([]*server.Server, 0, cfg.Servers)
 	for i := 0; i < cfg.Servers; i++ {
-		srv, err := server.New(fmt.Sprintf("%s/server-%d", id, i), cfg.ServerSpec)
-		if err != nil {
+		if err := server.NewInto(&slab[i], fmt.Sprintf("%s/server-%d", id, i), cfg.ServerSpec); err != nil {
 			return nil, err
 		}
-		r.servers = append(r.servers, srv)
+		r.servers = append(r.servers, &slab[i])
 	}
 	return r, nil
 }

@@ -54,7 +54,20 @@ const (
 	// ExpRacks shapes solar days for the rack-level ablation run
 	// (formerly seed+13 in experiments, colliding with ExpArchitecture).
 	ExpRacks = "experiments/rack-weather"
+
+	// shardPrefix namespaces the per-shard fleet substreams; see Shard.
+	shardPrefix = "fleet/shard/"
 )
+
+// Shard returns the canonical stream name for fleet shard i. Each
+// rack-group shard of a sharded fleet owns one named substream, derived —
+// like every other stream — from the run seed plus this stable name. The
+// mapping depends only on the shard index, never on how many workers
+// execute the shards, which is what keeps sharded runs bit-identical at
+// any worker count.
+func Shard(i int) string {
+	return fmt.Sprintf("%s%d", shardPrefix, i)
+}
 
 // Stream is a deterministic random-number stream derived from a (seed,
 // name) pair. It embeds *rand.Rand (math/rand/v2) for drawing and keeps

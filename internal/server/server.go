@@ -77,18 +77,31 @@ type Server struct {
 
 // New constructs a powered-on server at full frequency.
 func New(id string, spec Spec) (*Server, error) {
-	if id == "" {
-		return nil, fmt.Errorf("server: id must not be empty")
-	}
-	if err := spec.Validate(); err != nil {
+	s := new(Server)
+	if err := NewInto(s, id, spec); err != nil {
 		return nil, err
 	}
-	return &Server{
+	return s, nil
+}
+
+// NewInto initializes a powered-on server at full frequency in place,
+// overwriting *s. It exists so a fleet can lay servers out in one
+// contiguous slice instead of allocating each behind its own pointer;
+// the resulting value is identical to one built by New.
+func NewInto(s *Server, id string, spec Spec) error {
+	if id == "" {
+		return fmt.Errorf("server: id must not be empty")
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	*s = Server{
 		id:      id,
 		spec:    spec,
 		freqIdx: len(spec.FreqLevels) - 1,
 		powered: true,
-	}, nil
+	}
+	return nil
 }
 
 // ID returns the server identifier.
@@ -105,6 +118,10 @@ func (s *Server) Frequency() float64 { return s.spec.FreqLevels[s.freqIdx] }
 
 // FrequencyIndex returns the current DVFS ladder position.
 func (s *Server) FrequencyIndex() int { return s.freqIdx }
+
+// TopFrequencyIndex returns the ladder's highest position; a server is
+// frequency-capped exactly when FrequencyIndex() is below it.
+func (s *Server) TopFrequencyIndex() int { return len(s.spec.FreqLevels) - 1 }
 
 // SetFrequencyIndex moves the DVFS ladder to position idx (the software
 // driver of §IV-A: "we can dynamically set the frequency of processors").

@@ -2,16 +2,17 @@ package sim
 
 // BenchmarkFleetStep measures the per-tick node-physics fan-out at
 // production fleet sizes (the ROADMAP's "as fast as the hardware allows"
-// axis). Fleets of 16/256/2048 nodes run one simulated day per iteration,
-// serially and across all CPUs, so `-bench=FleetStep` reports the parallel
-// speedup directly. The equivalence tests in parallel_test.go guarantee
-// the two variants compute identical results; this benchmark only measures
-// wall time.
+// axis). Fleets of 16 through 65536 nodes — warehouse scale, 1M with
+// -long — run one simulated day per iteration, serially and across all
+// CPUs, so `-bench=FleetStep` reports the parallel speedup directly. The
+// equivalence tests in parallel_test.go guarantee the two variants compute
+// identical results; this benchmark only measures wall time.
 //
 // CI runs it with `-benchtime=1x` (see check.sh bench-smoke); use the
 // default benchtime for stable speedup numbers.
 
 import (
+	"flag"
 	"fmt"
 	"runtime"
 	"testing"
@@ -20,6 +21,17 @@ import (
 	"github.com/green-dc/baat/internal/core"
 	"github.com/green-dc/baat/internal/solar"
 )
+
+// longFleet gates the warehouse-upper-bound size: a million nodes is a
+// multi-minute benchmark, opt-in via `go test -bench=FleetStep -long`.
+var longFleet = flag.Bool("long", false, "include the 1M-node fleet benchmark size")
+
+// largeFleetNodes is where benchFleet switches to warehouse provisioning:
+// direct service attachment instead of the O(VMs × nodes) placement pass,
+// and a trimmed per-node power-table history so the row slab stays within
+// a sane footprint (the default 2048-row table is sized for week-long
+// six-node traces, not 65k-node step benchmarks).
+const largeFleetNodes = 16384
 
 // benchFleet builds a fleet where one node in four hosts a persistent
 // service, so the timed region mixes the powered and scheduled-off step
@@ -37,9 +49,24 @@ func benchFleet(b *testing.B, nodes, workers int) *Simulator {
 	cfg.JobsPerDay = 0
 	cfg.ServiceVMs = nodes / 4
 	cfg.Solar.Scale = 1.5 * float64(nodes) / 6
+	if nodes >= largeFleetNodes {
+		cfg.ServiceVMs = 0 // attached directly below
+		cfg.Node.TableCapacity = 64
+		if nodes >= 1<<20 {
+			cfg.Node.TableCapacity = 16
+		}
+	}
 	s, err := New(cfg, policy)
 	if err != nil {
 		b.Fatal(err)
+	}
+	if nodes >= largeFleetNodes {
+		// Same workload mix the policy would produce — one service VM per
+		// four nodes, spread across the fleet — without the quadratic
+		// placement pass, which at 65k+ nodes would dominate setup.
+		if err := s.ProvisionServices(nodes / 4); err != nil {
+			b.Fatal(err)
+		}
 	}
 	// Warm up one day outside the timer so service placement (the one-off
 	// O(VMs × nodes) scheduling pass) stays out of the step measurement.
@@ -54,7 +81,11 @@ func BenchmarkFleetStep(b *testing.B) {
 	if n := runtime.GOMAXPROCS(0); n > 1 {
 		workerCounts = append(workerCounts, n)
 	}
-	for _, nodes := range []int{16, 256, 2048} {
+	sizes := []int{16, 256, 2048, 16384, 65536}
+	if *longFleet {
+		sizes = append(sizes, 1<<20)
+	}
+	for _, nodes := range sizes {
 		for _, workers := range workerCounts {
 			name := fmt.Sprintf("nodes=%d/workers=%d", nodes, workers)
 			b.Run(name, func(b *testing.B) {

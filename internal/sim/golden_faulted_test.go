@@ -42,6 +42,13 @@ func goldenFaultedRun(t *testing.T, workers int) *goldenTrace {
 			c.Faults = fcfg
 			c.Node.UtilityBackup = true
 			c.Workers = workers
+			if workers > 1 {
+				// Two-node shards and a forced threshold so the six-node
+				// golden fleet genuinely fans out — the whole point of the
+				// sweep. Both are perf knobs the trace must not see.
+				c.ShardSize = 2
+				c.ParallelThreshold = -1
+			}
 		})
 }
 

@@ -9,6 +9,7 @@ package sim
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 
 	"github.com/green-dc/baat/internal/core"
@@ -32,8 +33,9 @@ func marshaledResult(t *testing.T, res *Result) []byte {
 }
 
 // equivalenceRun plays a fixed three-day trace with the given seed and
-// worker count. The fleet is larger than the widest worker pool so work
-// stealing genuinely interleaves nodes.
+// worker count. ShardSize 3 partitions the 12-node fleet into four
+// shards and the negative threshold forces the parallel path at this
+// small size, so shard claiming genuinely interleaves across workers.
 func equivalenceRun(t *testing.T, seed int64, workers int) []byte {
 	t.Helper()
 	policy, err := core.New(core.BAATFull, core.DefaultConfig())
@@ -44,6 +46,8 @@ func equivalenceRun(t *testing.T, seed int64, workers int) []byte {
 	cfg.Nodes = 12
 	cfg.Seed = seed
 	cfg.Workers = workers
+	cfg.ShardSize = 3
+	cfg.ParallelThreshold = -1
 	cfg.Services = workload.PrototypeServices()
 	cfg.JobsPerDay = 4
 	cfg.RecordSeries = true
@@ -99,36 +103,44 @@ func TestWorkersResolution(t *testing.T) {
 	}
 }
 
-// TestParallelErrorDeterministic checks the index-ordered error reduction:
-// when several nodes fail in one fan-out, the reported error is the lowest-
-// index node's, independent of scheduling.
+// TestParallelErrorDeterministic checks the shard-ordered error reduction:
+// when several nodes fail in one fan-out, the reported error is the
+// lowest-index node's, independent of which worker hit which shard first.
+// Failures are provoked through the real step path by poisoning the load
+// grants of every node from index 3 up (a negative solar allocation is a
+// physics-contract violation node.Step rejects).
 func TestParallelErrorDeterministic(t *testing.T) {
-	s := newSim(t, core.EBuff, func(c *Config) { c.Nodes = 8; c.Workers = 4 })
-	boom := func(i int) error { return &indexError{i} }
-	var got error
+	s := newSim(t, core.EBuff, func(c *Config) {
+		c.Nodes = 8
+		c.Workers = 4
+		c.ShardSize = 2
+		c.ParallelThreshold = -1
+	})
+	if !s.parallel || len(s.shardSums) != 4 {
+		t.Fatalf("parallel=%v shards=%d, want genuine 4-shard parallel setup", s.parallel, len(s.shardSums))
+	}
+	s.pool.Start()
+	defer s.pool.Stop()
+	var got string
 	for trial := 0; trial < 20; trial++ {
-		err := s.fanOut(func(i int) error {
-			if i >= 3 {
-				return boom(i)
-			}
-			return nil
-		})
+		clear(s.loadGrant)
+		clear(s.chargeGrant)
+		for i := 3; i < s.cfg.Nodes; i++ {
+			s.loadGrant[i] = -1
+		}
+		err := s.stepNodes(false)
 		if err == nil {
 			t.Fatal("stepNodes() = nil, want error")
 		}
 		if trial == 0 {
-			got = err
-			if err.(*indexError).index != 3 {
-				t.Fatalf("first error from node %d, want 3", err.(*indexError).index)
+			got = err.Error()
+			if !strings.Contains(got, "node-3") {
+				t.Fatalf("first error %q, want it from node-3 (the lowest failing index)", got)
 			}
 			continue
 		}
-		if err.(*indexError).index != got.(*indexError).index {
-			t.Fatalf("error index changed across runs: %v vs %v", err, got)
+		if err.Error() != got {
+			t.Fatalf("error changed across runs: %q vs %q", err.Error(), got)
 		}
 	}
 }
-
-type indexError struct{ index int }
-
-func (e *indexError) Error() string { return "node failure" }

@@ -62,6 +62,13 @@ func splitTrace(t *testing.T, mutate func(*Config), workers int) *goldenTrace {
 			mutate(c)
 		}
 		c.Workers = workers
+		if workers > 1 {
+			// Force a genuine multi-shard fan-out on the six-node golden
+			// fleet: the resumed half must be identical from inside the
+			// parallel path, not just the serial fallback.
+			c.ShardSize = 2
+			c.ParallelThreshold = -1
+		}
 	})
 	if err := second.ResumeFrom(bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
@@ -135,18 +142,23 @@ func TestResumeRejectsWrongConfig(t *testing.T) {
 	}
 }
 
-// TestResumeIgnoresWorkerCount pins a deliberate exclusion: Workers is an
-// execution knob, not simulation state, so it must not participate in the
-// config hash.
+// TestResumeIgnoresWorkerCount pins a deliberate exclusion: Workers,
+// ShardSize, and ParallelThreshold are execution knobs, not simulation
+// state, so none of them may participate in the config hash — a
+// checkpoint written serially must resume into any sharded layout.
 func TestResumeIgnoresWorkerCount(t *testing.T) {
 	s := goldenSim(t, func(c *Config) { c.Workers = 1 })
 	var buf bytes.Buffer
 	if err := s.Checkpoint(&buf); err != nil {
 		t.Fatal(err)
 	}
-	other := goldenSim(t, func(c *Config) { c.Workers = 8 })
+	other := goldenSim(t, func(c *Config) {
+		c.Workers = 8
+		c.ShardSize = 2
+		c.ParallelThreshold = -1
+	})
 	if err := other.ResumeFrom(bytes.NewReader(buf.Bytes())); err != nil {
-		t.Fatalf("worker count leaked into the config hash: %v", err)
+		t.Fatalf("an execution knob leaked into the config hash: %v", err)
 	}
 }
 

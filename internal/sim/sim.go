@@ -21,14 +21,13 @@ import (
 	"fmt"
 	"runtime"
 	"slices"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/green-dc/baat/internal/aging"
 	"github.com/green-dc/baat/internal/battery"
 	"github.com/green-dc/baat/internal/core"
 	"github.com/green-dc/baat/internal/faults"
+	"github.com/green-dc/baat/internal/fleet"
 	"github.com/green-dc/baat/internal/node"
 	"github.com/green-dc/baat/internal/rng"
 	"github.com/green-dc/baat/internal/solar"
@@ -77,12 +76,26 @@ type Config struct {
 	RecordSeries bool
 	// Workers is the number of concurrent workers advancing node physics
 	// each tick. 0 and 1 (the defaults) step serially; negative values
-	// resolve to runtime.GOMAXPROCS(0); counts above the fleet size are
-	// trimmed to it. Solar grants are fixed before the fan-out and each
-	// node owns all state its step touches, so the worker count never
-	// changes results — parallel runs are bit-identical to serial ones
-	// (enforced by this package's equivalence tests).
+	// resolve to runtime.GOMAXPROCS(0); counts above the shard count are
+	// trimmed to it. Work is distributed shard-by-shard (ShardSize): solar
+	// grants are fixed before the fan-out, each shard owns all state its
+	// nodes touch, and per-shard summaries merge in shard order, so the
+	// worker count never changes results — parallel runs are bit-identical
+	// to serial ones (enforced by this package's equivalence tests).
 	Workers int
+	// ShardSize is the rack-group partition width of the struct-of-arrays
+	// fleet layout — the unit of parallel work and summary aggregation.
+	// Zero means fleet.DefaultShardSize. A pure performance knob: like
+	// Workers it never changes results, and it is excluded from the
+	// checkpoint config hash.
+	ShardSize int `json:",omitempty"`
+	// ParallelThreshold is the fleet size below which Workers > 1 falls
+	// back to serial stepping: for small fleets the fan-out handshake
+	// costs more than the physics it parallelizes. Zero means
+	// DefaultParallelThreshold; negative forces the parallel path at any
+	// size (the equivalence tests use this). Results are identical either
+	// way, so it too is excluded from the checkpoint config hash.
+	ParallelThreshold int `json:",omitempty"`
 	// Telemetry instruments the run: tick/day/placement counters, the
 	// Fig 19 SoC histogram, policy decision counts and events, and battery
 	// step counters, all under the canonical names of
@@ -97,6 +110,12 @@ type Config struct {
 	// pins the entire run without any stream collision.
 	Faults faults.Config
 }
+
+// DefaultParallelThreshold is the fleet size at which multi-worker
+// stepping starts paying for itself; below it the engine steps serially
+// even when Workers > 1. Chosen from the bench suite: at a few hundred
+// nodes per tick the physics dwarfs the pool handshake.
+const DefaultParallelThreshold = 256
 
 // DefaultConfig mirrors the prototype: six nodes, one-minute ticks,
 // five-minute control, 08:30–18:30 window.
@@ -143,6 +162,9 @@ func (c Config) Validate() error {
 		if err := p.Validate(); err != nil {
 			return fmt.Errorf("sim: service %d: %w", i, err)
 		}
+	}
+	if c.ShardSize < 0 {
+		return fmt.Errorf("sim: shard size must be non-negative, got %d", c.ShardSize)
 	}
 	if c.ManufacturingSigma < 0 || c.ManufacturingSigma > 0.5 {
 		return fmt.Errorf("sim: manufacturing sigma must be in [0, 0.5], got %v", c.ManufacturingSigma)
@@ -222,7 +244,12 @@ func (r *Result) WorstNode() (NodeSummary, bool) {
 type Simulator struct {
 	cfg    Config
 	policy core.Policy
-	nodes  []*node.Node
+	// fleet owns the struct-of-arrays node storage (contiguous per-
+	// component slabs sharded into rack groups); nodes is its view slice —
+	// node i is a pointer into the slab, so everything written against
+	// *node.Node keeps working while the tick loops walk dense memory.
+	fleet *fleet.Fleet
+	nodes []*node.Node
 	// mfgRng seeds construction-time variation; wxRng drives weather and
 	// cloud patterns; policyRng feeds policy tie-breaking. Each is a named
 	// PCG substream of Config.Seed (internal/rng), so every policy replays
@@ -238,8 +265,13 @@ type Simulator struct {
 	vmCounter int
 	pending   []*vm.VM
 	// workers is the resolved Config.Workers: the node-physics fan-out
-	// width (1 = serial).
-	workers int
+	// width (1 = serial), trimmed to the shard count. parallel reports
+	// whether the fan-out is actually used (workers > 1 and the fleet
+	// clears ParallelThreshold); pool is the reusable shard-worker pool,
+	// started per simulated day by RunDay.
+	workers  int
+	parallel bool
+	pool     *fleet.Pool
 
 	// inj drives deterministic fault injection (nil when Config.Faults is
 	// empty); degraded mirrors each node's last observed suspect state so
@@ -259,17 +291,29 @@ type Simulator struct {
 	// allocation budget for typical horizons.
 	history []DayStats
 
-	// Per-tick scratch, sized to the fleet at construction and reused every
-	// step so the steady-state tick path allocates nothing (pinned by the
-	// AllocsPerRun guards in alloc_test.go). socOrder/socSnap back bySoC:
-	// the index order is sorted against a SoC snapshot read once per call,
-	// so the sort does one pack read per node instead of O(n log n).
+	// Per-tick scratch: the fleet's dense columns, sized at construction
+	// and reused every step so the steady-state tick path allocates
+	// nothing (pinned by the AllocsPerRun guards in alloc_test.go).
+	// socOrder/socSnap back bySoC: the index order is sorted against a SoC
+	// snapshot read once per call, so the sort does one pack read per node
+	// instead of O(n log n).
 	demands     []float64
 	loadGrant   []float64
 	chargeGrant []float64
 	socOrder    []int
 	socSnap     []float64
-	stepErrs    []error
+
+	// Shard-step state: stepOffline carries the current tick's path to the
+	// shard workers, shardSums/shardErrs are each shard's private summary
+	// and error slot, and fleetSum is the whole-fleet merge (in shard
+	// order) the controller and telemetry consume. The merge is what makes
+	// control cost sublinear: EOL detection, gauge updates, and the e-Buff
+	// frequency-restore scan all read O(shards) aggregates instead of
+	// rescanning O(nodes) state.
+	stepOffline bool
+	shardSums   []fleet.Summary
+	shardErrs   []error
+	fleetSum    fleet.Summary
 
 	// Per-day scratch for RunDay's start-of-day baselines.
 	dayThr   []float64
@@ -374,36 +418,76 @@ func New(cfg Config, policy core.Policy) (*Simulator, error) {
 		s.inj = inj
 		s.degraded = make([]bool, cfg.Nodes)
 	}
-	for i := 0; i < cfg.Nodes; i++ {
-		ncfg := cfg.Node
-		ncfg.Telemetry = cfg.Telemetry
-		if cfg.ManufacturingSigma > 0 {
-			capScale := 1 + mfgRng.NormFloat64()*cfg.ManufacturingSigma
-			resScale := 1 + mfgRng.NormFloat64()*cfg.ManufacturingSigma
-			ncfg.BatteryOptions = append(append([]battery.Option(nil), ncfg.BatteryOptions...),
-				battery.WithManufacturingVariation(
-					units.Clamp(capScale, 0.7, 1.3),
-					units.Clamp(resScale, 0.7, 1.3),
-				))
-		}
-		nd, err := node.New(fmt.Sprintf("node-%d", i), ncfg)
+	fl, err := fleet.New(fleet.Config{
+		Nodes:     cfg.Nodes,
+		ShardSize: cfg.ShardSize,
+		Seed:      cfg.Seed,
+		Node: func(i int) (node.Config, error) {
+			ncfg := cfg.Node
+			ncfg.Telemetry = cfg.Telemetry
+			if cfg.ManufacturingSigma > 0 {
+				// The fleet constructor calls this exactly once per node in
+				// ascending index order, so each unit's variation draws land
+				// on the node they always have and golden traces hold.
+				capScale := 1 + mfgRng.NormFloat64()*cfg.ManufacturingSigma
+				resScale := 1 + mfgRng.NormFloat64()*cfg.ManufacturingSigma
+				ncfg.BatteryOptions = append(append([]battery.Option(nil), ncfg.BatteryOptions...),
+					battery.WithManufacturingVariation(
+						units.Clamp(capScale, 0.7, 1.3),
+						units.Clamp(resScale, 0.7, 1.3),
+					))
+			}
+			return ncfg, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.fleet = fl
+	s.nodes = fl.Views()
+	cols := fl.Cols()
+	s.demands = cols.Demand
+	s.loadGrant = cols.LoadGrant
+	s.chargeGrant = cols.ChargeGrant
+	s.socOrder = cols.Order
+	s.socSnap = cols.SoC
+
+	shards := fl.Shards()
+	if s.workers > len(shards) {
+		s.workers = len(shards)
+	}
+	threshold := cfg.ParallelThreshold
+	if threshold == 0 {
+		threshold = DefaultParallelThreshold
+	}
+	s.parallel = s.workers > 1 && (threshold < 0 || cfg.Nodes >= threshold)
+	if s.parallel {
+		s.pool = fleet.NewPool(s.workers, s.runShard)
+	}
+	s.shardSums = make([]fleet.Summary, len(shards))
+	s.shardErrs = make([]error, len(shards))
+	for i := range s.shardSums {
+		h, err := stats.NewHistogram(0, 1, 7)
 		if err != nil {
 			return nil, err
 		}
-		s.nodes = append(s.nodes, nd)
+		s.shardSums[i].Hist = h
+		s.shardSums[i].Changed = make([]int, 0, shards[i].Len())
+		s.shardSums[i].Reset()
 	}
-	n := len(s.nodes)
-	s.demands = make([]float64, n)
-	s.loadGrant = make([]float64, n)
-	s.chargeGrant = make([]float64, n)
-	s.socOrder = make([]int, n)
-	s.socSnap = make([]float64, n)
-	s.stepErrs = make([]error, n)
+	fleetHist, err := stats.NewHistogram(0, 1, 7)
+	if err != nil {
+		return nil, err
+	}
+	s.fleetSum.Hist = fleetHist
+	s.fleetSum.Reset()
+
+	n := cfg.Nodes
 	s.dayThr = make([]float64, n)
 	s.dayDown = make([]time.Duration, n)
 	s.daySolar = make([]units.WattHour, n)
 	s.dayLow = make([]time.Duration, n)
-	s.pctx = core.Context{Nodes: s.nodes, Rng: s.policyRng.Rand, Telemetry: s.tel}
+	s.pctx = core.Context{Nodes: s.nodes, Rng: s.policyRng.Rand, Telemetry: s.tel, Summary: &s.fleetSum}
 	return s, nil
 }
 
@@ -504,6 +588,43 @@ func (s *Simulator) placePending() error {
 	return nil
 }
 
+// ProvisionServices attaches n persistent service VMs round-robin across
+// the fleet without consulting the policy — the constant-per-VM
+// provisioning path for warehouse-scale fleets, where the policy's
+// O(nodes) placement scan per VM turns day-one setup quadratic. It
+// replaces the day-one ServiceVMs placement (both use the web-serving
+// profile), so it must run before the first day, on a simulator whose
+// Config requested no services of its own.
+func (s *Simulator) ProvisionServices(n int) error {
+	if s.placedSvc || s.clock != 0 || s.day != 0 {
+		return fmt.Errorf("sim: ProvisionServices must run once, before the first day")
+	}
+	if n < 0 || n > len(s.nodes) {
+		return fmt.Errorf("sim: can provision between 0 and %d services, got %d", len(s.nodes), n)
+	}
+	prof, err := workload.ProfileFor(workload.WebServing)
+	if err != nil {
+		return err
+	}
+	stride := 1
+	if n > 0 {
+		stride = len(s.nodes) / n
+	}
+	for i := 0; i < n; i++ {
+		s.vmCounter++
+		v, err := vm.New(fmt.Sprintf("vm-%d", s.vmCounter), prof)
+		if err != nil {
+			return err
+		}
+		if err := s.nodes[i*stride].Server().Attach(v); err != nil {
+			return err
+		}
+		s.telPlacements.Inc()
+	}
+	s.placedSvc = true
+	return nil
+}
+
 // reapCompleted removes finished VMs from their hosts. The bulk detach
 // works in place on each server's VM list, so the control-period reap no
 // longer copies every hosted VM slice just to scan it.
@@ -530,6 +651,14 @@ func (s *Simulator) RunDay(w solar.Weather) (DayStats, error) {
 		}
 	}
 	ds := DayStats{Day: s.day, Weather: w}
+
+	if s.parallel {
+		// One pool of long-lived shard workers per simulated day: the 288
+		// ticks of a default day amortize the start/stop cost, and no
+		// goroutines outlive the call that needed them.
+		s.pool.Start()
+		defer s.pool.Stop()
+	}
 
 	startThroughput := s.dayThr
 	startDowntime := s.dayDown
@@ -563,29 +692,34 @@ func (s *Simulator) RunDay(w solar.Weather) (DayStats, error) {
 			return DayStats{}, err
 		}
 		if s.inj != nil {
-			s.trackDegraded()
+			s.applyDegradedTransitions()
 		}
 		s.clock += s.cfg.Tick
 		s.telTicks.Inc()
-		if s.eolAt == 0 {
-			for _, n := range s.nodes {
-				if n.AtEndOfLife() {
-					s.eolAt = s.clock
-					s.telEOL.Inc()
-					s.tel.Emit(s.clock, telemetry.EventBatteryEOL, n.ID(),
-						fmt.Sprintf("health %.3f below end-of-life threshold", n.Stats().Health))
-					break
-				}
-			}
+		if s.eolAt == 0 && s.fleetSum.EOLIndex >= 0 {
+			// The shard summaries already located the first node past the
+			// end-of-life line, replacing the per-tick fleet scan.
+			nd := s.nodes[s.fleetSum.EOLIndex]
+			s.eolAt = s.clock
+			s.telEOL.Inc()
+			s.tel.Emit(s.clock, telemetry.EventBatteryEOL, nd.ID(),
+				fmt.Sprintf("health %.3f below end-of-life threshold", nd.Stats().Health))
 		}
 
 		if inWindow {
-			for i, n := range s.nodes {
-				soc := n.Battery().SoC()
-				s.socHist.Observe(soc)
-				s.telSoC.Observe(soc)
-				if soc < aging.DeepDischargeSoC {
-					lowSoC[i] += s.cfg.Tick
+			// The shard workers already binned this tick's SoC samples
+			// (and accumulated low-SoC dwell into dayLow); the per-shard
+			// histograms merge bin-by-bin, exactly.
+			if err := s.socHist.Merge(s.fleetSum.Hist); err != nil {
+				return DayStats{}, err
+			}
+			if s.tel != nil {
+				// The telemetry histogram uses right-closed buckets where
+				// stats uses left-closed bins, so it cannot be back-filled
+				// from the shard bins; it keeps its own per-sample pass,
+				// gated on a recorder actually being attached.
+				for _, n := range s.nodes {
+					s.telSoC.Observe(n.Battery().SoC())
 				}
 			}
 			sinceControl += s.cfg.Tick
@@ -659,15 +793,18 @@ func (s *Simulator) step(power units.Watt, inWindow bool) error {
 		// Overnight: everything charges, lowest SoC first. Requests are
 		// read and grants assigned up front; a grant equals what the
 		// charger can absorb this tick, so no redistribution pass is
-		// needed after stepping.
+		// needed after stepping. With no power to hand out the SoC sort is
+		// skipped entirely — the common case for most of the night.
 		clear(s.chargeGrant)
-		for _, idx := range s.bySoC() {
-			if remaining <= 0 {
-				break
+		if remaining > 0 {
+			for _, idx := range s.bySoC() {
+				if remaining <= 0 {
+					break
+				}
+				g := min(remaining, float64(s.nodes[idx].ChargeRequest()))
+				s.chargeGrant[idx] = g
+				remaining -= g
 			}
-			g := min(remaining, float64(s.nodes[idx].ChargeRequest()))
-			s.chargeGrant[idx] = g
-			remaining -= g
 		}
 		return s.stepNodes(true)
 	}
@@ -702,16 +839,19 @@ func (s *Simulator) step(power units.Watt, inWindow bool) error {
 		surplus = 0
 	}
 
-	// Pass 2: charge allocation, lowest SoC first.
+	// Pass 2: charge allocation, lowest SoC first. No surplus (demand ate
+	// the whole feed) skips the sort — frequent under scarce solar.
 	clear(s.chargeGrant)
-	for _, idx := range s.bySoC() {
-		if surplus <= 0 {
-			break
+	if surplus > 0 {
+		for _, idx := range s.bySoC() {
+			if surplus <= 0 {
+				break
+			}
+			req := float64(s.nodes[idx].ChargeRequest())
+			g := min(surplus, req)
+			s.chargeGrant[idx] = g
+			surplus -= g
 		}
-		req := float64(s.nodes[idx].ChargeRequest())
-		g := min(surplus, req)
-		s.chargeGrant[idx] = g
-		surplus -= g
 	}
 
 	return s.stepNodes(false)
@@ -728,53 +868,71 @@ func (s *Simulator) stepNode(i int, offline bool) error {
 	return err
 }
 
-// stepNodes advances every node, fanning out across the configured worker
-// pool. Each node's physics touches only state that node owns (its pack,
-// servers, aging tracker, power table) plus atomic telemetry counters, so
-// any interleaving computes the same fleet state. Errors are reduced in
-// index order — the first failing node by index wins — so the reported
-// error does not depend on goroutine scheduling.
+// stepNodes advances every node shard by shard and merges the per-shard
+// summaries into fleetSum. Each shard's physics touches only state its
+// nodes own (packs, servers, aging trackers, power tables) plus atomic
+// telemetry counters, so any assignment of shards to workers computes the
+// same fleet state. Errors are reduced in shard order — within a shard
+// the walk is ascending, so the first failing node by index wins — and
+// the summary merge also runs in shard order, so neither the reported
+// error nor any aggregate depends on goroutine scheduling.
 func (s *Simulator) stepNodes(offline bool) error {
-	if s.workers <= 1 || len(s.nodes) <= 1 {
-		// The serial path calls stepNode directly — no closures, no
-		// goroutines, no allocations (the steady-state default).
-		for i := range s.nodes {
-			if err := s.stepNode(i, offline); err != nil {
-				return err
-			}
+	s.stepOffline = offline
+	nShards := len(s.shardSums)
+	if s.parallel {
+		// Run distributes shards across the pool's workers (or executes
+		// serially if RunDay has not started the pool — the results are
+		// identical either way, that is the whole contract).
+		s.pool.Run(nShards)
+	} else {
+		for si := 0; si < nShards; si++ {
+			s.runShard(si)
 		}
-		return nil
 	}
-	return s.fanOut(func(i int) error { return s.stepNode(i, offline) })
-}
-
-// fanOut runs fn for every node index across the worker pool, reducing
-// errors in index order (see stepNodes).
-func (s *Simulator) fanOut(fn func(i int) error) error {
-	errs := s.stepErrs
-	clear(errs)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(s.workers)
-	for g := 0; g < s.workers; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(s.nodes) {
-					return
-				}
-				errs[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	for si := 0; si < nShards; si++ {
+		if err := s.shardErrs[si]; err != nil {
 			return err
 		}
 	}
+	s.fleetSum.Reset()
+	for si := range s.shardSums {
+		if err := s.fleetSum.Add(&s.shardSums[si]); err != nil {
+			return err
+		}
+	}
+	s.fleetSum.Valid = true
 	return nil
+}
+
+// runShard advances one shard's nodes in ascending index order, folding
+// each into the shard's private summary. It is the pool's work unit: no
+// shared mutable state beyond the shard's own slots, no allocations
+// (Changed appends stay within the capacity reserved at construction).
+func (s *Simulator) runShard(si int) {
+	sh := s.fleet.Shards()[si]
+	sum := &s.shardSums[si]
+	sum.Reset()
+	s.shardErrs[si] = nil
+	offline := s.stepOffline
+	for i := sh.Lo; i < sh.Hi; i++ {
+		if err := s.stepNode(i, offline); err != nil {
+			s.shardErrs[si] = err
+			return
+		}
+		nd := s.nodes[i]
+		soc := sum.ObserveNode(i, nd, !offline)
+		if !offline && soc < aging.DeepDischargeSoC {
+			// Fig 18's per-node low-SoC dwell; dayLow is indexed by node,
+			// so shards write disjoint slots.
+			s.dayLow[i] += s.cfg.Tick
+		}
+		if s.inj != nil && nd.MetricsSuspect() != s.degraded[i] {
+			// degraded is only read here; the serial merge phase
+			// (applyDegradedTransitions) flips it after the fan-out.
+			sum.ObserveChanged(i)
+		}
+	}
+	sum.Valid = true
 }
 
 // applyFaults pushes one tick of injector output onto the fleet. It runs
@@ -807,56 +965,50 @@ func (s *Simulator) applyFaults(fs *faults.TickState) {
 	}
 }
 
-// trackDegraded emits one telemetry event per suspect-state edge, so traces
-// show when each node entered and left degraded metrics mode.
-func (s *Simulator) trackDegraded() {
-	for i, nd := range s.nodes {
-		suspect := nd.MetricsSuspect()
-		if suspect == s.degraded[i] {
-			continue
-		}
-		s.degraded[i] = suspect
-		s.telDegraded.Inc()
-		if suspect {
-			s.tel.Emit(s.clock, telemetry.EventDegradedMode, nd.ID(),
-				fmt.Sprintf("metrics quarantined (%d rejected, %d dropped samples)",
-					nd.SensorRejected(), nd.SensorDropped()))
-		} else {
-			s.tel.Emit(s.clock, telemetry.EventDegradedRecovered, nd.ID(),
-				"sensor chain trusted again")
+// applyDegradedTransitions emits one telemetry event per suspect-state
+// edge, so traces show when each node entered and left degraded metrics
+// mode. The shard workers detected the edges (Summary.Changed, ascending
+// within each shard); walking the shards in order here visits nodes in
+// exactly the ascending-index order the old serial scan used, so event
+// order is unchanged — and the serial phase now costs O(edges), not
+// O(nodes).
+func (s *Simulator) applyDegradedTransitions() {
+	for si := range s.shardSums {
+		for _, i := range s.shardSums[si].Changed {
+			nd := s.nodes[i]
+			suspect := !s.degraded[i]
+			s.degraded[i] = suspect
+			s.telDegraded.Inc()
+			if suspect {
+				s.tel.Emit(s.clock, telemetry.EventDegradedMode, nd.ID(),
+					fmt.Sprintf("metrics quarantined (%d rejected, %d dropped samples)",
+						nd.SensorRejected(), nd.SensorDropped()))
+			} else {
+				s.tel.Emit(s.clock, telemetry.EventDegradedRecovered, nd.ID(),
+					"sensor chain trusted again")
+			}
 		}
 	}
 }
 
 // updateFleetGauges refreshes the fleet-level telemetry gauges once per
 // control period: simulated clock, worst battery health (the EOL criterion
-// of §II-B), and average state of charge.
+// of §II-B), and average state of charge — all read from the current
+// tick's merged shard summary, so the gauge update is O(1) instead of a
+// fleet rescan.
 func (s *Simulator) updateFleetGauges() {
 	if s.tel == nil {
 		return
 	}
 	s.telClock.Set(s.clock.Seconds())
-	minHealth := 1.0
-	var sumSoC float64
-	for _, n := range s.nodes {
-		st := n.Stats()
-		if st.Health < minHealth {
-			minHealth = st.Health
-		}
-		sumSoC += st.SoC
+	sum := &s.fleetSum
+	if !sum.Valid || sum.Nodes == 0 {
+		return
 	}
-	s.telMinHealth.Set(minHealth)
-	if len(s.nodes) > 0 {
-		s.telFleetAvgSoC.Set(sumSoC / float64(len(s.nodes)))
-	}
+	s.telMinHealth.Set(min(sum.MinHealth, 1.0))
+	s.telFleetAvgSoC.Set(sum.SoCSum / float64(sum.Nodes))
 	if s.inj != nil {
-		var suspect int
-		for _, n := range s.nodes {
-			if n.MetricsSuspect() {
-				suspect++
-			}
-		}
-		s.telSuspect.Set(float64(suspect))
+		s.telSuspect.Set(float64(sum.Suspect))
 	}
 }
 

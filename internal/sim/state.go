@@ -67,13 +67,20 @@ type envelope struct {
 
 // ConfigHash returns the hex SHA-256 of the simulator's configuration in
 // canonical JSON form, excluding the fields that must not pin a resume:
-// Workers (resume must be worker-count-independent), telemetry handles
+// Workers, ShardSize, and ParallelThreshold (performance knobs that never
+// change results, so resume must not depend on them), telemetry handles
 // (observation, not state), and BatteryOptions (opaque functions whose
 // observable effect — per-pack capacity/resistance scales — serializes
 // inside each node's battery state instead).
 func (s *Simulator) ConfigHash() (string, error) {
 	c := s.cfg
 	c.Workers = 0
+	// ShardSize and ParallelThreshold are performance knobs with the same
+	// contract as Workers: they never change results, so a checkpoint must
+	// restore into any of them (their zero values also marshal away via
+	// omitempty, keeping hashes from before the knobs existed valid).
+	c.ShardSize = 0
+	c.ParallelThreshold = 0
 	c.Telemetry = nil
 	c.Node.Telemetry = nil
 	c.Node.BatteryOptions = nil

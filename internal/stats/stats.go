@@ -59,6 +59,32 @@ func (h *Histogram) Observe(x float64) {
 	}
 }
 
+// Reset zeroes every counter, keeping the bin geometry. Per-shard scratch
+// histograms reset at the start of each accumulation pass instead of being
+// reallocated.
+func (h *Histogram) Reset() {
+	clear(h.counts)
+	h.total, h.under, h.over = 0, 0, 0
+}
+
+// Merge adds o's counts into h. Both histograms must share the same bin
+// geometry; merging per-shard histograms bin-by-bin recombines to exactly
+// the counts a single whole-fleet histogram would hold, because counts are
+// integers and every sample lands in exactly one shard.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o.lo != h.lo || o.hi != h.hi || len(o.counts) != len(h.counts) {
+		return fmt.Errorf("stats: merge histogram [%v, %v)/%d bins into [%v, %v)/%d bins",
+			o.lo, o.hi, len(o.counts), h.lo, h.hi, len(h.counts))
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.under += o.under
+	h.over += o.over
+	return nil
+}
+
 // Counts returns a copy of the per-bin counts.
 func (h *Histogram) Counts() []int64 {
 	return append([]int64(nil), h.counts...)

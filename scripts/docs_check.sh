@@ -1,0 +1,42 @@
+#!/bin/sh
+# docs_check.sh — documentation link hygiene, part of `make check`:
+#   1. every file under docs/ is reachable from README.md (an orphaned
+#      document is one nobody will find);
+#   2. every intra-repo markdown link in README.md and docs/*.md resolves
+#      to an existing file or directory (anchors and external URLs are
+#      out of scope).
+# Usage: ./scripts/docs_check.sh  (from the repository root)
+set -eu
+
+fail=0
+
+for doc in docs/*.md; do
+    if ! grep -q "$doc" README.md; then
+        echo "docs-check: $doc is not linked from README.md" >&2
+        fail=1
+    fi
+done
+
+# Pull every ](target) out of the checked set, drop external links and
+# pure anchors, strip #fragments, and require the target to exist
+# relative to the linking file's directory.
+for md in README.md docs/*.md; do
+    dir=$(dirname "$md")
+    links=$(grep -o '](\([^)]*\))' "$md" | sed 's/^](//; s/)$//') || true
+    for link in $links; do
+        case $link in
+        http://* | https://* | mailto:* | \#*) continue ;;
+        esac
+        target=${link%%#*}
+        [ -n "$target" ] || continue
+        if [ ! -e "$dir/$target" ]; then
+            echo "docs-check: $md links to missing $link" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "docs-check: OK"
