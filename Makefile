@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-smoke bench-regression bench-baseline fuzz-smoke chaos-smoke checkpoint-smoke docs-check golden-update
+.PHONY: check fmt vet build test test-race bench bench-smoke bench-regression bench-baseline conformance fuzz-smoke chaos-smoke checkpoint-smoke docs-check golden-update
 
 check: ## gofmt -l + vet + build + race tests
 	./check.sh
@@ -33,6 +33,10 @@ bench-regression: ## run the fixed suite and fail on regressions vs BENCH_baseli
 
 bench-baseline: ## re-measure and overwrite BENCH_baseline.json (commit the result)
 	$(GO) run ./cmd/baatbench -bench-json BENCH_baseline.json
+
+conformance: ## shared battery-model contract across all tiers + chemistry fuzz smoke
+	$(GO) test -count=1 -run 'TestModelConformance' ./internal/battery/
+	$(GO) test -run=NONE -fuzz=FuzzModelStep -fuzztime=5s ./internal/battery/
 
 fuzz-smoke: ## short fuzz pass over the aging-metric tracker
 	$(GO) test -run=NONE -fuzz=FuzzAgingMetrics -fuzztime=5s ./internal/aging/

@@ -99,6 +99,10 @@ type DayStats = sim.DayStats
 // NodeSummary is the end-of-run state of one battery node.
 type NodeSummary = sim.NodeSummary
 
+// BatteryShare is one block of a mixed battery fleet (SimConfig.
+// BatteryFleet): a model tier and the fraction of the fleet it covers.
+type BatteryShare = sim.BatteryShare
+
 // DefaultSimConfig mirrors the prototype: six nodes, one-minute ticks,
 // 08:30–18:30 operating window.
 func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }

@@ -108,8 +108,8 @@ func TestPublicCycleLifeAndEquations(t *testing.T) {
 
 func TestPublicExperimentRegistry(t *testing.T) {
 	ids := baat.Experiments()
-	if len(ids) != 21 {
-		t.Fatalf("Experiments() = %d entries, want 21 (15 figures + 2 tables + 4 extensions)", len(ids))
+	if len(ids) != 23 {
+		t.Fatalf("Experiments() = %d entries, want 23 (15 figures + 2 tables + 6 extensions)", len(ids))
 	}
 	cfg := baat.DefaultExperimentConfig()
 	cfg.Quick = true

@@ -65,6 +65,51 @@ func WithManufacturingVariation(capScale, resScale float64) BatteryOption {
 	return battery.WithManufacturingVariation(capScale, resScale)
 }
 
+// BatteryKind selects a battery model tier: the electrochemical lead-acid
+// reference, the fast linear coulomb-counting tier, or the LFP chemistry.
+type BatteryKind = battery.Kind
+
+// The selectable battery model tiers.
+const (
+	// BatteryLeadAcid is the full electrochemical lead-acid reference
+	// (OCV curve, Peukert capacity, thermal model, five aging mechanisms).
+	BatteryLeadAcid = battery.KindLeadAcid
+	// BatteryLinear is the fast linear coulomb-counting tier: constant
+	// voltage, no Peukert/thermal model, single calibrated fade rate.
+	BatteryLinear = battery.KindLinear
+	// BatteryLFP is the LiFePO4 chemistry: flat OCV plateau, cycle +
+	// calendar aging curves, deep-discharge tolerance.
+	BatteryLFP = battery.KindLFP
+)
+
+// BatteryModel is the narrow interface every battery tier implements; see
+// docs/BATTERY_MODELS.md for the contract and the conformance suite.
+type BatteryModel = battery.Model
+
+// LinearBattery is the linear coulomb-counting tier's concrete type.
+type LinearBattery = battery.Linear
+
+// BatteryKinds lists the selectable battery model tiers.
+func BatteryKinds() []BatteryKind { return battery.Kinds() }
+
+// ParseBatteryKind parses a user-facing battery model name ("leadacid",
+// "linear", "lfp", and common aliases such as "vrla" or "lifepo4").
+func ParseBatteryKind(s string) (BatteryKind, error) { return battery.ParseKind(s) }
+
+// DefaultBatterySpecFor returns the stock spec for a battery model tier
+// (the prototype's paired VRLA bank, its linear twin, or the LFP retrofit).
+func DefaultBatterySpecFor(k BatteryKind) (BatterySpec, error) { return battery.DefaultSpecFor(k) }
+
+// DefaultLFPBatterySpec returns the LFP retrofit unit: 12.8 V 70 Ah
+// LiFePO4 with a flat OCV plateau.
+func DefaultLFPBatterySpec() BatterySpec { return battery.DefaultLFPSpec() }
+
+// NewBatteryModel constructs a battery model of the tier the spec's
+// Chemistry selects.
+func NewBatteryModel(spec BatterySpec, opts ...BatteryOption) (BatteryModel, error) {
+	return battery.NewModel(spec, opts...)
+}
+
 // Metrics is a snapshot of the five aging metrics of §III: NAT, CF, PC,
 // DDT, and DR.
 type Metrics = aging.Metrics
@@ -102,6 +147,13 @@ const (
 // DefaultAgingModelConfig returns rates calibrated to the paper's measured
 // six-month drift (Figs 3–5).
 func DefaultAgingModelConfig() AgingModelConfig { return aging.DefaultModelConfig() }
+
+// DefaultAgingModelConfigFor returns the stock damage-model constants for
+// a battery model tier (the lead-acid mechanisms, the linear tier's single
+// fade rate, or the LFP cycle + calendar curves).
+func DefaultAgingModelConfigFor(k BatteryKind) (AgingModelConfig, error) {
+	return aging.DefaultModelConfigFor(k)
+}
 
 // NewAgingModel creates a damage integrator for a battery of the given
 // nominal capacity.

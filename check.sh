@@ -32,6 +32,12 @@ go test -run=NONE -bench='FleetStep/nodes=(16|256|2048)$/' -benchtime=1x ./inter
 echo "== bench regression =="
 go run ./cmd/baatbench -bench-compare BENCH_baseline.json
 
+echo "== model conformance =="
+# The shared battery-model contract (internal/battery/modeltest) across all
+# three tiers, plus a short fuzz pass over every chemistry's step path.
+go test -count=1 -run 'TestModelConformance' ./internal/battery/
+go test -run=NONE -fuzz=FuzzModelStep -fuzztime=5s ./internal/battery/
+
 echo "== fuzz smoke =="
 go test -run=NONE -fuzz=FuzzAgingMetrics -fuzztime=5s ./internal/aging/
 

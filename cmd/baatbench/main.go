@@ -44,6 +44,7 @@ func run() error {
 		telAddr  = flag.String("telemetry-addr", "", "serve /metrics, /events, and /debug/pprof on this address while experiments run (empty = off)")
 		faults   = flag.String("faults", "none", "fault-injection profile applied to every simulator: "+strings.Join(baat.FaultProfileNames(), " | "))
 		faultsSd = flag.Int64("faults-seed", 0, "fault injector seed (0 derives the simulation seed+4)")
+		battery  = flag.String("battery-model", "leadacid", "battery model tier for every harness-built simulator: leadacid | linear | lfp")
 
 		benchJSON    = flag.String("bench-json", "", "run the benchmark-regression suite and write its JSON report to this path ('-' = stdout), then exit")
 		benchCompare = flag.String("bench-compare", "", "run the benchmark-regression suite, compare against this baseline JSON, and exit non-zero on regressions")
@@ -62,7 +63,11 @@ func run() error {
 		return nil
 	}
 
-	cfg := baat.ExperimentConfig{Seed: *seed, Accel: *accel, Quick: *quick, Workers: *workers}
+	bk, err := baat.ParseBatteryKind(*battery)
+	if err != nil {
+		return err
+	}
+	cfg := baat.ExperimentConfig{Seed: *seed, Accel: *accel, Quick: *quick, Workers: *workers, BatteryModel: bk}
 	fcfg, err := baat.FaultProfile(*faults, *faultsSd)
 	if err != nil {
 		return err

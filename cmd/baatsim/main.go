@@ -53,6 +53,8 @@ func run() error {
 		resumePath = flag.String("resume", "", "resume a fixed-days run from this checkpoint; -days stays the total horizon")
 		telAddr    = flag.String("telemetry-addr", "", "serve /metrics, /events, and /debug/pprof on this address (e.g. :8080; empty = off)")
 		telHold    = flag.Duration("telemetry-hold", 0, "keep the telemetry endpoint alive this long after the run (so scrapers catch the final state)")
+		battModel  = flag.String("battery-model", "leadacid", "battery model tier: leadacid | linear | lfp")
+		battMix    = flag.String("battery-mix", "", "mixed fleet as model=fraction pairs, e.g. 'leadacid=0.5,lfp=0.5' (fractions sum to 1; overrides -battery-model)")
 	)
 	flag.Parse()
 
@@ -92,6 +94,27 @@ func run() error {
 	scfg.JobsPerDay = *jobsPerDay
 	scfg.Solar.Scale = *solarScale
 	scfg.Node.AgingConfig.AccelFactor = *accel
+	switch {
+	case *battMix != "":
+		shares, err := parseBatteryMix(*battMix)
+		if err != nil {
+			return err
+		}
+		scfg.BatteryFleet = shares
+	default:
+		bk, err := baat.ParseBatteryKind(*battModel)
+		if err != nil {
+			return err
+		}
+		// The default tier reproduces DefaultSimConfig exactly (identical
+		// config hash), so checkpoints written before the flag existed
+		// still resume.
+		ncfg, err := scfg.Node.WithBatteryModel(bk)
+		if err != nil {
+			return err
+		}
+		scfg.Node = ncfg
+	}
 	if *prototype {
 		scfg.Services = baat.PrototypeServices()
 	}
@@ -186,6 +209,36 @@ func parsePolicy(name string) (baat.PolicyKind, error) {
 	default:
 		return 0, fmt.Errorf("unknown policy %q (want ebuff, baat-s, baat-h, or baat)", name)
 	}
+}
+
+// parseBatteryMix parses the -battery-mix syntax: comma-separated
+// model=fraction pairs, e.g. "leadacid=0.5,lfp=0.5". Fraction validation
+// (positive, summing to 1) is left to the simulator's config check.
+func parseBatteryMix(s string) ([]baat.BatteryShare, error) {
+	var shares []baat.BatteryShare
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, frac, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("battery mix entry %q is not model=fraction", part)
+		}
+		kind, err := baat.ParseBatteryKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(frac), 64)
+		if err != nil {
+			return nil, fmt.Errorf("battery mix entry %q: bad fraction: %v", part, err)
+		}
+		shares = append(shares, baat.BatteryShare{Model: kind, Fraction: f})
+	}
+	if len(shares) == 0 {
+		return nil, fmt.Errorf("battery mix %q contains no model=fraction pairs", s)
+	}
+	return shares, nil
 }
 
 func monthsToDuration(months float64) time.Duration {

@@ -100,6 +100,10 @@ type ModelState struct {
 	CapFade     float64                `json:"cap_fade"`
 	EffLoss     float64                `json:"eff_loss"`
 	SinceFull   float64                `json:"since_full"`
+	// Hours is the accelerated-time clock behind the LFP √t calendar
+	// fade; zero (and omitted) for the chemistries that don't use it, so
+	// pre-existing lead-acid checkpoints parse unchanged.
+	Hours float64 `json:"hours,omitempty"`
 }
 
 // Snapshot captures the model's accumulated damage.
@@ -110,6 +114,7 @@ func (m *Model) Snapshot() ModelState {
 		CapFade:     m.capFade,
 		EffLoss:     m.effLoss,
 		SinceFull:   m.sinceFull,
+		Hours:       m.hours,
 	}
 }
 
@@ -128,6 +133,7 @@ func (m *Model) Restore(st ModelState) error {
 		nonNeg("cap fade", st.CapFade),
 		nonNeg("eff loss", st.EffLoss),
 		nonNeg("since full", st.SinceFull),
+		nonNeg("hours", st.Hours),
 	}
 	for i, v := range st.ByMechanism {
 		checks = append(checks, nonNeg(Mechanism(i+1).String()+" stress", v))
@@ -142,5 +148,6 @@ func (m *Model) Restore(st ModelState) error {
 	m.capFade = st.CapFade
 	m.effLoss = st.EffLoss
 	m.sinceFull = st.SinceFull
+	m.hours = st.Hours
 	return nil
 }

@@ -25,6 +25,14 @@ import (
 // Spec describes a battery product as the manufacturer rates it. The zero
 // value is not usable; start from DefaultSpec.
 type Spec struct {
+	// Chemistry selects the model tier simulating this product (see Kind).
+	// The zero value means the reference lead-acid tier, so specs written
+	// before model selection existed keep their meaning — and, because the
+	// field is omitted from JSON when empty, their checkpoint config
+	// hashes. Any non-default tier changes the marshaled spec and thereby
+	// the hash, which is what makes a wrong-model resume fail loudly.
+	Chemistry Kind `json:",omitempty"`
+
 	// NominalVoltage is the rated terminal voltage (12 V for the prototype
 	// units).
 	NominalVoltage units.Volt
@@ -110,6 +118,8 @@ func Parallel(s Spec, n int) Spec {
 // Validate reports whether the spec is physically meaningful.
 func (s Spec) Validate() error {
 	switch {
+	case !s.Chemistry.Valid():
+		return fmt.Errorf("battery: unknown chemistry %q", s.Chemistry)
 	case s.NominalVoltage <= 0:
 		return errors.New("battery: nominal voltage must be positive")
 	case s.NominalCapacity <= 0:
@@ -175,6 +185,13 @@ const EndOfLifeHealth = 0.8
 type Pack struct {
 	spec Spec
 
+	// kind is the normalized chemistry; curve and curveRef are the OCV
+	// table for that chemistry and the pack voltage it is tabulated at,
+	// both fixed at construction.
+	kind     Kind
+	curve    *units.Interpolator
+	curveRef float64
+
 	// Manufacturing variation (§IV-B): multiplier on capacity and
 	// resistance fixed at construction.
 	capacityScale   float64
@@ -203,12 +220,36 @@ type Pack struct {
 	telCutoff    *telemetry.Counter
 }
 
-// Option customizes a Pack at construction.
-type Option func(*Pack)
+// settings collects the construction-time options shared by every model
+// tier, so one Option type configures Pack and Linear alike.
+type settings struct {
+	capScale float64
+	resScale float64
+	soc      float64
+	temp     units.Celsius
+	rec      *telemetry.Recorder
+}
+
+func defaultSettings() settings {
+	return settings{capScale: 1, resScale: 1, soc: 1, temp: 25}
+}
+
+// counters resolves the telemetry handles once at construction so the
+// per-step cost is one nil check plus an atomic add. A nil recorder
+// yields nil (no-op) handles.
+func (s settings) counters() (discharge, charge, rest, cutoff *telemetry.Counter) {
+	return s.rec.Counter(telemetry.MetricBatteryDischargeSteps),
+		s.rec.Counter(telemetry.MetricBatteryChargeSteps),
+		s.rec.Counter(telemetry.MetricBatteryRestSteps),
+		s.rec.Counter(telemetry.MetricBatteryCutoffs)
+}
+
+// Option customizes a battery model at construction.
+type Option func(*settings)
 
 // WithInitialSoC sets the starting state of charge (default 1.0).
 func WithInitialSoC(soc float64) Option {
-	return func(p *Pack) { p.soc = units.Clamp01(soc) }
+	return func(s *settings) { s.soc = units.Clamp01(soc) }
 }
 
 // WithManufacturingVariation applies fixed per-unit deviation from the
@@ -216,32 +257,27 @@ func WithInitialSoC(soc float64) Option {
 // Imperfect manufacturing is one of the paper's two causes of aging
 // variation (§IV-B-1).
 func WithManufacturingVariation(capScale, resScale float64) Option {
-	return func(p *Pack) {
+	return func(s *settings) {
 		if capScale > 0 {
-			p.capacityScale = capScale
+			s.capScale = capScale
 		}
 		if resScale > 0 {
-			p.resistanceScale = resScale
+			s.resScale = resScale
 		}
 	}
 }
 
 // WithInitialTemperature sets the starting case temperature (default 25 °C).
 func WithInitialTemperature(t units.Celsius) Option {
-	return func(p *Pack) { p.temp = t }
+	return func(s *settings) { s.temp = t }
 }
 
-// WithRecorder instruments the pack's step loop: discharge, charge, and
+// WithRecorder instruments the model's step loop: discharge, charge, and
 // rest step counts plus protection-cutoff trips are recorded under the
-// canonical battery metric names. A nil recorder leaves the pack exactly
+// canonical battery metric names. A nil recorder leaves the model exactly
 // as un-instrumented (the handles stay nil no-ops).
 func WithRecorder(rec *telemetry.Recorder) Option {
-	return func(p *Pack) {
-		p.telDischarge = rec.Counter(telemetry.MetricBatteryDischargeSteps)
-		p.telCharge = rec.Counter(telemetry.MetricBatteryChargeSteps)
-		p.telRest = rec.Counter(telemetry.MetricBatteryRestSteps)
-		p.telCutoff = rec.Counter(telemetry.MetricBatteryCutoffs)
-	}
+	return func(s *settings) { s.rec = rec }
 }
 
 // New constructs a Pack from spec.
@@ -261,18 +297,31 @@ func NewInto(p *Pack, spec Spec, opts ...Option) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
+	kind := spec.Chemistry.Normalize()
+	if kind == KindLinear {
+		return errors.New("battery: the linear tier is a Linear, not a Pack (use NewModel)")
+	}
+	st := defaultSettings()
+	for _, opt := range opts {
+		opt(&st)
+	}
+	curve, ref := chemCurve(kind)
 	*p = Pack{
 		spec:            spec,
-		capacityScale:   1,
-		resistanceScale: 1,
-		soc:             1,
-		temp:            25,
+		kind:            kind,
+		curve:           curve,
+		curveRef:        ref,
+		capacityScale:   st.capScale,
+		resistanceScale: st.resScale,
+		soc:             st.soc,
+		temp:            st.temp,
 	}
-	for _, opt := range opts {
-		opt(p)
-	}
+	p.telDischarge, p.telCharge, p.telRest, p.telCutoff = st.counters()
 	return nil
 }
+
+// Kind identifies the model tier simulating this pack.
+func (p *Pack) Kind() Kind { return p.kind }
 
 // Spec returns the nameplate specification.
 func (p *Pack) Spec() Spec { return p.spec }
@@ -332,11 +381,11 @@ func (p *Pack) internalResistance() float64 {
 	return p.spec.InternalResistance * p.resistanceScale * (1 + p.deg.ResistanceGrowth)
 }
 
-// ocv returns the open-circuit voltage at the present SoC, scaled to the
-// pack's nominal voltage.
+// ocv returns the open-circuit voltage at the present SoC, scaled from the
+// chemistry's reference curve to the pack's nominal voltage.
 func (p *Pack) ocv() units.Volt {
-	v := ocvCurve.At(p.soc)
-	return units.Volt(v * float64(p.spec.NominalVoltage) / 12)
+	v := p.curve.At(p.soc)
+	return units.Volt(v * float64(p.spec.NominalVoltage) / p.curveRef)
 }
 
 // OpenCircuitVoltage exposes the rest voltage (what the sensor module reads
@@ -386,6 +435,22 @@ func (p *Pack) MaxDischargePower() units.Watt {
 	return units.Watt(vc * i)
 }
 
+// MaxChargePower returns the battery-side power the charger could push
+// into the pack this instant: OCV times the taper-limited charge current.
+// Zero when full. The charger-side request adds conversion losses on top
+// (the node divides by its charger efficiency).
+func (p *Pack) MaxChargePower() units.Watt {
+	if p.soc >= 1 {
+		return 0
+	}
+	v := float64(p.ocv())
+	maxI := float64(p.spec.MaxChargeCurrent)
+	if p.soc > 0.9 {
+		maxI *= units.Clamp((1-p.soc)/0.1, 0.05, 1)
+	}
+	return units.Watt(v * maxI)
+}
+
 // CutOff reports whether the battery has reached the protection threshold:
 // either empty or unable to hold the cutoff voltage at the reference rate.
 func (p *Pack) CutOff() bool {
@@ -411,15 +476,37 @@ type StepResult struct {
 	CutOff bool
 }
 
+// finite reports whether x is a usable number (not NaN or ±Inf).
+func finite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// checkStep validates the inputs every step method shares. Rejecting
+// non-finite values here is what keeps a poisoned sensor reading or a
+// fuzzer-crafted NaN from flowing through Clamp (which passes NaN) into
+// the state of charge.
+func checkStep(pw units.Watt, dt time.Duration, amb units.Celsius) error {
+	if !finite(float64(pw)) {
+		return fmt.Errorf("battery: non-finite power %v", pw)
+	}
+	if dt <= 0 {
+		return fmt.Errorf("battery: non-positive step duration %v", dt)
+	}
+	if !finite(float64(amb)) {
+		return fmt.Errorf("battery: non-finite ambient temperature %v", amb)
+	}
+	return nil
+}
+
 // Discharge draws electrical power pw from the pack for duration dt at
 // ambient temperature amb. The realized energy may be lower than requested
 // if the pack trips its cutoff mid-step.
 func (p *Pack) Discharge(pw units.Watt, dt time.Duration, amb units.Celsius) (StepResult, error) {
+	if err := checkStep(pw, dt, amb); err != nil {
+		return StepResult{}, err
+	}
 	if pw < 0 {
 		return StepResult{}, fmt.Errorf("battery: negative discharge power %v", pw)
-	}
-	if dt <= 0 {
-		return StepResult{}, fmt.Errorf("battery: non-positive step duration %v", dt)
 	}
 	if pw == 0 || p.CutOff() {
 		p.rest(dt, amb)
@@ -483,11 +570,11 @@ func (p *Pack) Discharge(pw units.Watt, dt time.Duration, amb units.Celsius) (St
 // It returns the power actually accepted, which lets the power bus route
 // surplus solar elsewhere.
 func (p *Pack) Charge(pw units.Watt, dt time.Duration, amb units.Celsius) (StepResult, error) {
+	if err := checkStep(pw, dt, amb); err != nil {
+		return StepResult{}, err
+	}
 	if pw < 0 {
 		return StepResult{}, fmt.Errorf("battery: negative charge power %v", pw)
-	}
-	if dt <= 0 {
-		return StepResult{}, fmt.Errorf("battery: non-positive step duration %v", dt)
 	}
 	if pw == 0 || p.soc >= 1 {
 		p.rest(dt, amb)
@@ -534,13 +621,14 @@ func (p *Pack) Charge(pw units.Watt, dt time.Duration, amb units.Celsius) (StepR
 
 // Rest advances time with no terminal current: self-discharge plus thermal
 // relaxation toward ambient.
-func (p *Pack) Rest(dt time.Duration, amb units.Celsius) {
-	if dt <= 0 {
-		return
+func (p *Pack) Rest(dt time.Duration, amb units.Celsius) error {
+	if err := checkStep(0, dt, amb); err != nil {
+		return err
 	}
 	p.rest(dt, amb)
 	p.operating += dt
 	p.telRest.Inc()
+	return nil
 }
 
 func (p *Pack) rest(dt time.Duration, amb units.Celsius) {
@@ -617,18 +705,18 @@ func (p *Pack) StoredEnergy() units.WattHour {
 func (p *Pack) EstimateSoC(v units.Volt, i units.Ampere) float64 {
 	// Undo the IR drop to recover the open-circuit voltage, then rescale
 	// to the canonical 12 V curve.
-	ocv := (float64(v) + float64(i)*p.internalResistance()) * 12 / float64(p.spec.NominalVoltage)
-	lo, hi := ocvCurve.Domain()
-	if ocv >= ocvCurve.At(hi) {
+	ocv := (float64(v) + float64(i)*p.internalResistance()) * p.curveRef / float64(p.spec.NominalVoltage)
+	lo, hi := p.curve.Domain()
+	if ocv >= p.curve.At(hi) {
 		return 1
 	}
-	if ocv <= ocvCurve.At(lo) {
+	if ocv <= p.curve.At(lo) {
 		return 0
 	}
 	// Binary search the monotone OCV curve.
 	for iter := 0; iter < 40; iter++ {
 		mid := (lo + hi) / 2
-		if ocvCurve.At(mid) < ocv {
+		if p.curve.At(mid) < ocv {
 			lo = mid
 		} else {
 			hi = mid

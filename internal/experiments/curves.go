@@ -83,7 +83,9 @@ func UsageScenarios(cfg Config) (*Table, error) {
 			name: "power backup (rarely used)",
 			drive: func(pack *battery.Pack, model *aging.Model, jitter float64) error {
 				// Float at full; a brief monthly self-test discharge.
-				pack.Rest(24*time.Hour, 25)
+				if err := pack.Rest(24*time.Hour, 25); err != nil {
+					return err
+				}
 				return observe(pack, model, battery.StepResult{}, 24*time.Hour)
 			},
 		},
@@ -105,7 +107,9 @@ func UsageScenarios(cfg Config) (*Table, error) {
 				if err := observe(pack, model, cres, 2*time.Hour); err != nil {
 					return err
 				}
-				pack.Rest(21*time.Hour, 25)
+				if err := pack.Rest(21*time.Hour, 25); err != nil {
+					return err
+				}
 				return observe(pack, model, battery.StepResult{}, 21*time.Hour)
 			},
 		},
@@ -129,7 +133,9 @@ func UsageScenarios(cfg Config) (*Table, error) {
 				if err := observe(pack, model, cres, 5*time.Hour); err != nil {
 					return err
 				}
-				pack.Rest(15*time.Hour, 25)
+				if err := pack.Rest(15*time.Hour, 25); err != nil {
+					return err
+				}
 				return observe(pack, model, battery.StepResult{}, 15*time.Hour)
 			},
 		},

@@ -86,7 +86,9 @@ func runDrift(cfg Config) (*driftRun, error) {
 					return nil, err
 				}
 			}
-			pack.Rest(14*time.Hour, 25)
+			if err := pack.Rest(14*time.Hour, 25); err != nil {
+				return nil, err
+			}
 			if err := observe(battery.StepResult{}, 14*time.Hour); err != nil {
 				return nil, err
 			}

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/green-dc/baat/internal/battery"
 	"github.com/green-dc/baat/internal/core"
 	"github.com/green-dc/baat/internal/faults"
 	"github.com/green-dc/baat/internal/rng"
@@ -117,6 +118,13 @@ type Config struct {
 	// the harnesses build (sim.Config.Faults): the robustness counterpart
 	// to the clean-run tables. Empty (the default) injects nothing.
 	Faults faults.Config
+	// BatteryModel selects the battery model tier every harness-built
+	// simulator runs (battery.KindLeadAcid, KindLinear, KindLFP). Empty —
+	// the default — keeps the electrochemical lead-acid reference, which
+	// is what the paper's tables are calibrated against; the linear tier
+	// trades the measured fidelity error of the model-fidelity experiment
+	// for cheap capacity-planning sweeps.
+	BatteryModel battery.Kind
 }
 
 // DefaultConfig returns the full-fidelity configuration.
@@ -131,6 +139,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("experiments: %w", err)
+	}
+	if !c.BatteryModel.Valid() {
+		return fmt.Errorf("experiments: unknown battery model %q", c.BatteryModel)
 	}
 	return nil
 }
@@ -226,6 +237,17 @@ func prototypeSimWithScale(cfg Config, kind core.Kind, coreCfg core.Config, scal
 	scfg := sim.DefaultConfig()
 	scfg.Seed = cfg.Seed
 	scfg.Node.AgingConfig.AccelFactor = cfg.Accel
+	if cfg.BatteryModel != "" {
+		// Swap the node template onto the selected tier; WithBatteryModel
+		// preserves the acceleration factor set above. The default tier
+		// reproduces sim.DefaultConfig exactly, so the branch only fires
+		// when a harness or CLI explicitly picks a model.
+		ncfg, err := scfg.Node.WithBatteryModel(cfg.BatteryModel)
+		if err != nil {
+			return nil, err
+		}
+		scfg.Node = ncfg
+	}
 	scfg.Services = workload.PrototypeServices()
 	scfg.JobsPerDay = 2
 	scfg.Solar.Scale = scale

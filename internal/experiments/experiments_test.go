@@ -38,8 +38,8 @@ func TestTableRender(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 21 {
-		t.Fatalf("registry has %d entries, want 21", len(ids))
+	if len(ids) != 23 {
+		t.Fatalf("registry has %d entries, want 23", len(ids))
 	}
 	for _, id := range ids {
 		if _, err := Lookup(id); err != nil {
@@ -287,8 +287,8 @@ func TestRunAllQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 21 {
-		t.Fatalf("RunAll returned %d tables, want 21", len(tables))
+	if len(tables) != 23 {
+		t.Fatalf("RunAll returned %d tables, want 23", len(tables))
 	}
 	for _, tab := range tables {
 		if len(tab.Rows) == 0 {

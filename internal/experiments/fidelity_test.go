@@ -1,0 +1,72 @@
+package experiments
+
+// Semantics checks for the battery-model experiments: the fidelity harness
+// must actually quantify a small linear-tier error (the tolerance bounds
+// proper live in the cross-fidelity golden test in internal/sim), and the
+// mixed-fleet harness must expose the cross-chemistry aging gap.
+
+import (
+	"testing"
+
+	"github.com/green-dc/baat/internal/core"
+)
+
+func TestModelFidelityQuick(t *testing.T) {
+	tab, err := ModelFidelity(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two scenarios × (three tiers + one error row).
+	if len(tab.Rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(tab.Rows))
+	}
+	for _, sc := range []string{"clean", "chaos"} {
+		if v, ok := tab.Values[sc+"_linear_throughput_err"]; !ok || v < 0 || v > 0.2 {
+			t.Errorf("%s: linear throughput error %v outside the plausible band [0, 0.2]", sc, v)
+		}
+		if v, ok := tab.Values[sc+"_linear_health_err"]; !ok || v < 0 || v > 0.05 {
+			t.Errorf("%s: linear health error %v outside the plausible band [0, 0.05]", sc, v)
+		}
+		for _, tier := range []string{"leadacid", "linear", "lfp"} {
+			if v := tab.Values[sc+"_"+tier+"_throughput"]; v <= 0 {
+				t.Errorf("%s/%s: non-positive throughput %v", sc, tier, v)
+			}
+			if v := tab.Values[sc+"_"+tier+"_health"]; v <= 0 || v > 1 {
+				t.Errorf("%s/%s: health %v outside (0, 1]", sc, tier, v)
+			}
+		}
+	}
+}
+
+func TestMixedFleetQuick(t *testing.T) {
+	tab, err := MixedFleet(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(core.Kinds()) {
+		t.Fatalf("got %d rows, want one per policy (%d)", len(tab.Rows), len(core.Kinds()))
+	}
+	for _, k := range core.Kinds() {
+		name := k.String()
+		lead := tab.Values[name+"_lead_health"]
+		lfp := tab.Values[name+"_lfp_health"]
+		worst := tab.Values[name+"_worst_health"]
+		if lead <= 0 || lead > 1 || lfp <= 0 || lfp > 1 {
+			t.Errorf("%s: block healths outside (0, 1]: lead %v, lfp %v", name, lead, lfp)
+		}
+		if worst > lead || worst > lfp {
+			t.Errorf("%s: worst health %v above a block mean (lead %v, lfp %v)", name, worst, lead, lfp)
+		}
+		if tab.Values[name+"_throughput"] <= 0 {
+			t.Errorf("%s: non-positive throughput", name)
+		}
+	}
+	// The chemistry gap the harness exists to expose: under the aging-
+	// oblivious baseline, the LFP retrofits outlast the legacy lead-acid
+	// block (slower fade under identical duty).
+	base := core.EBuff.String()
+	if tab.Values[base+"_lfp_health"] <= tab.Values[base+"_lead_health"] {
+		t.Errorf("under %s the LFP block (%v) should out-age the lead-acid block (%v)",
+			base, tab.Values[base+"_lfp_health"], tab.Values[base+"_lead_health"])
+	}
+}

@@ -17,11 +17,12 @@ import (
 // sweepEquivalenceIDs covers every sweep shape the harnesses use: a plain
 // per-variant list (fig12, fig18), a flattened scenario×kind grid (fig13;
 // fig14/fig20 share the layout but cost lifetime searches), a
-// reference-slot-plus-sweep layout (fig22), and a two-branch architecture
-// split (arch-comparison). IDs are quick-capable so the sweep stays in
-// -race budget.
+// reference-slot-plus-sweep layout (fig22), a two-branch architecture
+// split (arch-comparison), and the flattened scenario×battery-tier grid
+// (model-fidelity). IDs are quick-capable so the sweep stays in -race
+// budget.
 var sweepEquivalenceIDs = []string{
-	"fig12", "fig13", "fig18", "fig22", "arch-comparison",
+	"fig12", "fig13", "fig18", "fig22", "arch-comparison", "model-fidelity",
 }
 
 func renderWith(t *testing.T, id string, workers int) string {

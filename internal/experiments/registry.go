@@ -36,6 +36,8 @@ var registry = []struct {
 	{"ablation-migration", AblationMigration},
 	{"arch-comparison", ArchitectureComparison},
 	{"demand-response", DemandResponse},
+	{"model-fidelity", ModelFidelity},
+	{"mixed-fleet", MixedFleet},
 }
 
 // IDs lists all experiment IDs in paper order.

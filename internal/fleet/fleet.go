@@ -60,6 +60,14 @@ type Config struct {
 	// manufacturing variation drawn from a caller stream) therefore lands
 	// on the same node it always has, which golden traces rely on.
 	Node func(i int) (node.Config, error)
+	// Model declares node i's battery model tier ahead of construction so
+	// the per-tier slabs (electrochemical packs vs. linear models) can be
+	// sized exactly — Node is called once per node, so the fleet cannot
+	// pre-scan configs. It must agree with what Node(i) returns; a
+	// mismatch is a construction error. Nil means all-electrochemical
+	// slab sizing: nodes whose config selects the linear tier still work
+	// but fall back to a private heap allocation for their model.
+	Model func(i int) battery.Kind
 }
 
 // Columns is the fleet-wide allocator scratch: one dense column per
@@ -81,7 +89,8 @@ type Fleet struct {
 	nodes    []node.Node
 	views    []*node.Node
 	servers  []server.Server
-	packs    []battery.Pack
+	packs    []battery.Pack   // electrochemical tiers (lead-acid, LFP)
+	linears  []battery.Linear // linear coulomb-counting tier
 	trackers []aging.Tracker
 	models   []aging.Model
 	tables   []powernet.PowerTable
@@ -108,11 +117,23 @@ func New(cfg Config) (*Fleet, error) {
 		id = func(i int) string { return fmt.Sprintf("node-%d", i) }
 	}
 	n := cfg.Nodes
+	// Size the per-tier battery slabs. With no Model declaration every
+	// node gets an electrochemical slot (linear-tier nodes then allocate
+	// privately in node.NewInto).
+	nLinear := 0
+	if cfg.Model != nil {
+		for i := 0; i < n; i++ {
+			if cfg.Model(i).Normalize() == battery.KindLinear {
+				nLinear++
+			}
+		}
+	}
 	f := &Fleet{
 		nodes:    make([]node.Node, n),
 		views:    make([]*node.Node, n),
 		servers:  make([]server.Server, n),
-		packs:    make([]battery.Pack, n),
+		packs:    make([]battery.Pack, n-nLinear),
+		linears:  make([]battery.Linear, nLinear),
 		trackers: make([]aging.Tracker, n),
 		models:   make([]aging.Model, n),
 		tables:   make([]powernet.PowerTable, n),
@@ -121,6 +142,7 @@ func New(cfg Config) (*Fleet, error) {
 	// a node with a different capacity (heterogeneous configs) falls back
 	// to private rows rather than fragmenting the slab.
 	rowCap := -1
+	packCursor, linCursor := 0, 0
 	for i := 0; i < n; i++ {
 		ncfg, err := cfg.Node(i)
 		if err != nil {
@@ -130,12 +152,27 @@ func New(cfg Config) (*Fleet, error) {
 			rowCap = ncfg.TableCapacity
 			f.rows = make([]powernet.Reading, n*rowCap)
 		}
+		kind := ncfg.BatterySpec.Chemistry.Normalize()
+		if cfg.Model != nil {
+			if declared := cfg.Model(i).Normalize(); declared != kind {
+				return nil, fmt.Errorf("fleet: node %d declared battery model %q but its config selects %q",
+					i, declared, kind)
+			}
+		}
 		parts := node.Parts{
 			Server:  &f.servers[i],
-			Pack:    &f.packs[i],
 			Tracker: &f.trackers[i],
 			Model:   &f.models[i],
 			Table:   &f.tables[i],
+		}
+		if kind == battery.KindLinear {
+			if cfg.Model != nil {
+				parts.Linear = &f.linears[linCursor]
+				linCursor++
+			}
+		} else {
+			parts.Pack = &f.packs[packCursor]
+			packCursor++
 		}
 		if ncfg.TableCapacity == rowCap {
 			parts.TableRows = f.rows[i*rowCap : (i+1)*rowCap : (i+1)*rowCap]

@@ -233,7 +233,9 @@ func (s *Shaver) Step(tod time.Duration, dt time.Duration, load units.Watt) erro
 		s.ledger.GridEnergyKWh += boughtWh / 1000
 		s.ledger.GridCost += boughtWh / 1000 * price
 	default:
-		s.pack.Rest(dt, s.cfg.Ambient)
+		if rerr := s.pack.Rest(dt, s.cfg.Ambient); rerr != nil {
+			return rerr
+		}
 	}
 
 	// The load itself always draws whatever the battery did not cover.

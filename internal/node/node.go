@@ -83,6 +83,27 @@ func DefaultConfig() Config {
 	}
 }
 
+// WithBatteryModel returns a copy of c re-based on the stock battery spec
+// and aging constants for the given model tier, preserving the
+// acceleration factor. Selecting the reference tier reproduces
+// DefaultConfig's battery exactly, so -battery-model=leadacid is
+// indistinguishable from — and checkpoint-hash-identical to — the
+// default.
+func (c Config) WithBatteryModel(k battery.Kind) (Config, error) {
+	spec, err := battery.DefaultSpecFor(k)
+	if err != nil {
+		return Config{}, err
+	}
+	acfg, err := aging.DefaultModelConfigFor(k)
+	if err != nil {
+		return Config{}, err
+	}
+	acfg.AccelFactor = c.AgingConfig.AccelFactor
+	c.BatterySpec = spec
+	c.AgingConfig = acfg
+	return c, nil
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if err := c.BatterySpec.Validate(); err != nil {
@@ -93,6 +114,9 @@ func (c Config) Validate() error {
 	}
 	if err := c.AgingConfig.Validate(); err != nil {
 		return err
+	}
+	if bk, ak := c.BatterySpec.Chemistry.Normalize(), c.AgingConfig.Chemistry.Normalize(); bk != ak {
+		return fmt.Errorf("node: battery spec chemistry %q does not match aging chemistry %q", bk, ak)
 	}
 	if err := c.Losses.Validate(); err != nil {
 		return err
@@ -153,7 +177,7 @@ type Node struct {
 	id      string
 	cfg     Config
 	srv     *server.Server
-	pack    *battery.Pack
+	batt    battery.Model
 	tracker *aging.Tracker
 	model   *aging.Model
 	table   *powernet.PowerTable
@@ -208,8 +232,12 @@ func New(id string, cfg Config) (*Node, error) {
 // non-nil, backs the power table and must have length Config.TableCapacity
 // and not be shared with any other table.
 type Parts struct {
-	Server    *server.Server
+	Server *server.Server
+	// Pack backs the electrochemical tiers (lead-acid, LFP); Linear backs
+	// the coulomb-counting tier. Only the one matching the config's
+	// chemistry is used; the other may stay nil.
 	Pack      *battery.Pack
+	Linear    *battery.Linear
 	Tracker   *aging.Tracker
 	Model     *aging.Model
 	Table     *powernet.PowerTable
@@ -233,15 +261,28 @@ func NewInto(n *Node, id string, cfg Config, parts Parts) error {
 	if err := server.NewInto(srv, id+"/server", cfg.ServerSpec); err != nil {
 		return err
 	}
-	// The pack's recorder option goes first so an explicit WithRecorder in
-	// BatteryOptions can still override it.
+	// The battery's recorder option goes first so an explicit WithRecorder
+	// in BatteryOptions can still override it.
 	packOpts := append([]battery.Option{battery.WithRecorder(cfg.Telemetry)}, cfg.BatteryOptions...)
-	pack := parts.Pack
-	if pack == nil {
-		pack = new(battery.Pack)
-	}
-	if err := battery.NewInto(pack, cfg.BatterySpec, packOpts...); err != nil {
-		return err
+	var batt battery.Model
+	if cfg.BatterySpec.Chemistry.Normalize() == battery.KindLinear {
+		lin := parts.Linear
+		if lin == nil {
+			lin = new(battery.Linear)
+		}
+		if err := battery.NewLinearInto(lin, cfg.BatterySpec, packOpts...); err != nil {
+			return err
+		}
+		batt = lin
+	} else {
+		pack := parts.Pack
+		if pack == nil {
+			pack = new(battery.Pack)
+		}
+		if err := battery.NewInto(pack, cfg.BatterySpec, packOpts...); err != nil {
+			return err
+		}
+		batt = pack
 	}
 	tracker := parts.Tracker
 	if tracker == nil {
@@ -283,7 +324,7 @@ func NewInto(n *Node, id string, cfg Config, parts Parts) error {
 		id:            id,
 		cfg:           cfg,
 		srv:           srv,
-		pack:          pack,
+		batt:          batt,
 		tracker:       tracker,
 		model:         model,
 		table:         table,
@@ -304,8 +345,8 @@ func (n *Node) ID() string { return n.id }
 // Server exposes the compute side for VM placement and DVFS control.
 func (n *Node) Server() *server.Server { return n.srv }
 
-// Battery exposes the pack for read-mostly inspection.
-func (n *Node) Battery() *battery.Pack { return n.pack }
+// Battery exposes the battery model for read-mostly inspection.
+func (n *Node) Battery() battery.Model { return n.batt }
 
 // Metrics returns the five aging metrics computed from the node's history.
 func (n *Node) Metrics() aging.Metrics { return n.tracker.Metrics() }
@@ -360,7 +401,7 @@ func (n *Node) UtilityAvailable() bool { return n.cfg.UtilityBackup && !n.utilit
 // damage ledger stay consistent.
 func (n *Node) InjectBatteryWear(capFade, resGrowth, effLoss float64) {
 	n.model.InjectDamage(capFade, resGrowth, effLoss)
-	n.pack.ApplyDegradation(n.model.Degradation())
+	n.batt.ApplyDegradation(n.model.Degradation())
 }
 
 // MetricsSuspect reports whether the node's aging metrics are currently
@@ -398,20 +439,16 @@ func (n *Node) Demand() units.Watt {
 // ChargeRequest returns the maximum solar power (at the bus, before charger
 // loss) the battery could absorb this tick.
 func (n *Node) ChargeRequest() units.Watt {
-	if n.pack.SoC() >= 1 {
+	mcp := n.batt.MaxChargePower()
+	if mcp == 0 {
 		return 0
 	}
-	v := float64(n.pack.OpenCircuitVoltage())
-	maxI := float64(n.cfg.BatterySpec.MaxChargeCurrent)
-	if soc := n.pack.SoC(); soc > 0.9 {
-		maxI *= units.Clamp((1-soc)/0.1, 0.05, 1)
-	}
-	return units.Watt(v * maxI / n.cfg.Losses.ChargerEfficiency)
+	return units.Watt(float64(mcp) / n.cfg.Losses.ChargerEfficiency)
 }
 
 // batteryAvailable reports whether discharging is currently permitted.
 func (n *Node) batteryAvailable() bool {
-	return !n.pack.CutOff() && n.pack.SoC() > n.socFloor
+	return !n.batt.CutOff() && n.batt.SoC() > n.socFloor
 }
 
 // Step advances the node by dt. solarForLoad is bus solar power granted for
@@ -448,14 +485,14 @@ func (n *Node) Step(dt time.Duration, solarForLoad, solarForCharge units.Watt) (
 
 	solarDeliverable := units.Watt(float64(solarForLoad) * n.cfg.Losses.SolarDirectEfficiency)
 	deficit := demand - solarDeliverable
-	canRecover := !wasDown || solarDeliverable >= demand || n.pack.SoC() > n.socFloor+0.05
+	canRecover := !wasDown || solarDeliverable >= demand || n.batt.SoC() > n.socFloor+0.05
 
 	run := true
 	var batteryNeed units.Watt
 	if deficit > 0 {
 		// Battery must bridge deficit through the inverter.
 		batteryNeed = units.Watt(float64(deficit) / n.cfg.Losses.InverterEfficiency)
-		if !canRecover || !n.batteryAvailable() || n.pack.MaxDischargePower() < batteryNeed {
+		if !canRecover || !n.batteryAvailable() || n.batt.MaxDischargePower() < batteryNeed {
 			if n.UtilityAvailable() {
 				res.UtilityPower = deficit
 				res.Source = powernet.SourceUtility
@@ -480,7 +517,7 @@ func (n *Node) Step(dt time.Duration, solarForLoad, solarForCharge units.Watt) (
 			}
 		}
 		if batteryNeed > 0 {
-			sr, err = n.pack.Discharge(batteryNeed, dt, n.cfg.Ambient)
+			sr, err = n.batt.Discharge(batteryNeed, dt, n.cfg.Ambient)
 			if err != nil {
 				return StepResult{}, err
 			}
@@ -513,7 +550,7 @@ func (n *Node) Step(dt time.Duration, solarForLoad, solarForCharge units.Watt) (
 	// dark tick).
 	if solarForCharge > 0 && res.BatteryPower == 0 {
 		chargePower := units.Watt(float64(solarForCharge) * n.cfg.Losses.ChargerEfficiency)
-		cr, cerr := n.pack.Charge(chargePower, dt, n.cfg.Ambient)
+		cr, cerr := n.batt.Charge(chargePower, dt, n.cfg.Ambient)
 		if cerr != nil {
 			return StepResult{}, cerr
 		}
@@ -524,7 +561,9 @@ func (n *Node) Step(dt time.Duration, solarForLoad, solarForCharge units.Watt) (
 			sr = cr
 		}
 	} else if res.BatteryPower == 0 {
-		n.pack.Rest(dt, n.cfg.Ambient)
+		if rerr := n.batt.Rest(dt, n.cfg.Ambient); rerr != nil {
+			return StepResult{}, rerr
+		}
 	}
 
 	// Advance compute and bookkeeping.
@@ -557,7 +596,7 @@ func (n *Node) StepOffline(dt time.Duration, solarForCharge units.Watt) (StepRes
 	var sr battery.StepResult
 	if solarForCharge > 0 {
 		chargePower := units.Watt(float64(solarForCharge) * n.cfg.Losses.ChargerEfficiency)
-		cr, err := n.pack.Charge(chargePower, dt, n.cfg.Ambient)
+		cr, err := n.batt.Charge(chargePower, dt, n.cfg.Ambient)
 		if err != nil {
 			return StepResult{}, err
 		}
@@ -569,7 +608,9 @@ func (n *Node) StepOffline(dt time.Duration, solarForCharge units.Watt) (StepRes
 			sr = cr
 		}
 	} else {
-		n.pack.Rest(dt, n.cfg.Ambient)
+		if rerr := n.batt.Rest(dt, n.cfg.Ambient); rerr != nil {
+			return StepResult{}, rerr
+		}
 	}
 
 	n.clock += dt
@@ -592,8 +633,8 @@ func (n *Node) observe(dt time.Duration, sr battery.StepResult, source powernet.
 	truth := aging.Sample{
 		Dt:          dt,
 		Current:     sr.Current,
-		SoC:         n.pack.SoC(),
-		Temperature: n.pack.Temperature(),
+		SoC:         n.batt.SoC(),
+		Temperature: n.batt.Temperature(),
 	}
 
 	reported, delivered, quality := n.applySensor(truth)
@@ -622,7 +663,7 @@ func (n *Node) observe(dt time.Duration, sr battery.StepResult, source powernet.
 	if err := n.model.Observe(truth); err != nil {
 		return err
 	}
-	n.pack.ApplyDegradation(n.model.Degradation())
+	n.batt.ApplyDegradation(n.model.Degradation())
 
 	// The table row is recorded after degradation is applied, like the
 	// sensor chain sampling at the end of the interval. A clean chain
@@ -635,9 +676,9 @@ func (n *Node) observe(dt time.Duration, sr battery.StepResult, source powernet.
 		n.table.Record(powernet.Reading{
 			At:          n.clock,
 			Current:     0,
-			Voltage:     n.pack.OpenCircuitVoltage(),
-			Temperature: n.pack.Temperature(),
-			SoC:         n.pack.SoC(),
+			Voltage:     n.batt.OpenCircuitVoltage(),
+			Temperature: n.batt.Temperature(),
+			SoC:         n.batt.SoC(),
 			Source:      source,
 			Quality:     powernet.QualityBad,
 		})
@@ -645,16 +686,16 @@ func (n *Node) observe(dt time.Duration, sr battery.StepResult, source powernet.
 		n.table.Record(powernet.Reading{
 			At:          n.clock,
 			Current:     reported.Current,
-			Voltage:     n.pack.TerminalVoltage(reported.Current),
-			Temperature: n.pack.Temperature(),
-			SoC:         n.pack.SoC(),
+			Voltage:     n.batt.TerminalVoltage(reported.Current),
+			Temperature: n.batt.Temperature(),
+			SoC:         n.batt.SoC(),
 			Source:      source,
 		})
 	default:
 		n.table.Record(powernet.Reading{
 			At:          n.clock,
 			Current:     reported.Current,
-			Voltage:     n.pack.TerminalVoltage(reported.Current),
+			Voltage:     n.batt.TerminalVoltage(reported.Current),
 			Temperature: reported.Temperature,
 			SoC:         reported.SoC,
 			Source:      source,
@@ -723,8 +764,8 @@ func (n *Node) Stats() Stats {
 		Throughput:    n.srv.Throughput(),
 		Downtime:      n.srv.Downtime(),
 		Uptime:        n.srv.Uptime(),
-		Health:        n.pack.Health(),
-		SoC:           n.pack.SoC(),
+		Health:        n.batt.Health(),
+		SoC:           n.batt.SoC(),
 	}
 	if n.totalTicks > 0 {
 		s.DownFraction = float64(n.downTicks) / float64(n.totalTicks)
@@ -738,5 +779,5 @@ func (n *Node) SolarEnergy() units.WattHour { return n.solarWh }
 
 // AtEndOfLife reports whether the battery fell below the 80 % health line.
 func (n *Node) AtEndOfLife() bool {
-	return n.pack.Health() < battery.EndOfLifeHealth
+	return n.batt.Health() < battery.EndOfLifeHealth
 }

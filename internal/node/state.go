@@ -67,7 +67,7 @@ type State struct {
 func (n *Node) Snapshot() State {
 	return State{
 		ID:      n.id,
-		Pack:    n.pack.Snapshot(),
+		Pack:    n.batt.Snapshot(),
 		Tracker: n.tracker.Snapshot(),
 		Model:   n.model.Snapshot(),
 		Table:   n.table.Snapshot(),
@@ -140,10 +140,24 @@ func (n *Node) Restore(st State) error {
 	}
 
 	// Stage every sub-restore on scratch copies so a failure partway
-	// through leaves the live node untouched.
-	pack := *n.pack
-	if err := pack.Restore(st.Pack); err != nil {
-		return fmt.Errorf("node %s: restore: %w", n.id, err)
+	// through leaves the live node untouched. The battery stage works on a
+	// value copy of whichever concrete tier backs the model.
+	var commitBatt func()
+	switch b := n.batt.(type) {
+	case *battery.Pack:
+		pack := *b
+		if err := pack.Restore(st.Pack); err != nil {
+			return fmt.Errorf("node %s: restore: %w", n.id, err)
+		}
+		commitBatt = func() { *b = pack }
+	case *battery.Linear:
+		lin := *b
+		if err := lin.Restore(st.Pack); err != nil {
+			return fmt.Errorf("node %s: restore: %w", n.id, err)
+		}
+		commitBatt = func() { *b = lin }
+	default:
+		return fmt.Errorf("node %s: restore: unknown battery model %T", n.id, n.batt)
 	}
 	tracker := *n.tracker
 	if err := tracker.Restore(st.Tracker); err != nil {
@@ -164,7 +178,7 @@ func (n *Node) Restore(st State) error {
 		return fmt.Errorf("node %s: restore: %w", n.id, err)
 	}
 
-	*n.pack = pack
+	commitBatt()
 	*n.tracker = tracker
 	*n.model = model
 	n.table = table

