@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-smoke bench-regression bench-baseline conformance fuzz-smoke chaos-smoke checkpoint-smoke docs-check golden-update
+.PHONY: check fmt vet build test test-race bench bench-smoke bench-regression bench-baseline conformance fuzz-smoke chaos-smoke checkpoint-smoke serve-smoke docs-check golden-update
 
 check: ## gofmt -l + vet + build + race tests
 	./check.sh
@@ -47,6 +47,9 @@ chaos-smoke: ## cluster kill/restart chaos + degraded-mode scenarios under -race
 
 checkpoint-smoke: ## checkpoint a baatsim run mid-flight, resume it, diff the reports
 	./scripts/checkpoint_smoke.sh
+
+serve-smoke: ## start the baatsim serve daemon, fork a run over the API, diff the results
+	./scripts/serve_smoke.sh
 
 docs-check: ## every docs/*.md linked from README; intra-repo doc links resolve
 	./scripts/docs_check.sh

@@ -48,4 +48,7 @@ go test -count=1 -run 'TestGoldenTraceFaulted$|TestDegradedModeScenarios' ./inte
 echo "== checkpoint smoke =="
 ./scripts/checkpoint_smoke.sh
 
+echo "== serve smoke =="
+./scripts/serve_smoke.sh
+
 echo "OK"

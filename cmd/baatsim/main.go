@@ -1,16 +1,19 @@
 // Command baatsim runs the simulated BAAT prototype under one of the four
 // Table 4 power-management policies and reports per-day and end-of-run
-// statistics.
+// statistics. `baatsim serve` instead hosts many simulations behind an
+// HTTP/JSON control plane (see docs/SERVICE.md).
 //
 // Examples:
 //
 //	baatsim -policy baat -days 10 -sunshine 0.5
 //	baatsim -policy ebuff -weather cloudy -days 3 -csv trace.csv
 //	baatsim -policy baat -until-eol -accel 10 -sunshine 0.6
+//	baatsim serve -addr 127.0.0.1:8080
 package main
 
 import (
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -23,50 +26,147 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 && args[0] == "serve" {
+		err = runServe(args[1:])
+	} else {
+		err = run(args)
+	}
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "baatsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		policyName = flag.String("policy", "baat", "policy: ebuff | baat-s | baat-h | baat")
-		days       = flag.Int("days", 7, "number of days to simulate")
-		weather    = flag.String("weather", "mix", "weather: sunny | cloudy | rainy | mix")
-		sunshine   = flag.Float64("sunshine", 0.5, "sunshine fraction for -weather mix")
-		seed       = flag.Int64("seed", 1, "random seed")
-		nodes      = flag.Int("nodes", 6, "number of battery nodes")
-		workers    = flag.Int("workers", 1, "node-stepping workers (1 = serial, -1 = all CPUs; never changes results)")
-		accel      = flag.Float64("accel", 1, "battery aging acceleration factor")
-		untilEOL   = flag.Bool("until-eol", false, "run until the first battery reaches end-of-life")
-		maxDays    = flag.Int("max-days", 365, "day cap for -until-eol")
-		prototype  = flag.Bool("prototype-services", true, "deploy the six paper workloads as persistent services")
-		jobsPerDay = flag.Int("jobs", 2, "batch jobs submitted per day")
-		solarScale = flag.Float64("solar-scale", 1.5, "PV array scale relative to the prototype")
-		csvPath    = flag.String("csv", "", "write per-day stats to this CSV file")
-		planned    = flag.Float64("planned-months", 0, "enable planned aging with this expected service life in months (0 = off)")
-		faultsName = flag.String("faults", "none", "fault-injection profile: "+strings.Join(baat.FaultProfileNames(), " | "))
-		faultsSeed = flag.Int64("faults-seed", 0, "fault injector seed (0 derives from -seed via the named fault substream)")
-		ckEvery    = flag.Int("checkpoint-every", 0, "write a checkpoint every N simulated days (requires -checkpoint; fixed-days runs only)")
-		ckPath     = flag.String("checkpoint", "", "checkpoint file written by -checkpoint-every")
-		resumePath = flag.String("resume", "", "resume a fixed-days run from this checkpoint; -days stays the total horizon")
-		telAddr    = flag.String("telemetry-addr", "", "serve /metrics, /events, and /debug/pprof on this address (e.g. :8080; empty = off)")
-		telHold    = flag.Duration("telemetry-hold", 0, "keep the telemetry endpoint alive this long after the run (so scrapers catch the final state)")
-		battModel  = flag.String("battery-model", "leadacid", "battery model tier: leadacid | linear | lfp")
-		battMix    = flag.String("battery-mix", "", "mixed fleet as model=fraction pairs, e.g. 'leadacid=0.5,lfp=0.5' (fractions sum to 1; overrides -battery-model)")
-	)
-	flag.Parse()
+// cliFlags holds every flag of the single-run command, so parsing,
+// validation, and execution can live in separate functions.
+type cliFlags struct {
+	policyName string
+	days       int
+	weather    string
+	sunshine   float64
+	seed       int64
+	nodes      int
+	workers    int
+	accel      float64
+	untilEOL   bool
+	maxDays    int
+	prototype  bool
+	jobsPerDay int
+	solarScale float64
+	csvPath    string
+	planned    float64
+	faultsName string
+	faultsSeed int64
+	ckEvery    int
+	ckPath     string
+	resumePath string
+	telAddr    string
+	telHold    time.Duration
+	battModel  string
+	battMix    string
+}
 
-	kind, err := parsePolicy(*policyName)
+// registerFlags declares the single-run flag set.
+func registerFlags(fs *flag.FlagSet) *cliFlags {
+	f := &cliFlags{}
+	fs.StringVar(&f.policyName, "policy", "baat", "policy: ebuff | baat-s | baat-h | baat")
+	fs.IntVar(&f.days, "days", 7, "number of days to simulate")
+	fs.StringVar(&f.weather, "weather", "mix", "weather: sunny | cloudy | rainy | mix")
+	fs.Float64Var(&f.sunshine, "sunshine", 0.5, "sunshine fraction for -weather mix")
+	fs.Int64Var(&f.seed, "seed", 1, "random seed")
+	fs.IntVar(&f.nodes, "nodes", 6, "number of battery nodes")
+	fs.IntVar(&f.workers, "workers", 1, "node-stepping workers (1 = serial, -1 = all CPUs; never changes results)")
+	fs.Float64Var(&f.accel, "accel", 1, "battery aging acceleration factor")
+	fs.BoolVar(&f.untilEOL, "until-eol", false, "run until the first battery reaches end-of-life")
+	fs.IntVar(&f.maxDays, "max-days", 365, "day cap for -until-eol")
+	fs.BoolVar(&f.prototype, "prototype-services", true, "deploy the six paper workloads as persistent services")
+	fs.IntVar(&f.jobsPerDay, "jobs", 2, "batch jobs submitted per day")
+	fs.Float64Var(&f.solarScale, "solar-scale", 1.5, "PV array scale relative to the prototype")
+	fs.StringVar(&f.csvPath, "csv", "", "write per-day stats to this CSV file")
+	fs.Float64Var(&f.planned, "planned-months", 0, "enable planned aging with this expected service life in months (0 = off)")
+	fs.StringVar(&f.faultsName, "faults", "none", "fault-injection profile: "+strings.Join(baat.FaultProfileNames(), " | "))
+	fs.Int64Var(&f.faultsSeed, "faults-seed", 0, "fault injector seed (0 derives from -seed via the named fault substream)")
+	fs.IntVar(&f.ckEvery, "checkpoint-every", 0, "write a checkpoint every N simulated days (requires -checkpoint; fixed-days runs only)")
+	fs.StringVar(&f.ckPath, "checkpoint", "", "checkpoint file written by -checkpoint-every")
+	fs.StringVar(&f.resumePath, "resume", "", "resume a fixed-days run from this checkpoint; -days stays the total horizon")
+	fs.StringVar(&f.telAddr, "telemetry-addr", "", "serve /metrics, /events, and /debug/pprof on this address (e.g. :8080; empty = off)")
+	fs.DurationVar(&f.telHold, "telemetry-hold", 0, "keep the telemetry endpoint alive this long after the run (so scrapers catch the final state)")
+	fs.StringVar(&f.battModel, "battery-model", "leadacid", "battery model tier: leadacid | linear | lfp")
+	fs.StringVar(&f.battMix, "battery-mix", "", "mixed fleet as model=fraction pairs, e.g. 'leadacid=0.5,lfp=0.5' (fractions sum to 1; exclusive with -battery-model)")
+	return f
+}
+
+// parseFlags parses and cross-validates the single-run command line.
+func parseFlags(args []string) (*cliFlags, error) {
+	fs := flag.NewFlagSet("baatsim", flag.ContinueOnError)
+	f := registerFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q (flags only; did you mean 'baatsim serve'?)", fs.Arg(0))
+	}
+	if err := validateFlags(fs, f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// validateFlags rejects flag combinations that cannot mean what the user
+// intended — before any simulator state is constructed, so the error names
+// the conflict instead of surfacing later as a config-hash mismatch or a
+// silently ignored knob. fs.Visit reports only flags explicitly set on the
+// command line, which distinguishes "asked for the default" from "didn't
+// ask".
+func validateFlags(fs *flag.FlagSet, f *cliFlags) error {
+	set := map[string]bool{}
+	fs.Visit(func(fl *flag.Flag) { set[fl.Name] = true })
+	if set["battery-mix"] && set["battery-model"] {
+		return errors.New("-battery-mix and -battery-model are mutually exclusive: a mixed fleet already assigns every node a model")
+	}
+	if f.resumePath != "" && set["battery-mix"] {
+		return errors.New("-resume cannot be combined with -battery-mix: mixed-fleet checkpoints are not resumable")
+	}
+	if f.resumePath != "" && f.untilEOL {
+		return errors.New("-resume cannot be combined with -until-eol: only fixed-days runs checkpoint")
+	}
+	if f.untilEOL && (set["checkpoint-every"] || set["checkpoint"]) {
+		return errors.New("-until-eol cannot be combined with checkpointing: checkpoints cover fixed-days runs only")
+	}
+	if f.ckEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be positive, got %d", f.ckEvery)
+	}
+	if f.ckEvery > 0 && f.ckPath == "" {
+		return errors.New("-checkpoint-every requires -checkpoint")
+	}
+	if f.ckPath != "" && f.ckEvery == 0 {
+		return errors.New("-checkpoint requires -checkpoint-every (a file with no cadence would never be written)")
+	}
+	if set["telemetry-hold"] && f.telAddr == "" {
+		return errors.New("-telemetry-hold requires -telemetry-addr (there is no endpoint to hold open)")
+	}
+	return nil
+}
+
+func run(args []string) error {
+	f, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	kind, err := parsePolicy(f.policyName)
 	if err != nil {
 		return err
 	}
 	pcfg := baat.DefaultPolicyConfig()
-	if *planned > 0 {
+	if f.planned > 0 {
 		pcfg.Planned = baat.PlannedAgingConfig{
 			Enabled:      true,
-			ServiceLife:  monthsToDuration(*planned),
+			ServiceLife:  monthsToDuration(f.planned),
 			CyclesPerDay: 1,
 		}
 	}
@@ -76,9 +176,9 @@ func run() error {
 	}
 
 	var rec *baat.Recorder
-	if *telAddr != "" {
+	if f.telAddr != "" {
 		rec = baat.NewRecorder()
-		srv, err := baat.ServeTelemetry(rec, *telAddr)
+		srv, err := baat.ServeTelemetry(rec, f.telAddr)
 		if err != nil {
 			return err
 		}
@@ -88,21 +188,21 @@ func run() error {
 
 	scfg := baat.DefaultSimConfig()
 	scfg.Telemetry = rec
-	scfg.Seed = *seed
-	scfg.Nodes = *nodes
-	scfg.Workers = *workers
-	scfg.JobsPerDay = *jobsPerDay
-	scfg.Solar.Scale = *solarScale
-	scfg.Node.AgingConfig.AccelFactor = *accel
+	scfg.Seed = f.seed
+	scfg.Nodes = f.nodes
+	scfg.Workers = f.workers
+	scfg.JobsPerDay = f.jobsPerDay
+	scfg.Solar.Scale = f.solarScale
+	scfg.Node.AgingConfig.AccelFactor = f.accel
 	switch {
-	case *battMix != "":
-		shares, err := parseBatteryMix(*battMix)
+	case f.battMix != "":
+		shares, err := parseBatteryMix(f.battMix)
 		if err != nil {
 			return err
 		}
 		scfg.BatteryFleet = shares
 	default:
-		bk, err := baat.ParseBatteryKind(*battModel)
+		bk, err := baat.ParseBatteryKind(f.battModel)
 		if err != nil {
 			return err
 		}
@@ -115,10 +215,10 @@ func run() error {
 		}
 		scfg.Node = ncfg
 	}
-	if *prototype {
+	if f.prototype {
 		scfg.Services = baat.PrototypeServices()
 	}
-	fcfg, err := baat.FaultProfile(*faultsName, *faultsSeed)
+	fcfg, err := baat.FaultProfile(f.faultsName, f.faultsSeed)
 	if err != nil {
 		return err
 	}
@@ -127,23 +227,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if *ckEvery > 0 && *ckPath == "" {
-		return fmt.Errorf("-checkpoint-every requires -checkpoint")
-	}
 	resumedDays := 0
-	if *resumePath != "" {
-		if err := resumeFromFile(s, *resumePath); err != nil {
+	if f.resumePath != "" {
+		if err := resumeFromFile(s, f.resumePath); err != nil {
 			return err
 		}
 		resumedDays = s.Day()
-		fmt.Printf("resumed from %s after day %d\n", *resumePath, resumedDays)
+		fmt.Printf("resumed from %s after day %d\n", f.resumePath, resumedDays)
 	}
 
 	var res *baat.SimResult
-	if *untilEOL {
-		res, err = s.RunUntilEndOfLife(baat.Location{SunshineFraction: *sunshine}, *maxDays)
+	if f.untilEOL {
+		res, err = s.RunUntilEndOfLife(baat.Location{SunshineFraction: f.sunshine}, f.maxDays)
 	} else {
-		seq, serr := weatherSeq(*weather, *sunshine, *days, *seed)
+		seq, serr := weatherSeq(f.weather, f.sunshine, f.days, f.seed)
 		if serr != nil {
 			return serr
 		}
@@ -151,16 +248,16 @@ func run() error {
 		// not consumed; the -days horizon counts from day one.
 		if done := s.Day(); done > 0 {
 			if done >= len(seq) {
-				return fmt.Errorf("checkpoint already covers day %d of a %d-day horizon", done, *days)
+				return fmt.Errorf("checkpoint already covers day %d of a %d-day horizon", done, f.days)
 			}
 			seq = seq[done:]
 		}
-		if *ckEvery > 0 {
-			res, err = s.RunWithCheckpoints(seq, *ckEvery, func(day int, data []byte) error {
-				if werr := writeFileAtomic(*ckPath, data); werr != nil {
+		if f.ckEvery > 0 {
+			res, err = s.RunWithCheckpoints(seq, f.ckEvery, func(day int, data []byte) error {
+				if werr := writeFileAtomic(f.ckPath, data); werr != nil {
 					return werr
 				}
-				fmt.Printf("checkpoint after day %d written to %s\n", day, *ckPath)
+				fmt.Printf("checkpoint after day %d written to %s\n", day, f.ckPath)
 				return nil
 			})
 		} else {
@@ -181,17 +278,17 @@ func run() error {
 		}
 	}
 
-	printResult(res, *accel)
-	printPredictions(s, *accel)
-	if *csvPath != "" {
-		if err := writeCSV(*csvPath, res); err != nil {
+	printResult(res, f.accel)
+	printPredictions(s, f.accel)
+	if f.csvPath != "" {
+		if err := writeCSV(f.csvPath, res); err != nil {
 			return err
 		}
-		fmt.Printf("per-day stats written to %s\n", *csvPath)
+		fmt.Printf("per-day stats written to %s\n", f.csvPath)
 	}
-	if rec != nil && *telHold > 0 {
-		fmt.Printf("holding telemetry endpoint for %v\n", *telHold)
-		time.Sleep(*telHold)
+	if rec != nil && f.telHold > 0 {
+		fmt.Printf("holding telemetry endpoint for %v\n", f.telHold)
+		time.Sleep(f.telHold)
 	}
 	return nil
 }

@@ -1,0 +1,91 @@
+package main
+
+// Cross-flag validation: combinations that cannot mean what the user
+// intended must die with a clear error before any simulator state exists,
+// instead of silently overriding one flag with another or failing later
+// with a config-hash mismatch.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		// wantErr is a substring of the expected error; empty means the
+		// combination is legal.
+		wantErr string
+	}{
+		{name: "defaults", args: nil},
+		{name: "plain run", args: []string{"-policy", "ebuff", "-days", "3", "-weather", "cloudy"}},
+		{name: "battery mix alone", args: []string{"-battery-mix", "leadacid=0.5,lfp=0.5"}},
+		{name: "battery model alone", args: []string{"-battery-model", "lfp"}},
+		{
+			name:    "mix and model together",
+			args:    []string{"-battery-mix", "lfp=1", "-battery-model", "lfp"},
+			wantErr: "mutually exclusive",
+		},
+		{
+			name:    "resume with battery mix",
+			args:    []string{"-resume", "ck.json", "-battery-mix", "lfp=1"},
+			wantErr: "-battery-mix",
+		},
+		{
+			name:    "resume with until-eol",
+			args:    []string{"-resume", "ck.json", "-until-eol"},
+			wantErr: "-until-eol",
+		},
+		{
+			name:    "until-eol with checkpointing",
+			args:    []string{"-until-eol", "-checkpoint-every", "2", "-checkpoint", "ck.json"},
+			wantErr: "fixed-days",
+		},
+		{
+			name:    "checkpoint cadence without file",
+			args:    []string{"-checkpoint-every", "2"},
+			wantErr: "requires -checkpoint",
+		},
+		{
+			name:    "checkpoint file without cadence",
+			args:    []string{"-checkpoint", "ck.json"},
+			wantErr: "requires -checkpoint-every",
+		},
+		{
+			name:    "negative checkpoint cadence",
+			args:    []string{"-checkpoint-every", "-3", "-checkpoint", "ck.json"},
+			wantErr: "must be positive",
+		},
+		{
+			name:    "telemetry hold without endpoint",
+			args:    []string{"-telemetry-hold", "5s"},
+			wantErr: "-telemetry-addr",
+		},
+		{name: "telemetry hold with endpoint", args: []string{"-telemetry-addr", ":0", "-telemetry-hold", "5s"}},
+		{name: "checkpointed run", args: []string{"-days", "3", "-checkpoint-every", "3", "-checkpoint", "ck.json"}},
+		{name: "resume run", args: []string{"-resume", "ck.json", "-days", "6"}},
+		{
+			name:    "stray positional argument",
+			args:    []string{"server"},
+			wantErr: "baatsim serve",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parseFlags(%q) = %v, want success", tc.args, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseFlags(%q) accepted an inconsistent combination", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("parseFlags(%q) = %q, want mention of %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	baat "github.com/green-dc/baat"
+)
+
+// runServe is the `baatsim serve` subcommand: a long-lived daemon hosting
+// many concurrent simulations behind the HTTP/JSON control plane
+// (docs/SERVICE.md). It runs until SIGINT/SIGTERM, then stops every run
+// and shuts the listener down gracefully.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("baatsim serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("serve takes no arguments, got %q", fs.Arg(0))
+	}
+
+	svc := baat.NewSimService()
+	bound, err := svc.Start(*addr)
+	if err != nil {
+		return err
+	}
+	// The smoke script parses this line for the bound address, so :0 works.
+	fmt.Printf("serving on http://%s (POST /runs to create a simulation; docs/SERVICE.md has the API)\n", bound)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("shutting down")
+	return svc.Close()
+}

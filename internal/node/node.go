@@ -387,6 +387,10 @@ func (n *Node) SetSoCFloor(f float64) error {
 // calling this from inside a step worker is not allowed.
 func (n *Node) SetSensorFault(f faults.SensorFault) { n.sensor = f }
 
+// SensorFault returns the sensor-chain corruption currently applied (the
+// zero value for a healthy chain).
+func (n *Node) SensorFault() faults.SensorFault { return n.sensor }
+
 // SetUtilityAvailable gates the UtilityBackup path at runtime: during an
 // injected utility brownout the node cannot fall back to grid power even
 // when Config.UtilityBackup is set.

@@ -63,6 +63,10 @@ const (
 
 	// shardPrefix namespaces the per-shard fleet substreams; see Shard.
 	shardPrefix = "fleet/shard/"
+
+	// reweatherPrefix namespaces the per-mutation weather-redraw streams
+	// of a served run; see ServeReweather.
+	reweatherPrefix = "serve/reweather/"
 )
 
 // Shard returns the canonical stream name for fleet shard i. Each
@@ -73,6 +77,16 @@ const (
 // any worker count.
 func Shard(i int) string {
 	return fmt.Sprintf("%s%d", shardPrefix, i)
+}
+
+// ServeReweather returns the canonical stream name for the i-th mid-flight
+// weather redraw of a served run (internal/serve). Each sunshine mutation
+// draws the remaining weather suffix from its own named substream of the
+// run seed, so a mutated run stays a pure function of (seed, mutation
+// sequence) — forks and replays that apply the same mutations at the same
+// days see the same skies.
+func ServeReweather(i int) string {
+	return fmt.Sprintf("%s%d", reweatherPrefix, i)
 }
 
 // Stream is a deterministic random-number stream derived from a (seed,

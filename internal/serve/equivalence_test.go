@@ -1,0 +1,90 @@
+package serve
+
+// The determinism contracts of the service, asserted at byte granularity:
+// a fork is indistinguishable from its parent's checkpoint, and pausing or
+// resuming a run leaves no trace in its output. Byte equality — not
+// semantic equality — is the bar, because the checkpoint envelope and the
+// result document are the interchange formats clients diff.
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+)
+
+// equivSpec is a scenario with enough moving parts to catch a lossy
+// restore: chaos fault injection (injector state, degraded flags, sensor
+// corruption), accelerated aging (battery wear in flight), and mixed
+// weather (live RNG streams).
+func equivSpec(days int, seed int64) RunSpec {
+	return RunSpec{Days: days, Seed: seed, Accel: ptr(10.0), Faults: "chaos"}
+}
+
+// TestForkMatchesParentCheckpoint forks a finished run at day 5 and
+// demands the child's day-5 envelope be byte-identical to the parent's:
+// build config from the snapshot spec, restore, re-serialize, and nothing
+// may shift. Then both runs finish and their result documents must also
+// be byte-identical — the fork truly is the same simulation.
+func TestForkMatchesParentCheckpoint(t *testing.T) {
+	c := newTestClient(t)
+	const forkDay = 5
+	parent := c.create(equivSpec(8, 11))
+	c.post("/runs/" + parent.ID + "/start")
+	c.waitState(parent.ID, StateDone)
+	parentCk := c.checkpoint(parent.ID, forkDay)
+
+	var child RunInfo
+	if st := c.doJSON("POST", "/runs/"+parent.ID+"/fork?day="+itoa(forkDay), nil, &child); st != http.StatusCreated {
+		t.Fatalf("fork: status %d", st)
+	}
+	if child.State != StatePaused || child.Day != forkDay {
+		t.Fatalf("fork = %s at day %d, want paused at day %d", child.State, child.Day, forkDay)
+	}
+	if child.ForkedFrom != parent.ID || child.ForkDay != forkDay {
+		t.Fatalf("fork lineage = %q/%d, want %q/%d", child.ForkedFrom, child.ForkDay, parent.ID, forkDay)
+	}
+
+	childCk := c.checkpoint(child.ID, forkDay)
+	if !bytes.Equal(parentCk, childCk) {
+		t.Fatalf("child's day-%d checkpoint differs from parent's:\nparent: %d bytes\nchild:  %d bytes",
+			forkDay, len(parentCk), len(childCk))
+	}
+
+	c.post("/runs/" + child.ID + "/resume")
+	c.waitState(child.ID, StateDone)
+	pres, cres := c.resultBytes(parent.ID), c.resultBytes(child.ID)
+	if !bytes.Equal(pres, cres) {
+		t.Fatalf("fork's final result diverged from parent's:\nparent: %s\nchild:  %s", pres, cres)
+	}
+}
+
+// TestPauseResumeMatchesUninterrupted runs the same scenario twice — once
+// straight through, once chopped up by step/pause/resume — and compares
+// the result documents and the final checkpoints byte for byte.
+func TestPauseResumeMatchesUninterrupted(t *testing.T) {
+	c := newTestClient(t)
+	const days = 7
+
+	straight := c.create(equivSpec(days, 5))
+	c.post("/runs/" + straight.ID + "/start")
+	c.waitState(straight.ID, StateDone)
+
+	chopped := c.create(equivSpec(days, 5))
+	id := chopped.ID
+	c.post("/runs/" + id + "/step?to=2")
+	c.waitState(id, StatePaused)
+	c.post("/runs/" + id + "/pause") // pausing a paused run is a no-op
+	c.post("/runs/" + id + "/step?to=5")
+	c.waitState(id, StatePaused)
+	c.post("/runs/" + id + "/resume")
+	c.waitState(id, StateDone)
+
+	if a, b := c.resultBytes(straight.ID), c.resultBytes(id); !bytes.Equal(a, b) {
+		t.Fatalf("pause/resume changed the result:\nstraight: %s\nchopped:  %s", a, b)
+	}
+	for _, day := range []int{3, days} {
+		if a, b := c.checkpoint(straight.ID, day), c.checkpoint(id, day); !bytes.Equal(a, b) {
+			t.Fatalf("pause/resume changed the day-%d checkpoint", day)
+		}
+	}
+}

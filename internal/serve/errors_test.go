@@ -1,0 +1,257 @@
+package serve
+
+// The API error contract, table-driven: every failure mode answers with
+// the documented status code and a structured {"error": {code, message}}
+// body whose code is stable enough for clients to switch on.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// errorBody decodes the structured error document, failing the test if the
+// body is not one.
+func errorBody(t *testing.T, body []byte) Error {
+	t.Helper()
+	var doc struct {
+		Error Error `json:"error"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil || doc.Error.Code == "" {
+		t.Fatalf("response is not a structured error document: %s", body)
+	}
+	return doc.Error
+}
+
+func TestErrorContract(t *testing.T) {
+	cases := []struct {
+		name string
+		// setup prepares state and returns the request; most cases need
+		// none.
+		setup      func(t *testing.T, c *testClient) (method, path string, body string)
+		wantStatus int
+		wantCode   string
+	}{
+		{
+			name: "get unknown run",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				return "GET", "/runs/zz", ""
+			},
+			wantStatus: http.StatusNotFound,
+			wantCode:   CodeRunNotFound,
+		},
+		{
+			name: "start unknown run",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				return "POST", "/runs/zz/start", ""
+			},
+			wantStatus: http.StatusNotFound,
+			wantCode:   CodeRunNotFound,
+		},
+		{
+			name: "delete unknown run",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				return "DELETE", "/runs/zz", ""
+			},
+			wantStatus: http.StatusNotFound,
+			wantCode:   CodeRunNotFound,
+		},
+		{
+			name: "create with malformed json",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				return "POST", "/runs", "{not json"
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "create with unknown field",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				return "POST", "/runs", `{"dayz": 5}`
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "create with unknown policy",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				return "POST", "/runs", `{"policy": "overclock"}`
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "create with unknown weather",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				return "POST", "/runs", `{"weather": "hail"}`
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "create with absurd horizon",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				return "POST", "/runs", `{"days": 100000}`
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "create with invalid sunshine",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				return "POST", "/runs", `{"sunshine": 1.5}`
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "fork at a day with no checkpoint",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				// Checkpointing disabled: the run completes but retains no
+				// envelopes, so no day is forkable.
+				inf := c.create(RunSpec{Days: 2, Seed: 1, CheckpointEvery: -1})
+				c.post("/runs/" + inf.ID + "/start")
+				c.waitState(inf.ID, StateDone)
+				return "POST", "/runs/" + inf.ID + "/fork?day=1", ""
+			},
+			wantStatus: http.StatusConflict,
+			wantCode:   CodeNoCheckpoint,
+		},
+		{
+			name: "fork without a day",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				inf := c.create(RunSpec{Days: 2, Seed: 1})
+				return "POST", "/runs/" + inf.ID + "/fork", ""
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "step backwards",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				inf := c.create(RunSpec{Days: 3, Seed: 1})
+				return "POST", "/runs/" + inf.ID + "/step?to=0", ""
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "step beyond the horizon",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				inf := c.create(RunSpec{Days: 3, Seed: 1})
+				return "POST", "/runs/" + inf.ID + "/step?to=4", ""
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "pause before starting",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				inf := c.create(RunSpec{Days: 3, Seed: 1})
+				return "POST", "/runs/" + inf.ID + "/pause", ""
+			},
+			wantStatus: http.StatusConflict,
+			wantCode:   CodeConflict,
+		},
+		{
+			name: "start a finished run",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				inf := c.create(RunSpec{Days: 1, Seed: 1})
+				c.post("/runs/" + inf.ID + "/start")
+				c.waitState(inf.ID, StateDone)
+				return "POST", "/runs/" + inf.ID + "/start", ""
+			},
+			wantStatus: http.StatusConflict,
+			wantCode:   CodeConflict,
+		},
+		{
+			name: "mutate a finished run",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				inf := c.create(RunSpec{Days: 1, Seed: 1})
+				c.post("/runs/" + inf.ID + "/start")
+				c.waitState(inf.ID, StateDone)
+				return "POST", "/runs/" + inf.ID + "/mutate", `{"policy": "ebuff"}`
+			},
+			wantStatus: http.StatusConflict,
+			wantCode:   CodeConflict,
+		},
+		{
+			name: "mutate a deleted run",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				inf := c.create(RunSpec{Days: 2, Seed: 1})
+				if st, _ := c.do("DELETE", "/runs/"+inf.ID, nil); st != http.StatusNoContent {
+					t.Fatalf("delete: status %d", st)
+				}
+				return "POST", "/runs/" + inf.ID + "/mutate", `{"policy": "ebuff"}`
+			},
+			wantStatus: http.StatusNotFound,
+			wantCode:   CodeRunNotFound,
+		},
+		{
+			name: "mutate nothing",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				inf := c.create(RunSpec{Days: 2, Seed: 1})
+				return "POST", "/runs/" + inf.ID + "/mutate", `{}`
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "mutate sunshine on fixed weather",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				inf := c.create(RunSpec{Days: 2, Seed: 1, Weather: "sunny"})
+				return "POST", "/runs/" + inf.ID + "/mutate", `{"sunshine": 0.7}`
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "mutate to an unknown fault profile",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				inf := c.create(RunSpec{Days: 2, Seed: 1})
+				return "POST", "/runs/" + inf.ID + "/mutate", `{"faults": "gremlins"}`
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "checkpoint of an unknown run",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				return "GET", "/runs/zz/checkpoint?day=1", ""
+			},
+			wantStatus: http.StatusNotFound,
+			wantCode:   CodeRunNotFound,
+		},
+		{
+			name: "stream of an unknown run",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				return "GET", "/runs/zz/stream", ""
+			},
+			wantStatus: http.StatusNotFound,
+			wantCode:   CodeRunNotFound,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := newTestClient(t)
+			method, path, body := tc.setup(t, c)
+			var raw []byte
+			if body != "" {
+				raw = []byte(body)
+			}
+			status, respBody := c.do(method, path, raw)
+			if status != tc.wantStatus {
+				t.Fatalf("%s %s: status %d, want %d (body %s)", method, path, status, tc.wantStatus, respBody)
+			}
+			apiErr := errorBody(t, respBody)
+			if apiErr.Code != tc.wantCode {
+				t.Fatalf("%s %s: error code %q, want %q (message %q)", method, path, apiErr.Code, tc.wantCode, apiErr.Message)
+			}
+			if strings.TrimSpace(apiErr.Message) == "" {
+				t.Fatalf("%s %s: empty error message", method, path)
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+// Package leaktest is the goroutine-leak guard shared by every HTTP-serving
+// test in the tree (internal/serve, internal/telemetry). A long-lived
+// service that leaks one goroutine per request, per run, or per SSE
+// subscriber dies slowly in production and invisibly in tests — unless
+// every test asserts that it ends with no more goroutines than it started
+// with. Check is that assertion.
+//
+// Usage, first line of the test:
+//
+//	func TestSomething(t *testing.T) {
+//		leaktest.Check(t)
+//		...
+//	}
+//
+// Check snapshots the goroutine count up front and registers a t.Cleanup
+// that polls (goroutines park asynchronously: HTTP keep-alive conns drain,
+// server loops observe shutdown) until the count returns to the baseline
+// or a timeout expires — failing with a full stack dump on timeout.
+package leaktest
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// timeout bounds how long Cleanup waits for stragglers to park. Generous on
+// purpose: a genuine leak waits forever, so the only cost of slack is a
+// slow failure, never a flaky pass.
+const timeout = 10 * time.Second
+
+// Check arms the leak guard for one test. Call it before starting any
+// server, client, or run the test owns; its cleanup runs after the test's
+// own cleanups (servers stopped, clients closed), which is exactly when
+// every goroutine the test caused must be gone.
+func Check(t testing.TB) {
+	t.Helper()
+	start := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Idle keep-alive connections park a read loop per connection in
+		// the default transport; release them so they do not count as
+		// leaks of the test that happened to make the last request.
+		http.DefaultClient.CloseIdleConnections()
+		deadline := time.Now().Add(timeout)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= start {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+			http.DefaultClient.CloseIdleConnections()
+		}
+		buf := make([]byte, 1<<20)
+		m := runtime.Stack(buf, true)
+		t.Errorf("leaktest: %d goroutines before the test, %d still running %v after it:\n%s",
+			start, n, timeout, buf[:m])
+	})
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// registry is the set of live runs. IDs are a deterministic counter
+// ("r1", "r2", ...) rather than anything random: the daemon stays
+// reproducible end to end, and smoke tests can predict the IDs they will
+// be handed.
+type registry struct {
+	mu     sync.Mutex
+	runs   map[string]*Run
+	nextID int
+	closed bool
+}
+
+func newRegistry() *registry {
+	return &registry{runs: make(map[string]*Run)}
+}
+
+// allocID reserves the next run ID. Allocation is split from put so that
+// simulator construction — the expensive part — happens outside the
+// registry lock with the ID already burned into the Run.
+func (g *registry) allocID() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nextID++
+	return fmt.Sprintf("r%d", g.nextID)
+}
+
+// put publishes a fully-constructed run. It fails only when the registry
+// is already closed (server shutting down); the caller must then stop the
+// orphaned run itself.
+func (g *registry) put(r *Run) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return errf(http.StatusServiceUnavailable, CodeConflict, "server is shutting down")
+	}
+	g.runs[r.id] = r
+	return nil
+}
+
+// get looks a run up by ID.
+func (g *registry) get(id string) (*Run, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.runs[id]
+	if !ok {
+		return nil, errf(http.StatusNotFound, CodeRunNotFound, "no run %q", id)
+	}
+	return r, nil
+}
+
+// remove unpublishes a run and hands it back for the caller to stop —
+// stopping blocks until the run goroutine exits, which must not happen
+// under the registry lock.
+func (g *registry) remove(id string) (*Run, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.runs[id]
+	if !ok {
+		return nil, errf(http.StatusNotFound, CodeRunNotFound, "no run %q", id)
+	}
+	delete(g.runs, id)
+	return r, nil
+}
+
+// list snapshots every live run in creation order.
+func (g *registry) list() []*Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Run, 0, len(g.runs))
+	for _, r := range g.runs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return runSeq(out[i].id) < runSeq(out[j].id) })
+	return out
+}
+
+// runSeq extracts the counter from an "r<n>" ID for ordering.
+func runSeq(id string) int {
+	n, _ := strconv.Atoi(id[1:])
+	return n
+}
+
+// closeAll marks the registry closed, then stops every run. After it
+// returns, no run goroutine survives.
+func (g *registry) closeAll() {
+	g.mu.Lock()
+	g.closed = true
+	runs := make([]*Run, 0, len(g.runs))
+	for _, r := range g.runs {
+		runs = append(runs, r)
+	}
+	g.runs = map[string]*Run{}
+	g.mu.Unlock()
+	for _, r := range runs {
+		r.stop()
+	}
+}

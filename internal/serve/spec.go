@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/green-dc/baat/internal/battery"
+	"github.com/green-dc/baat/internal/core"
+	"github.com/green-dc/baat/internal/faults"
+	"github.com/green-dc/baat/internal/rng"
+	"github.com/green-dc/baat/internal/sim"
+	"github.com/green-dc/baat/internal/solar"
+	"github.com/green-dc/baat/internal/telemetry"
+	"github.com/green-dc/baat/internal/workload"
+)
+
+// maxDays bounds one run's horizon. A served simulation pre-draws its
+// weather sequence and retains per-day checkpoints, so the horizon must be
+// finite; ten simulated years is far beyond any battery study's window.
+const maxDays = 3650
+
+// RunSpec is the JSON body of POST /runs: everything needed to construct
+// one simulation, mirroring the cmd/baatsim flags so a served run with a
+// given spec reproduces the CLI run with the same settings (identical
+// seeds, identical weather stream). Zero values take the CLI's defaults.
+//
+// The spec is also the unit of mutation bookkeeping: the mutate endpoint
+// edits the live spec field-for-field, and every checkpoint snapshots the
+// spec that was in force when it was written, so a fork rebuilds its
+// simulator from exactly the configuration that produced the envelope.
+type RunSpec struct {
+	// Name is a free-form label echoed in statuses and listings.
+	Name string `json:"name,omitempty"`
+	// Policy selects the power-management scheme: ebuff | baat-s |
+	// baat-h | baat (default baat).
+	Policy string `json:"policy,omitempty"`
+	// Days is the simulated horizon (default 7, max 3650).
+	Days int `json:"days,omitempty"`
+	// Nodes is the fleet size (default 6, the prototype).
+	Nodes int `json:"nodes,omitempty"`
+	// Seed pins all randomness (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Weather is sunny | cloudy | rainy | mix (default mix). Mix draws
+	// the day sequence from the run seed's cli-weather stream, exactly as
+	// cmd/baatsim does.
+	Weather string `json:"weather,omitempty"`
+	// Sunshine is the sunshine fraction for mix weather (default 0.5).
+	Sunshine *float64 `json:"sunshine,omitempty"`
+	// JobsPerDay is the batch arrivals per morning (default 2).
+	JobsPerDay *int `json:"jobs_per_day,omitempty"`
+	// SolarScale scales the PV array relative to the prototype
+	// (default 1.5).
+	SolarScale *float64 `json:"solar_scale,omitempty"`
+	// Accel is the battery aging acceleration factor (default 1).
+	Accel *float64 `json:"accel,omitempty"`
+	// Workers is the node-stepping worker count (default 1; -1 = all
+	// CPUs; never changes results).
+	Workers int `json:"workers,omitempty"`
+	// Faults names a fault-injection profile: none | sensor | battery |
+	// power | chaos (default none).
+	Faults string `json:"faults,omitempty"`
+	// BatteryModel selects the battery tier: leadacid | linear | lfp
+	// (default leadacid).
+	BatteryModel string `json:"battery_model,omitempty"`
+	// PrototypeServices deploys the six paper workloads as persistent
+	// services (default true).
+	PrototypeServices *bool `json:"prototype_services,omitempty"`
+	// CheckpointEvery stores an in-memory checkpoint after every N
+	// completed days (default 1 — every day is forkable; -1 disables
+	// checkpointing and therefore forking).
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// withDefaults returns the spec with every zero field replaced by its
+// default, without validating.
+func (sp RunSpec) withDefaults() RunSpec {
+	if sp.Policy == "" {
+		sp.Policy = "baat"
+	}
+	if sp.Days == 0 {
+		sp.Days = 7
+	}
+	if sp.Nodes == 0 {
+		sp.Nodes = 6
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	if sp.Weather == "" {
+		sp.Weather = "mix"
+	}
+	sp.Weather = strings.ToLower(sp.Weather)
+	if sp.Sunshine == nil {
+		sp.Sunshine = ptr(0.5)
+	}
+	if sp.JobsPerDay == nil {
+		sp.JobsPerDay = ptr(2)
+	}
+	if sp.SolarScale == nil {
+		sp.SolarScale = ptr(1.5)
+	}
+	if sp.Accel == nil {
+		sp.Accel = ptr(1.0)
+	}
+	if sp.Faults == "" {
+		sp.Faults = "none"
+	}
+	sp.Faults = strings.ToLower(sp.Faults)
+	if sp.BatteryModel == "" {
+		sp.BatteryModel = "leadacid"
+	}
+	if sp.PrototypeServices == nil {
+		sp.PrototypeServices = ptr(true)
+	}
+	if sp.CheckpointEvery == 0 {
+		sp.CheckpointEvery = 1
+	} else if sp.CheckpointEvery < 0 {
+		sp.CheckpointEvery = 0 // normalized "never"
+	}
+	return sp
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// normalize fills defaults and validates every field, returning the
+// canonical spec. All validation that can fail without building a
+// simulator happens here, so the API can answer 400 with a precise message
+// before any state exists.
+func (sp RunSpec) normalize() (RunSpec, error) {
+	sp = sp.withDefaults()
+	kind, err := parsePolicy(sp.Policy)
+	if err != nil {
+		return sp, err
+	}
+	sp.Policy = canonicalPolicy(kind)
+	if sp.Days < 0 || sp.Days > maxDays {
+		return sp, fmt.Errorf("days must be in [1, %d], got %d", maxDays, sp.Days)
+	}
+	if sp.Nodes < 0 {
+		return sp, fmt.Errorf("nodes must be positive, got %d", sp.Nodes)
+	}
+	switch sp.Weather {
+	case "sunny", "cloudy", "rainy":
+	case "mix":
+		loc := solar.Location{SunshineFraction: *sp.Sunshine}
+		if err := loc.Validate(); err != nil {
+			return sp, err
+		}
+	default:
+		return sp, fmt.Errorf("unknown weather %q (want sunny, cloudy, rainy, or mix)", sp.Weather)
+	}
+	if *sp.JobsPerDay < 0 {
+		return sp, fmt.Errorf("jobs_per_day must be non-negative, got %d", *sp.JobsPerDay)
+	}
+	if *sp.SolarScale <= 0 {
+		return sp, fmt.Errorf("solar_scale must be positive, got %v", *sp.SolarScale)
+	}
+	if *sp.Accel <= 0 {
+		return sp, fmt.Errorf("accel must be positive, got %v", *sp.Accel)
+	}
+	if _, err := faults.Profile(sp.Faults, 0); err != nil {
+		return sp, err
+	}
+	if _, err := battery.ParseKind(sp.BatteryModel); err != nil {
+		return sp, err
+	}
+	return sp, nil
+}
+
+// parsePolicy maps the user-facing policy tokens (the same set cmd/baatsim
+// accepts) onto the Table 4 scheme.
+func parsePolicy(name string) (core.Kind, error) {
+	switch strings.ToLower(name) {
+	case "ebuff", "e-buff":
+		return core.EBuff, nil
+	case "baat-s", "baats":
+		return core.BAATSlowdown, nil
+	case "baat-h", "baath":
+		return core.BAATHiding, nil
+	case "baat":
+		return core.BAATFull, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (want ebuff, baat-s, baat-h, or baat)", name)
+	}
+}
+
+// canonicalPolicy is the spelling a normalized spec stores, chosen so that
+// mutating a run to the policy it already has is recognized as a no-op
+// regardless of which accepted alias the client sent.
+func canonicalPolicy(kind core.Kind) string {
+	switch kind {
+	case core.EBuff:
+		return "ebuff"
+	case core.BAATSlowdown:
+		return "baat-s"
+	case core.BAATHiding:
+		return "baat-h"
+	default:
+		return "baat"
+	}
+}
+
+// buildPolicy constructs the named Table 4 policy with default parameters.
+func buildPolicy(name string) (core.Policy, core.Kind, error) {
+	kind, err := parsePolicy(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	p, err := core.New(kind, core.DefaultConfig())
+	if err != nil {
+		return nil, 0, err
+	}
+	return p, kind, nil
+}
+
+// weatherFor materializes the run's full weather sequence up front — the
+// property that makes pause, resume, and forking deterministic: the skies a
+// run will see are fixed at creation (and only change through an explicit
+// sunshine mutation, which redraws the remaining suffix from its own named
+// stream).
+func weatherFor(sp RunSpec) []solar.Weather {
+	fixed := map[string]solar.Weather{
+		"sunny":  solar.Sunny,
+		"cloudy": solar.Cloudy,
+		"rainy":  solar.Rainy,
+	}
+	seq := make([]solar.Weather, sp.Days)
+	if w, ok := fixed[sp.Weather]; ok {
+		for i := range seq {
+			seq[i] = w
+		}
+		return seq
+	}
+	stream := rng.New(sp.Seed, rng.CLIWeather)
+	loc := solar.Location{SunshineFraction: *sp.Sunshine}
+	for i := range seq {
+		seq[i] = loc.DrawWeather(stream.Rand)
+	}
+	return seq
+}
+
+// simConfig converts a normalized spec into the engine configuration.
+func simConfig(sp RunSpec) (sim.Config, error) {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = sp.Seed
+	cfg.Nodes = sp.Nodes
+	cfg.Workers = sp.Workers
+	cfg.JobsPerDay = *sp.JobsPerDay
+	cfg.Solar.Scale = *sp.SolarScale
+	cfg.Node.AgingConfig.AccelFactor = *sp.Accel
+	bk, err := battery.ParseKind(sp.BatteryModel)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	ncfg, err := cfg.Node.WithBatteryModel(bk)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg.Node = ncfg
+	if *sp.PrototypeServices {
+		cfg.Services = workload.PrototypeServices()
+	}
+	fcfg, err := faults.Profile(sp.Faults, 0)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg.Faults = fcfg
+	return cfg, nil
+}
+
+// buildSim constructs the simulator (and its policy) for a normalized
+// spec, instrumented with the run's own telemetry recorder.
+func buildSim(sp RunSpec, rec *telemetry.Recorder) (*sim.Simulator, core.Kind, error) {
+	policy, kind, err := buildPolicy(sp.Policy)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg, err := simConfig(sp)
+	if err != nil {
+		return nil, 0, err
+	}
+	cfg.Telemetry = rec
+	s, err := sim.New(cfg, policy)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, kind, nil
+}
+
+// Mutation is the JSON body of POST /runs/{id}/mutate: each present field
+// rewrites one scenario knob mid-flight. Fields that match the run's
+// current spec are reported as no-ops and change nothing — the guarantee
+// the concurrent-hammering tests lean on.
+type Mutation struct {
+	// Policy swaps the power-management scheme between days.
+	Policy string `json:"policy,omitempty"`
+	// Sunshine re-rolls the remaining weather suffix at a new sunshine
+	// fraction (mix-weather runs only).
+	Sunshine *float64 `json:"sunshine,omitempty"`
+	// Faults swaps the fault-injection profile between days.
+	Faults *string `json:"faults,omitempty"`
+}

@@ -591,6 +591,60 @@ func (s *Simulator) SetPolicy(p core.Policy) error {
 	return nil
 }
 
+// SetFaults swaps the fault-injection plan mid-run. Like SetPolicy it must
+// be called between days (never while RunDay is in flight): the injector is
+// rebuilt from the new configuration, so scheduled windows and activation
+// draws restart from the plan's own rules at the current clock. A zero
+// Seed copies Config.Seed, exactly as construction does. Disabling faults
+// (an empty config) also clears any sensor corruption and utility gating
+// the old plan left applied, so the fleet's observed state converges back
+// to the physics.
+//
+// The fault plan participates in the checkpoint config hash, so swapping it
+// changes the simulator's ConfigHash: checkpoints written after the swap
+// resume only into simulators configured with the new plan (and older
+// checkpoints only into the old one). Callers that checkpoint across
+// mutations must keep the config that was live at each checkpoint —
+// internal/serve snapshots its run spec alongside every envelope for
+// exactly this reason.
+func (s *Simulator) SetFaults(cfg faults.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	if !cfg.Enabled() {
+		if s.inj != nil {
+			for _, nd := range s.nodes {
+				nd.SetSensorFault(faults.SensorFault{})
+				nd.SetUtilityAvailable(true)
+			}
+		}
+		s.inj = nil
+		s.degraded = nil
+		s.cfg.Faults = faults.Config{}
+		return nil
+	}
+	fcfg := cfg
+	if fcfg.Seed == 0 {
+		fcfg.Seed = s.cfg.Seed
+	}
+	inj, err := faults.NewInjector(fcfg, s.cfg.Nodes)
+	if err != nil {
+		return err
+	}
+	s.inj = inj
+	// Resync the edge-detection mirror to each node's current suspect
+	// state so the swap itself never fabricates degraded-mode transition
+	// events.
+	if s.degraded == nil {
+		s.degraded = make([]bool, s.cfg.Nodes)
+	}
+	for i, nd := range s.nodes {
+		s.degraded[i] = nd.MetricsSuspect()
+	}
+	s.cfg.Faults = cfg
+	return nil
+}
+
 // Clock returns the simulated time.
 func (s *Simulator) Clock() time.Duration { return s.clock }
 

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"github.com/green-dc/baat/internal/serve/leaktest"
 )
 
 func get(t *testing.T, url string) (int, string) {
@@ -25,6 +27,7 @@ func get(t *testing.T, url string) (int, string) {
 }
 
 func TestMetricsEndpoint(t *testing.T) {
+	leaktest.Check(t)
 	r := NewRecorder()
 	r.Counter(MetricMigrations).Add(7)
 	r.Gauge(MetricFleetMinHealth).Set(0.93)
@@ -61,6 +64,7 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestEventsEndpoint(t *testing.T) {
+	leaktest.Check(t)
 	r := NewRecorder(WithTraceCapacity(8))
 	r.Emit(time.Minute, EventBatteryEOL, "node-3", "health 0.79")
 	srv := httptest.NewServer(r.Handler())
@@ -88,6 +92,7 @@ func TestEventsEndpoint(t *testing.T) {
 }
 
 func TestPprofEndpoint(t *testing.T) {
+	leaktest.Check(t)
 	r := NewRecorder()
 	srv := httptest.NewServer(r.Handler())
 	defer srv.Close()
@@ -105,6 +110,7 @@ func TestPprofEndpoint(t *testing.T) {
 }
 
 func TestListenAndServe(t *testing.T) {
+	leaktest.Check(t)
 	r := NewRecorder()
 	r.Counter(MetricSimTicks).Inc()
 	srv, err := r.ListenAndServe("127.0.0.1:0")
@@ -122,6 +128,7 @@ func TestListenAndServe(t *testing.T) {
 }
 
 func TestEmptyMetricsAndEvents(t *testing.T) {
+	leaktest.Check(t)
 	r := NewRecorder()
 	srv := httptest.NewServer(r.Handler())
 	defer srv.Close()

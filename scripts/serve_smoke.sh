@@ -1,0 +1,104 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke over the `baatsim serve` daemon: start
+# it on an ephemeral port, create a run over the HTTP API, run it to
+# completion, fork it at day 3, run the fork to completion, and require the
+# fork's day-5 checkpoint and final result to be byte-identical to the
+# parent's. Then shut the daemon down with SIGTERM and require a clean exit.
+# Usage: ./scripts/serve_smoke.sh  (or: make serve-smoke)
+set -eu
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true' EXIT
+
+go build -o "$tmp/baatsim" ./cmd/baatsim
+
+"$tmp/baatsim" serve -addr 127.0.0.1:0 > "$tmp/serve.log" &
+pid=$!
+
+# The daemon prints "serving on http://HOST:PORT ..." once bound.
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's|^serving on \(http://[^ ]*\) .*|\1|p' "$tmp/serve.log")
+    [ -n "$base" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: daemon died on startup" >&2; cat "$tmp/serve.log" >&2; exit 1; }
+    sleep 0.1
+done
+if [ -z "$base" ]; then
+    echo "serve-smoke: daemon never reported its address" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+fi
+
+# api METHOD PATH [BODY] — curl wrapper that fails the script on any
+# non-2xx status.
+api() {
+    method=$1; path=$2; body=${3:-}
+    if [ -n "$body" ]; then
+        out=$(curl -sS -X "$method" -d "$body" -w '\n%{http_code}' "$base$path")
+    else
+        out=$(curl -sS -X "$method" -w '\n%{http_code}' "$base$path")
+    fi
+    status=$(printf '%s' "$out" | tail -n 1)
+    case $status in
+        2*) printf '%s' "$out" | sed '$d' ;;
+        *)  echo "serve-smoke: $method $path -> $status: $(printf '%s' "$out" | sed '$d')" >&2; exit 1 ;;
+    esac
+}
+
+# wait_done RUN — poll a run's status until it reports done.
+wait_done() {
+    for _ in $(seq 1 600); do
+        state=$(api GET "/runs/$1" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+        case $state in
+            done) return 0 ;;
+            failed) echo "serve-smoke: run $1 failed" >&2; api GET "/runs/$1" >&2; exit 1 ;;
+        esac
+        sleep 0.1
+    done
+    echo "serve-smoke: run $1 never finished (last state: $state)" >&2
+    exit 1
+}
+
+# A scenario with fault-injection state in its checkpoints, like the
+# checkpoint smoke uses.
+parent=$(api POST /runs '{"days": 6, "seed": 7, "accel": 10, "faults": "chaos"}' \
+    | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$parent" ] || { echo "serve-smoke: create returned no run ID" >&2; exit 1; }
+
+api POST "/runs/$parent/start" > /dev/null
+wait_done "$parent"
+
+child=$(api POST "/runs/$parent/fork?day=3" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$child" ] || { echo "serve-smoke: fork returned no run ID" >&2; exit 1; }
+api POST "/runs/$child/resume" > /dev/null
+wait_done "$child"
+
+api GET "/runs/$parent/checkpoint?day=5" > "$tmp/parent-ck5.json"
+api GET "/runs/$child/checkpoint?day=5"  > "$tmp/child-ck5.json"
+if ! cmp -s "$tmp/parent-ck5.json" "$tmp/child-ck5.json"; then
+    echo "serve-smoke: fork's day-5 checkpoint diverged from the parent's" >&2
+    exit 1
+fi
+
+api GET "/runs/$parent/result" > "$tmp/parent-result.json"
+api GET "/runs/$child/result"  > "$tmp/child-result.json"
+if ! cmp -s "$tmp/parent-result.json" "$tmp/child-result.json"; then
+    echo "serve-smoke: fork's final result diverged from the parent's" >&2
+    diff "$tmp/parent-result.json" "$tmp/child-result.json" >&2 || true
+    exit 1
+fi
+
+# The run's telemetry is reachable per-run.
+api GET "/runs/$parent/metrics" | grep -q 'baat_sim_days_total' || {
+    echo "serve-smoke: per-run metrics endpoint missing sim day counter" >&2
+    exit 1
+}
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "serve-smoke: daemon exited non-zero on SIGTERM" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+fi
+pid=""
+echo "serve-smoke: fork matched parent byte-for-byte; daemon shut down cleanly"
