@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-smoke bench-regression bench-baseline conformance fuzz-smoke chaos-smoke checkpoint-smoke serve-smoke docs-check golden-update
+.PHONY: check fmt vet build test test-race bench bench-smoke bench-regression bench-baseline bench-trend profile conformance fuzz-smoke chaos-smoke checkpoint-smoke serve-smoke docs-check golden-update
 
 check: ## gofmt -l + vet + build + race tests
 	./check.sh
@@ -33,6 +33,14 @@ bench-regression: ## run the fixed suite and fail on regressions vs BENCH_baseli
 
 bench-baseline: ## re-measure and overwrite BENCH_baseline.json (commit the result)
 	$(GO) run ./cmd/baatbench -bench-json BENCH_baseline.json
+
+bench-trend: ## append a suite run (with git SHA) to BENCH_history.jsonl
+	./scripts/bench_trend.sh
+
+profile: ## CPU+heap profile of the 65536-node serial fleet step (then: go tool pprof cpu.pprof)
+	$(GO) test -run=NONE -bench='FleetStep/nodes=65536/workers=1$$' -benchtime=2x \
+		-cpuprofile cpu.pprof -memprofile mem.pprof ./internal/sim/
+	@echo "profile: go tool pprof -top cpu.pprof   # or -http=:8080 for the flame graph"
 
 conformance: ## shared battery-model contract across all tiers + chemistry fuzz smoke
 	$(GO) test -count=1 -run 'TestModelConformance' ./internal/battery/

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"strings"
 	"time"
@@ -49,8 +51,44 @@ func run() error {
 		benchJSON    = flag.String("bench-json", "", "run the benchmark-regression suite and write its JSON report to this path ('-' = stdout), then exit")
 		benchCompare = flag.String("bench-compare", "", "run the benchmark-regression suite, compare against this baseline JSON, and exit non-zero on regressions")
 		benchSlack   = flag.Float64("bench-time-slack", 0.15, "tolerated fractional time/op growth for -bench-compare")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file when the run completes")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer func() { _ = f.Close() }()
+			runtime.GC() // materialize the steady-state live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", path)
+		}()
+	}
 
 	if *benchJSON != "" || *benchCompare != "" {
 		return runBenchSuite(*benchJSON, *benchCompare, *benchSlack)
@@ -138,6 +176,9 @@ func runBenchSuite(jsonPath, comparePath string, timeSlack float64) error {
 			e.Name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp)
 	}
 	if len(regressions) > 0 {
+		// Print the whole per-entry delta table, not just the offenders, so
+		// a regression is diagnosed in the context of its neighbors.
+		fmt.Fprint(os.Stderr, baat.FormatPerfDeltaTable(baat.PerfDeltas(baseline, report, opt)))
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "bench regression:", r)
 		}

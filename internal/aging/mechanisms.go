@@ -222,7 +222,35 @@ type Model struct {
 	effLoss   float64
 	sinceFull float64 // Ah discharged since the last full recharge
 	hours     float64 // accelerated hours observed (the LFP √t calendar clock)
+
+	// tfTemp/tfValue memoize tempFactor keyed by the clamped temperature
+	// (cfg is fixed at construction). Case temperature settles exactly —
+	// the thermal model's exponential decay converges to its steady state
+	// in float64 — so overnight and idle stretches hit this cache every
+	// tick. A hit is bit-identical to recomputing.
+	tfTemp  float64
+	tfValue float64
+	tfValid bool
+
+	// chem is cfg.Chemistry.Normalize() hoisted to an integer tag at
+	// construction so the per-sample Observe dispatch is a jump, not a
+	// string comparison.
+	chem uint8
+
+	// dtLast/dtHours memoize Sample.Dt.Hours(): the tick width is constant
+	// within a run, so after the first sample the hours conversion is an
+	// integer compare instead of a float division. The cached value is the
+	// same division result bit for bit.
+	dtLast  time.Duration
+	dtHours float64
 }
+
+// Chemistry dispatch tags (Model.chem).
+const (
+	chemLeadAcid uint8 = iota
+	chemLFP
+	chemLinear
+)
 
 // NewModel creates a damage integrator for a battery with nominal capacity
 // capNom (the per-cycle normalizer for throughput-driven mechanisms).
@@ -245,15 +273,36 @@ func NewModelInto(m *Model, cfg ModelConfig, capNom units.AmpereHour) error {
 		return fmt.Errorf("aging: nominal capacity must be positive, got %v", capNom)
 	}
 	*m = Model{cfg: cfg, capNom: capNom}
+	switch cfg.Chemistry.Normalize() {
+	case battery.KindLFP:
+		m.chem = chemLFP
+	case battery.KindLinear:
+		m.chem = chemLinear
+	}
 	return nil
+}
+
+// hoursOf returns d.Hours() memoized on d. Observe rejects non-positive
+// durations before calling this, so the zero-valued cache can never alias
+// a real sample.
+func (m *Model) hoursOf(d time.Duration) float64 {
+	if d != m.dtLast {
+		m.dtLast, m.dtHours = d, d.Hours()
+	}
+	return m.dtHours
 }
 
 // tempFactor returns the Arrhenius-style acceleration at temperature t,
 // clamped to the physical envelope the battery model enforces (≤ 90 °C) so
 // that degraded-pack feedback cannot run the rates to infinity.
 func (m *Model) tempFactor(t units.Celsius) float64 {
-	exp := (units.Clamp(float64(t), -20, 90) - float64(m.cfg.TempRefC)) / m.cfg.TempDoublingC
-	return math.Pow(2, exp)
+	c := units.Clamp(float64(t), -20, 90)
+	if m.tfValid && c == m.tfTemp {
+		return m.tfValue
+	}
+	exp := (c - float64(m.cfg.TempRefC)) / m.cfg.TempDoublingC
+	m.tfTemp, m.tfValue, m.tfValid = c, math.Pow(2, exp), true
+	return m.tfValue
 }
 
 // lowSoCStress grows as SoC falls below the deep-discharge line; 1 at 40 %
@@ -275,10 +324,10 @@ func (m *Model) Observe(s Sample) error {
 	if s.Dt <= 0 {
 		return fmt.Errorf("aging: sample duration must be positive, got %v", s.Dt)
 	}
-	switch m.cfg.Chemistry.Normalize() {
-	case battery.KindLFP:
+	switch m.chem {
+	case chemLFP:
 		m.observeLFP(s)
-	case battery.KindLinear:
+	case chemLinear:
 		m.observeLinear(s)
 	default:
 		m.observeLeadAcid(s)
@@ -288,7 +337,7 @@ func (m *Model) Observe(s Sample) error {
 
 // observeLeadAcid integrates the five VRLA mechanisms of §II-B.
 func (m *Model) observeLeadAcid(s Sample) {
-	hours := s.Dt.Hours()
+	hours := m.hoursOf(s.Dt)
 	soc := units.Clamp01(s.SoC)
 	tf := m.tempFactor(s.Temperature)
 	a := m.cfg.AccelFactor
@@ -370,7 +419,7 @@ func (m *Model) observeLeadAcid(s Sample) {
 // mechanism decomposition — so ByMechanism and the snapshot shape stay
 // common across chemistries.
 func (m *Model) observeLFP(s Sample) {
-	hours := s.Dt.Hours()
+	hours := m.hoursOf(s.Dt)
 	soc := units.Clamp01(s.SoC)
 	tf := m.tempFactor(s.Temperature)
 	a := m.cfg.AccelFactor
@@ -413,7 +462,7 @@ func (m *Model) observeLinear(s Sample) {
 	if s.Current <= 0 {
 		return
 	}
-	ah := float64(s.Current) * s.Dt.Hours()
+	ah := float64(s.Current) * m.hoursOf(s.Dt)
 	dCyc := m.cfg.AccelFactor * m.cfg.CycleFadePerEFC * ah / float64(m.capNom)
 	m.byMech[Shedding-1] += dCyc
 	m.capFade += dCyc

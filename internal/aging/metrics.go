@@ -126,6 +126,13 @@ type Tracker struct {
 	drSum    float64 // A·h of discharge time, for mean DR
 	drLowSum float64
 	drPeak   float64
+
+	// dtLast/dtHours memoize Sample.Dt.Hours() exactly as aging.Model does:
+	// the tick width is constant within a run, and the cached value is the
+	// same division result bit for bit. Observe rejects Dt <= 0 before the
+	// lookup, so the zero value never aliases a real sample.
+	dtLast  time.Duration
+	dtHours float64
 }
 
 // NewTracker creates a metric tracker for a battery whose nominal life-long
@@ -178,7 +185,10 @@ func (t *Tracker) Observe(s Sample) error {
 		return fmt.Errorf("aging: non-finite sample temperature %v", s.Temperature)
 	}
 	soc := units.Clamp01(s.SoC)
-	hours := s.Dt.Hours()
+	if s.Dt != t.dtLast {
+		t.dtLast, t.dtHours = s.Dt, s.Dt.Hours()
+	}
+	hours := t.dtHours
 	t.total += s.Dt
 	if soc < DeepDischargeSoC {
 		t.deep += s.Dt
@@ -200,6 +210,14 @@ func (t *Tracker) Observe(s Sample) error {
 		t.ahIn += -float64(s.Current) * hours
 	}
 	return nil
+}
+
+// NAT returns normalized Ah throughput (Eq 1) alone, computed by the same
+// expression Metrics uses. The per-tick fleet summary reads NAT for every
+// node every tick, where assembling the full Metrics snapshot is an order
+// of magnitude more work than the single division.
+func (t *Tracker) NAT() float64 {
+	return t.ahOut / float64(t.lifetime)
 }
 
 // Metrics returns the current snapshot.

@@ -218,6 +218,42 @@ type Pack struct {
 	telCharge    *telemetry.Counter
 	telRest      *telemetry.Counter
 	telCutoff    *telemetry.Counter
+
+	// thermalTau is ThermalCapacity×ThermalResistance, hoisted at
+	// construction. restDt/restFactor and heatDt/heatAlpha memoize the two
+	// per-step transcendentals, keyed by the only input that varies (dt);
+	// a hit returns the identical float the cold path would compute, so
+	// results are bit-for-bit unchanged. The simulator steps every pack
+	// with one fixed tick, so these hit on every step after the first.
+	thermalTau float64
+	restDt     time.Duration
+	restFactor float64
+	heatDt     time.Duration
+	heatAlpha  float64
+
+	// hrDt/hrVal memoize dt.Hours() for the charge-integration steps on
+	// the same bit-identical terms as the transcendental caches above.
+	hrDt  time.Duration
+	hrVal float64
+
+	// ocvSoC/ocvVal memoize the open-circuit voltage keyed by the state of
+	// charge — the only varying input: the curve, nominal voltage, and
+	// reference scale are fixed at construction, and degradation does not
+	// enter the OCV map. One tick reads the OCV several times at the same
+	// SoC (power limits, the step itself, the sensor row), so most lookups
+	// skip the curve interpolation.
+	ocvSoC float64
+	ocvVal units.Volt
+	ocvOk  bool
+}
+
+// hours returns dt.Hours() memoized on dt. Callers validate dt > 0 first
+// (checkStep), so the zero-valued cache never aliases a real step.
+func (p *Pack) hours(dt time.Duration) float64 {
+	if dt != p.hrDt {
+		p.hrDt, p.hrVal = dt, dt.Hours()
+	}
+	return p.hrVal
 }
 
 // settings collects the construction-time options shared by every model
@@ -317,6 +353,7 @@ func NewInto(p *Pack, spec Spec, opts ...Option) error {
 		temp:            st.temp,
 	}
 	p.telDischarge, p.telCharge, p.telRest, p.telCutoff = st.counters()
+	p.thermalTau = spec.ThermalCapacity * spec.ThermalResistance
 	return nil
 }
 
@@ -384,8 +421,14 @@ func (p *Pack) internalResistance() float64 {
 // ocv returns the open-circuit voltage at the present SoC, scaled from the
 // chemistry's reference curve to the pack's nominal voltage.
 func (p *Pack) ocv() units.Volt {
+	if p.ocvOk && p.soc == p.ocvSoC {
+		return p.ocvVal
+	}
 	v := p.curve.At(p.soc)
-	return units.Volt(v * float64(p.spec.NominalVoltage) / p.curveRef)
+	p.ocvSoC = p.soc
+	p.ocvVal = units.Volt(v * float64(p.spec.NominalVoltage) / p.curveRef)
+	p.ocvOk = true
+	return p.ocvVal
 }
 
 // OpenCircuitVoltage exposes the rest voltage (what the sensor module reads
@@ -534,7 +577,7 @@ func (p *Pack) Discharge(pw units.Watt, dt time.Duration, amb units.Celsius) (St
 	}
 
 	cap := p.capacityAt(i)
-	dq := units.ChargeOver(i, dt)
+	dq := units.AmpereHour(float64(i) * p.hours(dt)) // units.ChargeOver, memoized hours
 	avail := units.AmpereHour(p.soc * float64(cap))
 	res := StepResult{Current: i, Voltage: v}
 	if dq >= avail {
@@ -597,7 +640,7 @@ func (p *Pack) Charge(pw units.Watt, dt time.Duration, amb units.Celsius) (StepR
 	vt := units.Volt(v + i*r)
 	eff := p.spec.CoulombicEfficiency - p.deg.EfficiencyLoss
 	cap := p.EffectiveCapacity()
-	dq := units.ChargeOver(units.Ampere(i), dt)
+	dq := units.AmpereHour(i * p.hours(dt)) // units.ChargeOver, memoized hours
 	need := units.AmpereHour((1 - p.soc) * float64(cap) / math.Max(eff, 1e-6))
 	if dq > need {
 		dq = need
@@ -632,8 +675,12 @@ func (p *Pack) Rest(dt time.Duration, amb units.Celsius) error {
 }
 
 func (p *Pack) rest(dt time.Duration, amb units.Celsius) {
-	days := dt.Hours() / 24
-	p.soc = units.Clamp01(p.soc * math.Pow(1-p.spec.SelfDischargeFraction, days))
+	if dt != p.restDt {
+		days := dt.Hours() / 24
+		p.restFactor = math.Pow(1-p.spec.SelfDischargeFraction, days)
+		p.restDt = dt
+	}
+	p.soc = units.Clamp01(p.soc * p.restFactor)
 	p.heat(0, dt, amb)
 }
 
@@ -645,12 +692,16 @@ func (p *Pack) heat(i units.Ampere, dt time.Duration, amb units.Celsius) {
 	if i != 0 {
 		gen = float64(i) * float64(i) * p.internalResistance() // watts
 	}
-	tau := p.spec.ThermalCapacity * p.spec.ThermalResistance
+	tau := p.thermalTau
 	if tau <= 0 {
 		return
 	}
+	if dt != p.heatDt {
+		p.heatAlpha = 1 - math.Exp(-dt.Seconds()/tau)
+		p.heatDt = dt
+	}
 	steady := float64(amb) + gen*p.spec.ThermalResistance
-	alpha := 1 - math.Exp(-dt.Seconds()/tau)
+	alpha := p.heatAlpha
 	t := float64(p.temp) + (steady-float64(p.temp))*alpha
 	p.temp = units.Celsius(units.Clamp(t, -20, 90))
 }

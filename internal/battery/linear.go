@@ -50,6 +50,14 @@ type Linear struct {
 	telCharge    *telemetry.Counter
 	telRest      *telemetry.Counter
 	telCutoff    *telemetry.Counter
+
+	// hrDt/hrVal memoize dt.Hours() for the charge-integration steps;
+	// sdDt/sdFactor memoize the per-step self-discharge pow keyed by dt
+	// (the only varying input); a hit is bit-identical to recomputing.
+	sdDt     time.Duration
+	sdFactor float64
+	hrDt     time.Duration
+	hrVal    float64
 }
 
 // NewLinear constructs a Linear from spec.
@@ -178,7 +186,7 @@ func (l *Linear) Discharge(pw units.Watt, dt time.Duration, amb units.Celsius) (
 	}
 	i := units.Ampere(float64(pw) / float64(v))
 	cap := l.EffectiveCapacity()
-	dq := units.ChargeOver(i, dt)
+	dq := units.AmpereHour(float64(i) * l.hours(dt)) // units.ChargeOver, memoized hours
 	avail := units.AmpereHour(l.soc * float64(cap))
 	res := StepResult{Current: i, Voltage: v}
 	if dq >= avail {
@@ -234,7 +242,7 @@ func (l *Linear) Charge(pw units.Watt, dt time.Duration, amb units.Celsius) (Ste
 	}
 	eff := l.spec.CoulombicEfficiency - l.deg.EfficiencyLoss
 	cap := l.EffectiveCapacity()
-	dq := units.ChargeOver(units.Ampere(i), dt)
+	dq := units.AmpereHour(i * l.hours(dt)) // units.ChargeOver, memoized hours
 	need := units.AmpereHour((1 - l.soc) * float64(cap) / math.Max(eff, 1e-6))
 	if dq > need {
 		dq = need
@@ -267,9 +275,22 @@ func (l *Linear) Rest(dt time.Duration, amb units.Celsius) error {
 	return nil
 }
 
+// hours returns dt.Hours() memoized on dt. Callers validate dt > 0 first
+// (checkStep), so the zero-valued cache never aliases a real step.
+func (l *Linear) hours(dt time.Duration) float64 {
+	if dt != l.hrDt {
+		l.hrDt, l.hrVal = dt, dt.Hours()
+	}
+	return l.hrVal
+}
+
 func (l *Linear) selfDischarge(dt time.Duration) {
-	days := dt.Hours() / 24
-	l.soc = units.Clamp01(l.soc * math.Pow(1-l.spec.SelfDischargeFraction, days))
+	if dt != l.sdDt {
+		days := dt.Hours() / 24
+		l.sdFactor = math.Pow(1-l.spec.SelfDischargeFraction, days)
+		l.sdDt = dt
+	}
+	l.soc = units.Clamp01(l.soc * l.sdFactor)
 }
 
 // Counters returns a snapshot of the cumulative usage counters.

@@ -73,13 +73,30 @@ type Config struct {
 // Columns is the fleet-wide allocator scratch: one dense column per
 // per-node quantity the tick prologue reads or writes (SoC snapshot,
 // demand, grants, sort order). The engine reuses them every tick, so the
-// steady-state step path allocates nothing.
+// steady-state step path allocates nothing. SortKey and SortScratch are
+// the radix-ordering scratch for the engine's incremental SoC order: a
+// key column and a ping-pong index buffer, preallocated here so the
+// per-control-pass sort stays alloc-free.
 type Columns struct {
 	SoC         []float64
 	Demand      []float64
 	LoadGrant   []float64
 	ChargeGrant []float64
 	Order       []int
+	SortKey     []uint64
+	SortScratch []int
+}
+
+// tierRun is a maximal run of consecutive node indices whose battery
+// models occupy consecutive slots of one per-tier slab. Fleets are
+// usually one run (homogeneous) or a few (the contiguous chemistry blocks
+// of Config.BatteryFleet); only a node whose model fell back to a private
+// heap allocation (slab=false) breaks columnar access.
+type tierRun struct {
+	lo, hi int  // node index range [lo, hi)
+	off    int  // slab offset of node lo's model within its tier slab
+	linear bool // linears slab vs packs slab
+	slab   bool // false: private models, read through the node view
 }
 
 // Fleet is the struct-of-arrays storage of a node fleet. All component
@@ -97,6 +114,7 @@ type Fleet struct {
 	rows     []powernet.Reading
 	shards   []Shard
 	cols     Columns
+	runs     []tierRun
 }
 
 // New builds a fleet: one contiguous slab per component type, every node
@@ -143,6 +161,11 @@ func New(cfg Config) (*Fleet, error) {
 	// to private rows rather than fragmenting the slab.
 	rowCap := -1
 	packCursor, linCursor := 0, 0
+	type placement struct {
+		linear, slab bool
+		off          int
+	}
+	places := make([]placement, n)
 	for i := 0; i < n; i++ {
 		ncfg, err := cfg.Node(i)
 		if err != nil {
@@ -167,15 +190,24 @@ func New(cfg Config) (*Fleet, error) {
 		}
 		if kind == battery.KindLinear {
 			if cfg.Model != nil {
+				places[i] = placement{linear: true, slab: true, off: linCursor}
 				parts.Linear = &f.linears[linCursor]
 				linCursor++
+			} else {
+				places[i] = placement{linear: true}
 			}
 		} else {
+			places[i] = placement{slab: true, off: packCursor}
 			parts.Pack = &f.packs[packCursor]
 			packCursor++
 		}
-		if ncfg.TableCapacity == rowCap {
-			parts.TableRows = f.rows[i*rowCap : (i+1)*rowCap : (i+1)*rowCap]
+		if rowCap > 0 && ncfg.TableCapacity == rowCap {
+			// Slot j of node i lives at rows[j*n+i]: rings are interleaved
+			// by slot, so the lockstep per-tick Record across nodes writes
+			// one contiguous band of the slab instead of striding a full
+			// private ring (rowCap rows) per node.
+			parts.TableRows = f.rows[i : (rowCap-1)*n+i+1]
+			parts.TableStride = n
 		}
 		if err := node.NewInto(&f.nodes[i], id(i), ncfg, parts); err != nil {
 			return nil, err
@@ -188,9 +220,50 @@ func New(cfg Config) (*Fleet, error) {
 		LoadGrant:   make([]float64, n),
 		ChargeGrant: make([]float64, n),
 		Order:       make([]int, n),
+		SortKey:     make([]uint64, n),
+		SortScratch: make([]int, n),
+	}
+	// Coalesce the per-node placements into maximal tier runs; slab
+	// cursors advance in node order, so consecutive same-tier nodes are
+	// automatically consecutive in their slab.
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && places[j].linear == places[i].linear && places[j].slab == places[i].slab {
+			j++
+		}
+		f.runs = append(f.runs, tierRun{
+			lo: i, hi: j,
+			off:    places[i].off,
+			linear: places[i].linear,
+			slab:   places[i].slab,
+		})
+		i = j
 	}
 	f.shards = partition(n, cfg.ShardSize, cfg.Seed)
 	return f, nil
+}
+
+// SoCColumn fills dst (length Len) with every node's state of charge,
+// sweeping the per-chemistry battery slabs with the columnar batch
+// kernels instead of calling through each node. Nodes whose model lives
+// outside the slabs (heterogeneous fallback) are read through their view.
+// The engine calls this for the snapshot behind every SoC ordering pass.
+func (f *Fleet) SoCColumn(dst []float64) {
+	if len(dst) != len(f.nodes) {
+		panic("fleet: SoCColumn length mismatch")
+	}
+	for _, r := range f.runs {
+		switch {
+		case !r.slab:
+			for i := r.lo; i < r.hi; i++ {
+				dst[i] = f.nodes[i].SoC()
+			}
+		case r.linear:
+			battery.LinearSoCs(f.linears[r.off:r.off+(r.hi-r.lo)], dst[r.lo:r.hi])
+		default:
+			battery.PackSoCs(f.packs[r.off:r.off+(r.hi-r.lo)], dst[r.lo:r.hi])
+		}
+	}
 }
 
 // Len returns the fleet size.

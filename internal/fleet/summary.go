@@ -81,14 +81,17 @@ func (s *Summary) Reset() {
 // bookkeeping). observeSoC gates the histogram sample.
 func (s *Summary) ObserveNode(i int, n *node.Node, observeSoC bool) float64 {
 	s.Nodes++
-	pack := n.Battery()
-	soc := pack.SoC()
+	// node.SoC/Health/NAT are the devirtualized fast accessors: no
+	// interface call, no full aging.Metrics snapshot. This fold runs for
+	// every node every tick, and the Metrics assembly alone used to be a
+	// quarter of the warehouse-scale step profile.
+	soc := n.SoC()
 	s.SoCSum += soc
 	s.SolarWhSum += float64(n.SolarEnergy())
 	if observeSoC && s.Hist != nil {
 		s.Hist.Observe(soc)
 	}
-	health := pack.Health()
+	health := n.Health()
 	if health < s.MinHealth {
 		s.MinHealth = health
 		s.MinHealthIndex = i
@@ -96,7 +99,7 @@ func (s *Summary) ObserveNode(i int, n *node.Node, observeSoC bool) float64 {
 	if s.EOLIndex < 0 && health < battery.EndOfLifeHealth {
 		s.EOLIndex = i
 	}
-	if nat := n.Metrics().NAT; nat > s.MaxNAT {
+	if nat := n.NAT(); nat > s.MaxNAT {
 		s.MaxNAT = nat
 		s.MaxNATIndex = i
 	}

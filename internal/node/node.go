@@ -182,6 +182,16 @@ type Node struct {
 	model   *aging.Model
 	table   *powernet.PowerTable
 
+	// pack/lin hold the same model as batt, as a concrete typed pointer
+	// (exactly one is non-nil, fixed at construction). The per-tick paths
+	// dispatch through the batt* leaf helpers below, which nil-check these
+	// and make direct calls the compiler can inline — one devirtualized
+	// call per node per tick is a measurable win at warehouse scale, and
+	// it is what the per-chemistry batch kernels in internal/battery lean
+	// on for columnar reads.
+	pack *battery.Pack
+	lin  *battery.Linear
+
 	clock    time.Duration
 	socFloor float64
 
@@ -189,6 +199,12 @@ type Node struct {
 	solarWh    units.WattHour
 	downTicks  int
 	totalTicks int
+
+	// hrDt/hrVal memoize dt.Hours() for the per-tick energy integration
+	// (Step validates dt > 0 first). A hit returns the identical division
+	// result, so accumulated energies are bit-for-bit unchanged.
+	hrDt  time.Duration
+	hrVal float64
 
 	// Sensor-chain fault state: the corruption applied to the *reported*
 	// battery sample this tick (the aging model always observes the
@@ -242,6 +258,12 @@ type Parts struct {
 	Model     *aging.Model
 	Table     *powernet.PowerTable
 	TableRows []powernet.Reading
+	// TableStride is the element distance between this node's consecutive
+	// ring slots within TableRows (zero means dense). A fleet interleaves
+	// every node's slot j into one band of a shared slab so the per-tick
+	// table writes stream sequentially across nodes; see
+	// powernet.NewPowerTableStridedInto.
+	TableStride int
 }
 
 // NewInto assembles a node in place, overwriting *n and initializing its
@@ -265,24 +287,26 @@ func NewInto(n *Node, id string, cfg Config, parts Parts) error {
 	// in BatteryOptions can still override it.
 	packOpts := append([]battery.Option{battery.WithRecorder(cfg.Telemetry)}, cfg.BatteryOptions...)
 	var batt battery.Model
+	var cpack *battery.Pack
+	var clin *battery.Linear
 	if cfg.BatterySpec.Chemistry.Normalize() == battery.KindLinear {
-		lin := parts.Linear
-		if lin == nil {
-			lin = new(battery.Linear)
+		clin = parts.Linear
+		if clin == nil {
+			clin = new(battery.Linear)
 		}
-		if err := battery.NewLinearInto(lin, cfg.BatterySpec, packOpts...); err != nil {
+		if err := battery.NewLinearInto(clin, cfg.BatterySpec, packOpts...); err != nil {
 			return err
 		}
-		batt = lin
+		batt = clin
 	} else {
-		pack := parts.Pack
-		if pack == nil {
-			pack = new(battery.Pack)
+		cpack = parts.Pack
+		if cpack == nil {
+			cpack = new(battery.Pack)
 		}
-		if err := battery.NewInto(pack, cfg.BatterySpec, packOpts...); err != nil {
+		if err := battery.NewInto(cpack, cfg.BatterySpec, packOpts...); err != nil {
 			return err
 		}
-		batt = pack
+		batt = cpack
 	}
 	tracker := parts.Tracker
 	if tracker == nil {
@@ -299,17 +323,22 @@ func NewInto(n *Node, id string, cfg Config, parts Parts) error {
 		return err
 	}
 	rows := parts.TableRows
+	stride := parts.TableStride
+	if stride <= 0 {
+		stride = 1
+	}
 	if rows == nil {
 		rows = make([]powernet.Reading, cfg.TableCapacity)
-	} else if len(rows) != cfg.TableCapacity {
-		return fmt.Errorf("node %s: %d table rows provided for capacity %d",
-			id, len(rows), cfg.TableCapacity)
+		stride = 1
+	} else if need := (cfg.TableCapacity-1)*stride + 1; len(rows) < need {
+		return fmt.Errorf("node %s: %d table rows provided for capacity %d at stride %d (need %d)",
+			id, len(rows), cfg.TableCapacity, stride, need)
 	}
 	table := parts.Table
 	if table == nil {
 		table = new(powernet.PowerTable)
 	}
-	if err := powernet.NewPowerTableInto(table, rows); err != nil {
+	if err := powernet.NewPowerTableStridedInto(table, rows, cfg.TableCapacity, stride); err != nil {
 		return err
 	}
 	quarantine := cfg.SensorQuarantine
@@ -325,6 +354,8 @@ func NewInto(n *Node, id string, cfg Config, parts Parts) error {
 		cfg:           cfg,
 		srv:           srv,
 		batt:          batt,
+		pack:          cpack,
+		lin:           clin,
 		tracker:       tracker,
 		model:         model,
 		table:         table,
@@ -347,6 +378,107 @@ func (n *Node) Server() *server.Server { return n.srv }
 
 // Battery exposes the battery model for read-mostly inspection.
 func (n *Node) Battery() battery.Model { return n.batt }
+
+// The batt* helpers dispatch to the concrete battery tier with a nil check
+// instead of an interface call. Each is a leaf small enough to inline, so
+// the hot tick paths pay a predictable branch rather than a virtual call
+// per node per tick.
+
+// SoC returns the battery's state of charge in [0, 1] without an
+// interface call — the fleet summary and SoC ordering read it for every
+// node every tick.
+func (n *Node) SoC() float64 {
+	if n.pack != nil {
+		return n.pack.SoC()
+	}
+	return n.lin.SoC()
+}
+
+// Health returns the battery's remaining-capacity fraction without an
+// interface call.
+func (n *Node) Health() float64 {
+	if n.pack != nil {
+		return n.pack.Health()
+	}
+	return n.lin.Health()
+}
+
+// NAT returns the node's normalized Ah throughput (Eq 1) alone, without
+// assembling the full aging.Metrics snapshot. The per-tick fleet summary
+// reads only this metric; Metrics remains the full snapshot for control
+// decisions.
+func (n *Node) NAT() float64 { return n.tracker.NAT() }
+
+func (n *Node) battTemperature() units.Celsius {
+	if n.pack != nil {
+		return n.pack.Temperature()
+	}
+	return n.lin.Temperature()
+}
+
+func (n *Node) battCutOff() bool {
+	if n.pack != nil {
+		return n.pack.CutOff()
+	}
+	return n.lin.CutOff()
+}
+
+func (n *Node) battMaxDischargePower() units.Watt {
+	if n.pack != nil {
+		return n.pack.MaxDischargePower()
+	}
+	return n.lin.MaxDischargePower()
+}
+
+func (n *Node) battMaxChargePower() units.Watt {
+	if n.pack != nil {
+		return n.pack.MaxChargePower()
+	}
+	return n.lin.MaxChargePower()
+}
+
+func (n *Node) battOpenCircuitVoltage() units.Volt {
+	if n.pack != nil {
+		return n.pack.OpenCircuitVoltage()
+	}
+	return n.lin.OpenCircuitVoltage()
+}
+
+func (n *Node) battTerminalVoltage(i units.Ampere) units.Volt {
+	if n.pack != nil {
+		return n.pack.TerminalVoltage(i)
+	}
+	return n.lin.TerminalVoltage(i)
+}
+
+func (n *Node) battDischarge(pw units.Watt, dt time.Duration, amb units.Celsius) (battery.StepResult, error) {
+	if n.pack != nil {
+		return n.pack.Discharge(pw, dt, amb)
+	}
+	return n.lin.Discharge(pw, dt, amb)
+}
+
+func (n *Node) battCharge(pw units.Watt, dt time.Duration, amb units.Celsius) (battery.StepResult, error) {
+	if n.pack != nil {
+		return n.pack.Charge(pw, dt, amb)
+	}
+	return n.lin.Charge(pw, dt, amb)
+}
+
+func (n *Node) battRest(dt time.Duration, amb units.Celsius) error {
+	if n.pack != nil {
+		return n.pack.Rest(dt, amb)
+	}
+	return n.lin.Rest(dt, amb)
+}
+
+func (n *Node) battApplyDegradation(d battery.Degradation) {
+	if n.pack != nil {
+		n.pack.ApplyDegradation(d)
+		return
+	}
+	n.lin.ApplyDegradation(d)
+}
 
 // Metrics returns the five aging metrics computed from the node's history.
 func (n *Node) Metrics() aging.Metrics { return n.tracker.Metrics() }
@@ -405,7 +537,7 @@ func (n *Node) UtilityAvailable() bool { return n.cfg.UtilityBackup && !n.utilit
 // damage ledger stay consistent.
 func (n *Node) InjectBatteryWear(capFade, resGrowth, effLoss float64) {
 	n.model.InjectDamage(capFade, resGrowth, effLoss)
-	n.batt.ApplyDegradation(n.model.Degradation())
+	n.battApplyDegradation(n.model.Degradation())
 }
 
 // MetricsSuspect reports whether the node's aging metrics are currently
@@ -443,16 +575,24 @@ func (n *Node) Demand() units.Watt {
 // ChargeRequest returns the maximum solar power (at the bus, before charger
 // loss) the battery could absorb this tick.
 func (n *Node) ChargeRequest() units.Watt {
-	mcp := n.batt.MaxChargePower()
+	mcp := n.battMaxChargePower()
 	if mcp == 0 {
 		return 0
 	}
 	return units.Watt(float64(mcp) / n.cfg.Losses.ChargerEfficiency)
 }
 
+// hours returns dt.Hours() memoized on dt.
+func (n *Node) hours(dt time.Duration) float64 {
+	if dt != n.hrDt {
+		n.hrDt, n.hrVal = dt, dt.Hours()
+	}
+	return n.hrVal
+}
+
 // batteryAvailable reports whether discharging is currently permitted.
 func (n *Node) batteryAvailable() bool {
-	return !n.batt.CutOff() && n.batt.SoC() > n.socFloor
+	return !n.battCutOff() && n.SoC() > n.socFloor
 }
 
 // Step advances the node by dt. solarForLoad is bus solar power granted for
@@ -489,14 +629,14 @@ func (n *Node) Step(dt time.Duration, solarForLoad, solarForCharge units.Watt) (
 
 	solarDeliverable := units.Watt(float64(solarForLoad) * n.cfg.Losses.SolarDirectEfficiency)
 	deficit := demand - solarDeliverable
-	canRecover := !wasDown || solarDeliverable >= demand || n.batt.SoC() > n.socFloor+0.05
+	canRecover := !wasDown || solarDeliverable >= demand || n.SoC() > n.socFloor+0.05
 
 	run := true
 	var batteryNeed units.Watt
 	if deficit > 0 {
 		// Battery must bridge deficit through the inverter.
 		batteryNeed = units.Watt(float64(deficit) / n.cfg.Losses.InverterEfficiency)
-		if !canRecover || !n.batteryAvailable() || n.batt.MaxDischargePower() < batteryNeed {
+		if !canRecover || !n.batteryAvailable() || n.battMaxDischargePower() < batteryNeed {
 			if n.UtilityAvailable() {
 				res.UtilityPower = deficit
 				res.Source = powernet.SourceUtility
@@ -521,7 +661,7 @@ func (n *Node) Step(dt time.Duration, solarForLoad, solarForCharge units.Watt) (
 			}
 		}
 		if batteryNeed > 0 {
-			sr, err = n.batt.Discharge(batteryNeed, dt, n.cfg.Ambient)
+			sr, err = n.battDischarge(batteryNeed, dt, n.cfg.Ambient)
 			if err != nil {
 				return StepResult{}, err
 			}
@@ -554,18 +694,18 @@ func (n *Node) Step(dt time.Duration, solarForLoad, solarForCharge units.Watt) (
 	// dark tick).
 	if solarForCharge > 0 && res.BatteryPower == 0 {
 		chargePower := units.Watt(float64(solarForCharge) * n.cfg.Losses.ChargerEfficiency)
-		cr, cerr := n.batt.Charge(chargePower, dt, n.cfg.Ambient)
+		cr, cerr := n.battCharge(chargePower, dt, n.cfg.Ambient)
 		if cerr != nil {
 			return StepResult{}, cerr
 		}
 		if cr.Charge != 0 {
-			accepted := -float64(cr.Energy) / dt.Hours() // battery-side watts
+			accepted := -float64(cr.Energy) / n.hours(dt) // battery-side watts
 			res.SolarUsed += units.Watt(accepted / n.cfg.Losses.ChargerEfficiency)
 			res.BatteryPower = units.Watt(-accepted)
 			sr = cr
 		}
 	} else if res.BatteryPower == 0 {
-		if rerr := n.batt.Rest(dt, n.cfg.Ambient); rerr != nil {
+		if rerr := n.battRest(dt, n.cfg.Ambient); rerr != nil {
 			return StepResult{}, rerr
 		}
 	}
@@ -574,8 +714,9 @@ func (n *Node) Step(dt time.Duration, solarForLoad, solarForCharge units.Watt) (
 	res.WorkDone = n.srv.Step(dt)
 	n.clock += dt
 	n.totalTicks++
-	n.solarWh += units.EnergyOver(res.SolarUsed, dt)
-	n.utilityWh += units.EnergyOver(res.UtilityPower, dt)
+	hrs := n.hours(dt)
+	n.solarWh += units.WattHour(float64(res.SolarUsed) * hrs) // units.EnergyOver, memoized hours
+	n.utilityWh += units.WattHour(float64(res.UtilityPower) * hrs)
 
 	if err := n.observe(dt, sr, res.Source); err != nil {
 		return StepResult{}, err
@@ -600,25 +741,25 @@ func (n *Node) StepOffline(dt time.Duration, solarForCharge units.Watt) (StepRes
 	var sr battery.StepResult
 	if solarForCharge > 0 {
 		chargePower := units.Watt(float64(solarForCharge) * n.cfg.Losses.ChargerEfficiency)
-		cr, err := n.batt.Charge(chargePower, dt, n.cfg.Ambient)
+		cr, err := n.battCharge(chargePower, dt, n.cfg.Ambient)
 		if err != nil {
 			return StepResult{}, err
 		}
 		if cr.Charge != 0 {
-			accepted := -float64(cr.Energy) / dt.Hours()
+			accepted := -float64(cr.Energy) / n.hours(dt)
 			res.SolarUsed = units.Watt(accepted / n.cfg.Losses.ChargerEfficiency)
 			res.BatteryPower = units.Watt(-accepted)
 			res.Source = powernet.SourceSolar
 			sr = cr
 		}
 	} else {
-		if rerr := n.batt.Rest(dt, n.cfg.Ambient); rerr != nil {
+		if rerr := n.battRest(dt, n.cfg.Ambient); rerr != nil {
 			return StepResult{}, rerr
 		}
 	}
 
 	n.clock += dt
-	n.solarWh += units.EnergyOver(res.SolarUsed, dt)
+	n.solarWh += units.WattHour(float64(res.SolarUsed) * n.hours(dt)) // units.EnergyOver, memoized hours
 
 	if err := n.observe(dt, sr, res.Source); err != nil {
 		return StepResult{}, err
@@ -637,8 +778,8 @@ func (n *Node) observe(dt time.Duration, sr battery.StepResult, source powernet.
 	truth := aging.Sample{
 		Dt:          dt,
 		Current:     sr.Current,
-		SoC:         n.batt.SoC(),
-		Temperature: n.batt.Temperature(),
+		SoC:         n.SoC(),
+		Temperature: n.battTemperature(),
 	}
 
 	reported, delivered, quality := n.applySensor(truth)
@@ -667,7 +808,7 @@ func (n *Node) observe(dt time.Duration, sr battery.StepResult, source powernet.
 	if err := n.model.Observe(truth); err != nil {
 		return err
 	}
-	n.batt.ApplyDegradation(n.model.Degradation())
+	n.battApplyDegradation(n.model.Degradation())
 
 	// The table row is recorded after degradation is applied, like the
 	// sensor chain sampling at the end of the interval. A clean chain
@@ -680,9 +821,9 @@ func (n *Node) observe(dt time.Duration, sr battery.StepResult, source powernet.
 		n.table.Record(powernet.Reading{
 			At:          n.clock,
 			Current:     0,
-			Voltage:     n.batt.OpenCircuitVoltage(),
-			Temperature: n.batt.Temperature(),
-			SoC:         n.batt.SoC(),
+			Voltage:     n.battOpenCircuitVoltage(),
+			Temperature: n.battTemperature(),
+			SoC:         n.SoC(),
 			Source:      source,
 			Quality:     powernet.QualityBad,
 		})
@@ -690,16 +831,16 @@ func (n *Node) observe(dt time.Duration, sr battery.StepResult, source powernet.
 		n.table.Record(powernet.Reading{
 			At:          n.clock,
 			Current:     reported.Current,
-			Voltage:     n.batt.TerminalVoltage(reported.Current),
-			Temperature: n.batt.Temperature(),
-			SoC:         n.batt.SoC(),
+			Voltage:     n.battTerminalVoltage(reported.Current),
+			Temperature: n.battTemperature(),
+			SoC:         n.SoC(),
 			Source:      source,
 		})
 	default:
 		n.table.Record(powernet.Reading{
 			At:          n.clock,
 			Current:     reported.Current,
-			Voltage:     n.batt.TerminalVoltage(reported.Current),
+			Voltage:     n.battTerminalVoltage(reported.Current),
 			Temperature: reported.Temperature,
 			SoC:         reported.SoC,
 			Source:      source,
@@ -768,8 +909,8 @@ func (n *Node) Stats() Stats {
 		Throughput:    n.srv.Throughput(),
 		Downtime:      n.srv.Downtime(),
 		Uptime:        n.srv.Uptime(),
-		Health:        n.batt.Health(),
-		SoC:           n.batt.SoC(),
+		Health:        n.Health(),
+		SoC:           n.SoC(),
 	}
 	if n.totalTicks > 0 {
 		s.DownFraction = float64(n.downTicks) / float64(n.totalTicks)
@@ -783,5 +924,5 @@ func (n *Node) SolarEnergy() units.WattHour { return n.solarWh }
 
 // AtEndOfLife reports whether the battery fell below the 80 % health line.
 func (n *Node) AtEndOfLife() bool {
-	return n.batt.Health() < battery.EndOfLifeHealth
+	return n.Health() < battery.EndOfLifeHealth
 }

@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // Entry is one benchmark measurement.
@@ -97,6 +98,99 @@ func DefaultOptions() Options {
 	return Options{TimeSlack: 0.15, AllocSlack: 0.01}
 }
 
+// Delta is one baseline-vs-current comparison row: the raw measurements
+// plus which gates tripped. Deltas reports every baseline entry — not only
+// the regressed ones — so a failing gate can print the whole table and
+// show regressions in the context of their neighbors.
+type Delta struct {
+	Name   string
+	Pinned bool
+	// Missing marks a baseline entry absent from the current run (itself a
+	// regression: a silently dropped benchmark is a blind spot).
+	Missing    bool
+	BaseNs     float64
+	CurNs      float64
+	BaseAllocs int64
+	CurAllocs  int64
+	// TimeRegressed / AllocRegressed report whether the respective gate
+	// tripped under the Options the deltas were computed with.
+	TimeRegressed  bool
+	AllocRegressed bool
+}
+
+// TimePct returns the ns/op change as a signed percentage of the baseline
+// (+12.3 means 12.3 % slower). Zero for missing entries.
+func (d Delta) TimePct() float64 {
+	if d.Missing || d.BaseNs == 0 {
+		return 0
+	}
+	return (d.CurNs - d.BaseNs) / d.BaseNs * 100
+}
+
+// Deltas compares current against baseline entry by entry, in baseline
+// order. Entries new in current are ignored so the baseline can lag a
+// suite extension.
+func Deltas(baseline, current Report, opt Options) []Delta {
+	ds := make([]Delta, 0, len(baseline.Entries))
+	for _, base := range baseline.Entries {
+		d := Delta{
+			Name:       base.Name,
+			Pinned:     base.Pinned,
+			BaseNs:     base.NsPerOp,
+			BaseAllocs: base.AllocsPerOp,
+		}
+		cur, ok := current.Lookup(base.Name)
+		if !ok {
+			d.Missing = true
+			ds = append(ds, d)
+			continue
+		}
+		d.CurNs = cur.NsPerOp
+		d.CurAllocs = cur.AllocsPerOp
+		d.TimeRegressed = cur.NsPerOp > base.NsPerOp*(1+opt.TimeSlack)
+		allocSlack := opt.AllocSlack
+		if base.Pinned {
+			allocSlack = 0
+		}
+		d.AllocRegressed = float64(cur.AllocsPerOp) > float64(base.AllocsPerOp)*(1+allocSlack)
+		ds = append(ds, d)
+	}
+	return ds
+}
+
+// FormatDeltaTable renders deltas as an aligned text table — one row per
+// baseline entry with ns/op, Δ%, allocs/op, the allocation delta, and
+// which gate (if any) tripped. The bench-regression gate prints this on
+// failure so a regression is diagnosed from the report itself rather than
+// from the first offending entry alone.
+func FormatDeltaTable(ds []Delta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-46s %14s %14s %8s %12s %12s %8s  %s\n",
+		"entry", "base ns/op", "cur ns/op", "Δ%", "base allocs", "cur allocs", "Δallocs", "gate")
+	for _, d := range ds {
+		gate := "ok"
+		switch {
+		case d.Missing:
+			gate = "MISSING"
+		case d.TimeRegressed && d.AllocRegressed:
+			gate = "TIME+ALLOCS"
+		case d.TimeRegressed:
+			gate = "TIME"
+		case d.AllocRegressed:
+			gate = "ALLOCS"
+		}
+		if d.Missing {
+			fmt.Fprintf(&b, "%-46s %14.0f %14s %8s %12d %12s %8s  %s\n",
+				d.Name, d.BaseNs, "-", "-", d.BaseAllocs, "-", "-", gate)
+			continue
+		}
+		fmt.Fprintf(&b, "%-46s %14.0f %14.0f %+7.1f%% %12d %12d %+8d  %s\n",
+			d.Name, d.BaseNs, d.CurNs, d.TimePct(), d.BaseAllocs, d.CurAllocs,
+			d.CurAllocs-d.BaseAllocs, gate)
+	}
+	return b.String()
+}
+
 // Compare checks current against baseline and returns one human-readable
 // line per regression; an empty slice means the gate passes. Baseline
 // entries missing from the current report are regressions (a benchmark
@@ -104,26 +198,21 @@ func DefaultOptions() Options {
 // are ignored so the baseline can lag a suite extension.
 func Compare(baseline, current Report, opt Options) []string {
 	var regressions []string
-	for _, base := range baseline.Entries {
-		cur, ok := current.Lookup(base.Name)
-		if !ok {
+	for _, d := range Deltas(baseline, current, opt) {
+		if d.Missing {
 			regressions = append(regressions,
-				fmt.Sprintf("%s: present in baseline but missing from current run", base.Name))
+				fmt.Sprintf("%s: present in baseline but missing from current run", d.Name))
 			continue
 		}
-		if limit := base.NsPerOp * (1 + opt.TimeSlack); cur.NsPerOp > limit {
+		if d.TimeRegressed {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: time/op %.0f ns exceeds baseline %.0f ns by more than %.0f%%",
-					base.Name, cur.NsPerOp, base.NsPerOp, opt.TimeSlack*100))
+					d.Name, d.CurNs, d.BaseNs, opt.TimeSlack*100))
 		}
-		allocSlack := opt.AllocSlack
-		if base.Pinned {
-			allocSlack = 0
-		}
-		if limit := float64(base.AllocsPerOp) * (1 + allocSlack); float64(cur.AllocsPerOp) > limit {
+		if d.AllocRegressed {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: allocs/op %d exceeds baseline %d (pinned=%v)",
-					base.Name, cur.AllocsPerOp, base.AllocsPerOp, base.Pinned))
+					d.Name, d.CurAllocs, d.BaseAllocs, d.Pinned))
 		}
 	}
 	return regressions

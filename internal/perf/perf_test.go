@@ -142,3 +142,50 @@ func TestBaselineParses(t *testing.T) {
 		}
 	}
 }
+
+func TestDeltasReportEveryBaselineEntry(t *testing.T) {
+	cur := baseReport()
+	cur.Entries[0].NsPerOp = 1300  // +30%: trips the time gate
+	cur.Entries[0].AllocsPerOp = 4 // pinned: trips the alloc gate
+	cur.Entries = cur.Entries[:1]  // "sweep" dropped: missing
+	ds := Deltas(baseReport(), cur, DefaultOptions())
+	if len(ds) != 2 {
+		t.Fatalf("got %d deltas, want one per baseline entry (2)", len(ds))
+	}
+	if d := ds[0]; !d.TimeRegressed || !d.AllocRegressed || d.Missing {
+		t.Fatalf("pinned_path delta gates wrong: %+v", d)
+	}
+	if got := ds[0].TimePct(); got < 29.9 || got > 30.1 {
+		t.Fatalf("TimePct() = %v, want ~+30", got)
+	}
+	if d := ds[1]; !d.Missing || d.TimeRegressed || d.AllocRegressed {
+		t.Fatalf("sweep delta should be missing-only: %+v", d)
+	}
+}
+
+func TestFormatDeltaTable(t *testing.T) {
+	cur := baseReport()
+	cur.Entries[0].NsPerOp = 1300
+	cur.Entries[0].AllocsPerOp = 4
+	cur.Entries = cur.Entries[:1]
+	table := FormatDeltaTable(Deltas(baseReport(), cur, DefaultOptions()))
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	if len(lines) != 3 { // header + one row per baseline entry
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), table)
+	}
+	for _, want := range []string{"entry", "Δ%", "Δallocs", "gate"} {
+		if !strings.Contains(lines[0], want) {
+			t.Fatalf("header lacks %q:\n%s", want, table)
+		}
+	}
+	for _, want := range []string{"pinned_path", "TIME+ALLOCS", "+30.0%", "+1"} {
+		if !strings.Contains(lines[1], want) {
+			t.Fatalf("pinned_path row lacks %q:\n%s", want, table)
+		}
+	}
+	for _, want := range []string{"sweep", "MISSING"} {
+		if !strings.Contains(lines[2], want) {
+			t.Fatalf("sweep row lacks %q:\n%s", want, table)
+		}
+	}
+}

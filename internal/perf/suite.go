@@ -94,6 +94,17 @@ func RunSuite() (Report, error) {
 	// headline it has to earn — same 65536-node day, cheap per-node model.
 	addFleet(fmt.Sprintf("fleet_step/nodes=%d/workers=1/model=linear", suiteWarehouseNodes), true,
 		suiteWarehouseNodes, fleetStepBench(suiteWarehouseNodes, 1, battery.KindLinear))
+	// The LFP tier shares the electrochemical Pack but swaps the OCV curve
+	// and damage model; pinning it at warehouse scale keeps all three tiers
+	// on the same scaling axis instead of only at the 64-node size.
+	addFleet(fmt.Sprintf("fleet_step/nodes=%d/workers=1/model=lfp", suiteWarehouseNodes), true,
+		suiteWarehouseNodes, fleetStepBench(suiteWarehouseNodes, 1, battery.KindLFP))
+	// The columnar batch kernels behind the engine's SoC ordering snapshot:
+	// one op sweeps a warehouse-sized per-chemistry column. Pinned at zero
+	// allocations — the kernels read slabs into caller-owned columns.
+	add("soc_column/model=leadacid", true, socColumnBench(battery.KindLeadAcid))
+	add("soc_column/model=lfp", true, socColumnBench(battery.KindLFP))
+	add("soc_column/model=linear", true, socColumnBench(battery.KindLinear))
 	add("tracker_observe", true, trackerObserveBench)
 	add("battery_step", true, batteryStepBench(battery.KindLeadAcid))
 	add("battery_step/model=linear", true, batteryStepBench(battery.KindLinear))
@@ -148,6 +159,42 @@ func fleetStepBench(nodes, workers int, model battery.Kind) func(b *testing.B) {
 			if _, err := s.RunDay(solar.Cloudy); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// socColumnBench measures one columnar SoC sweep over a warehouse-sized
+// same-chemistry column — the batch kernel the fleet's SoC snapshot runs
+// per control pass instead of 65536 per-node calls.
+func socColumnBench(kind battery.Kind) func(b *testing.B) {
+	return func(b *testing.B) {
+		spec, err := battery.DefaultSpecFor(kind)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := make([]float64, suiteWarehouseNodes)
+		if kind == battery.KindLinear {
+			lins := make([]battery.Linear, suiteWarehouseNodes)
+			for i := range lins {
+				if err := battery.NewLinearInto(&lins[i], spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				battery.LinearSoCs(lins, dst)
+			}
+			return
+		}
+		packs := make([]battery.Pack, suiteWarehouseNodes)
+		for i := range packs {
+			if err := battery.NewInto(&packs[i], spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			battery.PackSoCs(packs, dst)
 		}
 	}
 }

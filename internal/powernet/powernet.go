@@ -135,12 +135,13 @@ type Reading struct {
 // utilization history logs"). The zero value is unusable; construct with
 // NewPowerTable.
 type PowerTable struct {
-	cap  int
-	rows []Reading
-	next int
-	full bool
-	last Reading
-	n    int
+	cap    int
+	rows   []Reading
+	stride int // element distance between consecutive ring slots
+	pos    int // element offset of slot next: next*stride
+	next   int
+	full   bool
+	n      int
 }
 
 // NewPowerTable creates a table retaining the latest capacity rows.
@@ -163,19 +164,47 @@ func NewPowerTableInto(t *PowerTable, rows []Reading) error {
 	if len(rows) == 0 {
 		return fmt.Errorf("powernet: power table needs at least one row, got %d", len(rows))
 	}
-	clear(rows)
-	*t = PowerTable{cap: len(rows), rows: rows}
+	return NewPowerTableStridedInto(t, rows, len(rows), 1)
+}
+
+// NewPowerTableStridedInto initializes a table whose ring slot j lives at
+// rows[j*stride], overwriting *t. A fleet interleaves every node's slot j
+// into one contiguous band of a shared slab (stride = fleet size), so the
+// per-tick Record of node after node writes consecutive memory instead of
+// hopping a full private ring apart — the difference between streaming
+// stores and a cache miss per node at warehouse scale. Only the slot
+// elements are owned (and cleared) by the table; the elements between
+// them belong to other tables.
+func NewPowerTableStridedInto(t *PowerTable, rows []Reading, capacity, stride int) error {
+	if capacity <= 0 {
+		return fmt.Errorf("powernet: power table capacity must be positive, got %d", capacity)
+	}
+	if stride <= 0 {
+		return fmt.Errorf("powernet: power table stride must be positive, got %d", stride)
+	}
+	if need := (capacity-1)*stride + 1; len(rows) < need {
+		return fmt.Errorf("powernet: %d rows cannot back capacity %d at stride %d (need %d)",
+			len(rows), capacity, stride, need)
+	}
+	*t = PowerTable{cap: capacity, rows: rows, stride: stride}
+	for j := 0; j < capacity; j++ {
+		t.rows[j*stride] = Reading{}
+	}
 	return nil
 }
 
-// Record appends a reading, evicting the oldest once full.
+// Record appends a reading, evicting the oldest once full. This runs once
+// per node per tick, so the body stays a single ring store: the newest row
+// is derived from the ring on demand (Last) rather than stored twice, and
+// the wrap is a compare instead of a modulo.
 func (t *PowerTable) Record(r Reading) {
-	t.rows[t.next] = r
-	t.next = (t.next + 1) % t.cap
-	if t.next == 0 {
+	t.rows[t.pos] = r
+	t.pos += t.stride
+	t.next++
+	if t.next == t.cap {
+		t.next, t.pos = 0, 0
 		t.full = true
 	}
-	t.last = r
 	t.n++
 }
 
@@ -195,15 +224,23 @@ func (t *PowerTable) Last() (Reading, bool) {
 	if t.n == 0 {
 		return Reading{}, false
 	}
-	return t.last, true
+	i := t.next - 1
+	if i < 0 {
+		i = t.cap - 1
+	}
+	return t.rows[i*t.stride], true
 }
 
 // Rows returns retained readings in chronological order.
 func (t *PowerTable) Rows() []Reading {
 	out := make([]Reading, 0, t.Len())
 	if t.full {
-		out = append(out, t.rows[t.next:]...)
+		for j := t.next; j < t.cap; j++ {
+			out = append(out, t.rows[j*t.stride])
+		}
 	}
-	out = append(out, t.rows[:t.next]...)
+	for j := 0; j < t.next; j++ {
+		out = append(out, t.rows[j*t.stride])
+	}
 	return out
 }

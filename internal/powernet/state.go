@@ -39,19 +39,16 @@ func (t *PowerTable) Restore(st State) error {
 	if n := len(st.Rows); n > 0 && st.Rows[n-1] != st.Last {
 		return fmt.Errorf("powernet: restore: last reading does not match newest retained row")
 	}
-	for i := range t.rows {
-		t.rows[i] = Reading{}
+	for j := 0; j < t.cap; j++ {
+		t.rows[j*t.stride] = Reading{}
 	}
 	t.next = 0
+	t.pos = 0
 	t.full = false
 	t.n = 0
-	t.last = Reading{}
 	for _, r := range st.Rows {
 		t.Record(r)
 	}
 	t.n = st.Total
-	if st.Total > 0 {
-		t.last = st.Last
-	}
 	return nil
 }

@@ -17,7 +17,6 @@
 package sim
 
 import (
-	"cmp"
 	"fmt"
 	"math"
 	"runtime"
@@ -364,6 +363,8 @@ type Simulator struct {
 	chargeGrant []float64
 	socOrder    []int
 	socSnap     []float64
+	socKey      []uint64
+	socTmp      []int
 
 	// Shard-step state: stepOffline carries the current tick's path to the
 	// shard workers, shardSums/shardErrs are each shard's private summary
@@ -536,6 +537,8 @@ func New(cfg Config, policy core.Policy) (*Simulator, error) {
 	s.chargeGrant = cols.ChargeGrant
 	s.socOrder = cols.Order
 	s.socSnap = cols.SoC
+	s.socKey = cols.SortKey
+	s.socTmp = cols.SortScratch
 
 	shards := fl.Shards()
 	if s.workers > len(shards) {
@@ -1158,23 +1161,19 @@ func controlBounds() []float64 {
 	return []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1}
 }
 
-// bySoC returns node indices sorted by ascending state of charge. The
-// order lives in a reusable buffer and is sorted against a SoC snapshot
-// read once up front — one pack read per node and zero allocations, where
-// the previous sort.SliceStable closure re-read SoC on every comparison and
-// heap-allocated its comparator each call. The stable sort on the pre-read
-// snapshot orders exactly as the live reads would: nothing mutates pack
-// state between the snapshot and the grant assignment that consumes it.
+// bySoC returns node indices sorted by ascending state of charge (ties by
+// ascending index). The SoC snapshot is filled by the fleet's columnar
+// batch kernels — a dense sweep of the per-chemistry slabs instead of one
+// interface call per node — and the permutation comes from the radix
+// order in socorder.go: O(n) per control pass, zero allocations, and
+// byte-identical to the stable comparison sort it replaced (the order is
+// a strict total order, so any correct sort produces the same bytes).
+// Ordering a pre-read snapshot is exact: nothing mutates pack state
+// between the snapshot and the grant assignment that consumes it.
 func (s *Simulator) bySoC() []int {
-	order, snap := s.socOrder, s.socSnap
-	for i, nd := range s.nodes {
-		order[i] = i
-		snap[i] = nd.Battery().SoC()
-	}
-	slices.SortStableFunc(order, func(a, b int) int {
-		return cmp.Compare(snap[a], snap[b])
-	})
-	return order
+	s.fleet.SoCColumn(s.socSnap)
+	sortBySoC(s.socOrder, s.socTmp, s.socKey, s.socSnap)
+	return s.socOrder
 }
 
 // Run simulates the given weather sequence and assembles the result.

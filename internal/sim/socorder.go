@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"cmp"
+	"math"
+	"slices"
+)
+
+// radixMinNodes is the fleet size below which sortBySoC falls back to the
+// comparison sort: under ~128 elements the radix passes cost more than
+// O(n log n) comparisons, and both produce the identical permutation.
+const radixMinNodes = 128
+
+// socSortKey maps a float64 to a uint64 whose unsigned order equals the
+// cmp.Compare order of the floats: NaN first, then negatives ascending
+// (bit-complemented), then ±0 sharing one key (they compare equal, so they
+// must tie rather than order by sign), then positives ascending (sign bit
+// set). State of charge lives in [0, 1], but the mapping is total so the
+// equivalence with the sort reference holds for any snapshot contents.
+func socSortKey(f float64) uint64 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	if f == 0 {
+		return 1 << 63
+	}
+	b := math.Float64bits(f)
+	if b>>63 != 0 {
+		return ^b
+	}
+	return b | 1<<63
+}
+
+// sortBySoC fills order with 0..n-1 sorted into ascending (snap[i], i)
+// order: ascending state of charge, exact ties broken by ascending node
+// index. The permutation is defined by that strict total order, so it is
+// byte-identical to initializing the identity and running
+// slices.SortStableFunc with cmp.Compare — the reference the property
+// test in socorder_test.go checks against — while costing O(n) per pass
+// instead of O(n log n) comparisons.
+//
+// The implementation is an LSD radix sort over socSortKey: eight stable
+// counting passes, least-significant byte first, ping-ponging between
+// order and tmp. Starting every call from the identity is what makes ties
+// resolve by index (a stable pass preserves input order), and it is also
+// why a pass whose byte is uniform across all keys can be skipped as a
+// no-op — which makes the common fleet states cheap: overnight, most SoC
+// values sit at exactly 1.0 and all eight passes collapse; in [0.5, 1)
+// the exponent byte is constant and the top passes collapse. tmp and key
+// are caller-owned scratch of length ≥ n, so the sort allocates nothing.
+func sortBySoC(order, tmp []int, key []uint64, snap []float64) {
+	n := len(order)
+	for i := range order {
+		order[i] = i
+	}
+	if n < radixMinNodes {
+		slices.SortStableFunc(order, func(a, b int) int {
+			return cmp.Compare(snap[a], snap[b])
+		})
+		return
+	}
+	key = key[:n]
+	for i, v := range snap[:n] {
+		key[i] = socSortKey(v)
+	}
+	// Byte histograms are permutation-invariant, so all eight are built in
+	// one streaming sweep of the key column up front instead of one
+	// gather sweep per pass — the scatter passes below are then the only
+	// index-indirected traversals left.
+	var counts [8][256]int
+	for _, k := range key {
+		counts[0][byte(k)]++
+		counts[1][byte(k>>8)]++
+		counts[2][byte(k>>16)]++
+		counts[3][byte(k>>24)]++
+		counts[4][byte(k>>32)]++
+		counts[5][byte(k>>40)]++
+		counts[6][byte(k>>48)]++
+		counts[7][byte(k>>56)]++
+	}
+	src, dst := order, tmp[:n]
+	for p := range counts {
+		count := &counts[p]
+		shift := uint(p * 8)
+		if count[byte(key[src[0]]>>shift)] == n {
+			continue // uniform byte: a stable pass would be the identity
+		}
+		sum := 0
+		for b := range count {
+			c := count[b]
+			count[b] = sum
+			sum += c
+		}
+		for _, idx := range src {
+			b := byte(key[idx] >> shift)
+			dst[count[b]] = idx
+			count[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &order[0] {
+		copy(order, src)
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"cmp"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// sortRef is the reference ordering sortBySoC must reproduce exactly: the
+// identity permutation stably sorted by cmp.Compare on the snapshot. This
+// is the code the radix sort replaced in the engine's control pass.
+func sortRef(snap []float64) []int {
+	order := make([]int, len(snap))
+	for i := range order {
+		order[i] = i
+	}
+	slices.SortStableFunc(order, func(a, b int) int {
+		return cmp.Compare(snap[a], snap[b])
+	})
+	return order
+}
+
+func runSortBySoC(snap []float64) []int {
+	n := len(snap)
+	order := make([]int, n)
+	tmp := make([]int, n)
+	key := make([]uint64, n)
+	sortBySoC(order, tmp, key, snap)
+	return order
+}
+
+// TestSortBySoCMatchesReferenceQuick drives the radix order against the
+// sort reference with generated snapshots, at sizes straddling
+// radixMinNodes so both the comparison fallback and the radix path are
+// exercised. Exact ties are forced by quantizing some values onto a
+// coarse grid: equal SoC must order by ascending node index in both
+// implementations, which is precisely what a stable sort guarantees and
+// what the golden traces depend on.
+func TestSortBySoCMatchesReferenceQuick(t *testing.T) {
+	sizes := []int{0, 1, 2, 3, radixMinNodes - 1, radixMinNodes, radixMinNodes + 1, 4 * radixMinNodes}
+	f := func(seed int64, raw []float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := sizes[rng.Intn(len(sizes))]
+		snap := make([]float64, n)
+		for i := range snap {
+			var v float64
+			if len(raw) > 0 {
+				v = raw[rng.Intn(len(raw))]
+			} else {
+				v = rng.Float64()
+			}
+			switch rng.Intn(4) {
+			case 0:
+				// Quantize onto a 16-level grid to force exact ties.
+				v = math.Floor(v*16) / 16
+			case 1:
+				// SoC-shaped values in [0, 1].
+				v = math.Abs(v - math.Floor(v))
+			}
+			snap[i] = v
+		}
+		return slices.Equal(runSortBySoC(snap), sortRef(snap))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSortBySoCAdversarialValues pins the key-mapping edge cases directly:
+// NaN (cmp.Compare orders it first), ±0 (compare equal, so they must tie
+// by index rather than order by sign bit), infinities, denormals, and
+// negative values — none of which a state-of-charge snapshot should
+// contain, but the ordering is documented as total so it must match the
+// reference on all of them.
+func TestSortBySoCAdversarialValues(t *testing.T) {
+	specials := []float64{
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		0.0, math.Copysign(0, -1),
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.MaxFloat64, -math.MaxFloat64,
+		1.0, -1.0, 0.5, -0.5, math.Nextafter(0.5, 1), math.Nextafter(0.5, 0),
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{8, radixMinNodes, radixMinNodes + 57, 1024} {
+		snap := make([]float64, n)
+		for i := range snap {
+			snap[i] = specials[rng.Intn(len(specials))]
+		}
+		got, want := runSortBySoC(snap), sortRef(snap)
+		if !slices.Equal(got, want) {
+			t.Fatalf("n=%d: radix order diverges from sort reference\n got %v\nwant %v", n, got, want)
+		}
+	}
+}
+
+// TestSortBySoCUniformSnapshot pins the overnight fast path: every SoC
+// equal (all passes collapse) must yield the identity permutation, ties
+// broken by index.
+func TestSortBySoCUniformSnapshot(t *testing.T) {
+	n := 4 * radixMinNodes
+	snap := make([]float64, n)
+	for i := range snap {
+		snap[i] = 1.0
+	}
+	got := runSortBySoC(snap)
+	for i, idx := range got {
+		if idx != i {
+			t.Fatalf("uniform snapshot: order[%d] = %d, want identity", i, idx)
+		}
+	}
+}
+
+// TestSortBySoCAllocFree pins the radix path at zero allocations per call
+// with caller-owned scratch, which is what keeps the engine's control
+// pass alloc-free at warehouse scale.
+func TestSortBySoCAllocFree(t *testing.T) {
+	n := 8 * radixMinNodes
+	snap := make([]float64, n)
+	rng := rand.New(rand.NewSource(11))
+	for i := range snap {
+		snap[i] = rng.Float64()
+	}
+	order := make([]int, n)
+	tmp := make([]int, n)
+	key := make([]uint64, n)
+	allocs := testing.AllocsPerRun(20, func() {
+		sortBySoC(order, tmp, key, snap)
+	})
+	if allocs != 0 {
+		t.Fatalf("sortBySoC allocated %v times per call, want 0", allocs)
+	}
+}

@@ -29,3 +29,20 @@ func ReadPerfReport(path string) (PerfReport, error) { return perf.ReadReport(pa
 func ComparePerf(baseline, current PerfReport, opt PerfOptions) []string {
 	return perf.Compare(baseline, current, opt)
 }
+
+// PerfDelta is one baseline-vs-current comparison row: raw measurements
+// plus which gates tripped.
+type PerfDelta = perf.Delta
+
+// PerfDeltas compares current against baseline entry by entry, in
+// baseline order, reporting every entry rather than only regressions.
+func PerfDeltas(baseline, current PerfReport, opt PerfOptions) []PerfDelta {
+	return perf.Deltas(baseline, current, opt)
+}
+
+// FormatPerfDeltaTable renders deltas as an aligned text table: entry
+// name, ns/op before/after with Δ%, allocs/op before/after with the
+// delta, and the gate verdict per row.
+func FormatPerfDeltaTable(ds []PerfDelta) string {
+	return perf.FormatDeltaTable(ds)
+}

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# bench_trend.sh — append one benchmark-suite run to BENCH_history.jsonl.
+#
+# Each invocation runs the fixed perf suite (cmd/baatbench -bench-json)
+# and appends a single JSON line {sha, dirty, unix_time, report} to the
+# history file, so throughput over time is a jq/gnuplot one-liner away:
+#
+#   jq -r '[.sha, (.report.entries[] | select(.name ==
+#       "fleet_step/nodes=65536/workers=1") | .node_steps_per_sec)] | @tsv' \
+#       BENCH_history.jsonl
+#
+# Usage: scripts/bench_trend.sh [history-file]   (default BENCH_history.jsonl)
+set -eu
+
+cd "$(dirname "$0")/.."
+HISTORY="${1:-BENCH_history.jsonl}"
+
+SHA=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+DIRTY=false
+if ! git diff --quiet HEAD 2>/dev/null; then
+	DIRTY=true
+fi
+NOW=$(date +%s)
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go run ./cmd/baatbench -bench-json "$TMP"
+
+# Collapse the indented report onto one line and wrap it with provenance.
+REPORT=$(tr -d '\n' <"$TMP" | tr -s ' ')
+printf '{"sha":"%s","dirty":%s,"unix_time":%s,"report":%s}\n' \
+	"$SHA" "$DIRTY" "$NOW" "$REPORT" >>"$HISTORY"
+
+echo "bench-trend: appended run for $SHA to $HISTORY"
