@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-smoke bench-regression bench-baseline bench-trend profile conformance fuzz-smoke chaos-smoke checkpoint-smoke serve-smoke docs-check golden-update
+.PHONY: check fmt vet build test test-race bench bench-smoke bench-regression bench-baseline bench-trend profile conformance fuzz-smoke chaos-smoke checkpoint-smoke serve-smoke docs-check policy-registry-check golden-update
 
 check: ## gofmt -l + vet + build + race tests
 	./check.sh
@@ -61,6 +61,9 @@ serve-smoke: ## start the baatsim serve daemon, fork a run over the API, diff th
 
 docs-check: ## every docs/*.md linked from README; intra-repo doc links resolve
 	./scripts/docs_check.sh
+
+policy-registry-check: ## no core.Kind enum or policy-name dispatch outside internal/core
+	./scripts/policy_registry_check.sh
 
 golden-update: ## regenerate the 30-day golden trace fixtures (clean + faulted)
 	$(GO) test ./internal/sim/ -run 'TestGoldenTrace$$|TestGoldenTraceFaulted$$' -update

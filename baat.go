@@ -11,10 +11,10 @@
 //   - the five system-level aging metrics of §III — NAT, CF, PC, DDT, DR —
 //     plus a mechanism-level damage model and manufacturer cycle-life
 //     curves (Metrics, MetricsTracker, AgingModel, CycleLife);
-//   - the BAAT controller and the three baseline policies of Table 4
-//     (NewPolicy with EBuff, BAATSlowdown, BAATHiding, BAATFull), including
-//     weighted-aging placement (Eq 6), slowdown control (Fig 9), and
-//     planned aging (Eq 7);
+//   - the BAAT controller and the baseline policies of Table 4, selected
+//     by name through an extensible policy registry (BuildPolicy,
+//     RegisteredPolicies), including weighted-aging placement (Eq 6),
+//     slowdown control (Fig 9), and planned aging (Eq 7);
 //   - the simulated green-datacenter prototype of §V: solar supply, six
 //     workloads, VMs with migration, DVFS-capable servers, per-server
 //     battery nodes, and a discrete-time engine (Simulator);
@@ -25,9 +25,9 @@
 //
 // # Quick start
 //
-//	policy, err := baat.NewPolicy(baat.BAATFull, baat.DefaultPolicyConfig())
-//	if err != nil { ... }
-//	sim, err := baat.NewSimulator(baat.DefaultSimConfig(), policy)
+//	cfg := baat.DefaultSimConfig()
+//	cfg.Policy = baat.PolicySpec{Name: "baat"}
+//	sim, err := baat.NewSimulator(cfg)
 //	if err != nil { ... }
 //	result, err := sim.Run([]baat.Weather{baat.Sunny, baat.Cloudy, baat.Rainy})
 //
@@ -41,24 +41,21 @@ import (
 	"github.com/green-dc/baat/internal/solar"
 )
 
-// PolicyKind selects one of the four Table 4 power-management schemes.
-type PolicyKind = core.Kind
+// PolicySpec names a registered power-management scheme plus its option
+// knobs — the serializable policy identity used by SimConfig, checkpoints,
+// the experiment harness, and the control plane. Registered names include
+// "ebuff", "baat-s", "baat-h", "baat", and "baat-f".
+type PolicySpec = core.PolicySpec
 
-// The four policies of Table 4.
-const (
-	// EBuff aggressively uses batteries as green-energy buffers (the
-	// aging-oblivious baseline of prior work).
-	EBuff = core.EBuff
-	// BAATSlowdown applies aging-aware power capping only (BAAT-s).
-	BAATSlowdown = core.BAATSlowdown
-	// BAATHiding applies aging-aware VM migration only (BAAT-h).
-	BAATHiding = core.BAATHiding
-	// BAATFull coordinates hiding, slowdown, and planned aging (BAAT).
-	BAATFull = core.BAATFull
-)
+// PolicyInfo describes one registered policy (name, display name, doc,
+// option vocabulary).
+type PolicyInfo = core.Info
 
-// PolicyKinds lists the four schemes in Table 4 order.
-func PolicyKinds() []PolicyKind { return core.Kinds() }
+// RegisteredPolicies lists every registered policy in Table 4 rank order.
+func RegisteredPolicies() []PolicyInfo { return core.Registered() }
+
+// ParsePolicySpec parses the CLI form "name[,key=value...]".
+func ParsePolicySpec(s string) (PolicySpec, error) { return core.ParsePolicySpec(s) }
 
 // Policy is a battery power-management scheme driving a node fleet.
 type Policy = core.Policy
@@ -75,9 +72,9 @@ type PlannedAgingConfig = core.PlannedAgingConfig
 // DefaultPolicyConfig returns the paper's parameters.
 func DefaultPolicyConfig() PolicyConfig { return core.DefaultConfig() }
 
-// NewPolicy constructs one of the Table 4 policies.
-func NewPolicy(kind PolicyKind, cfg PolicyConfig) (Policy, error) {
-	return core.New(kind, cfg)
+// BuildPolicy constructs a registered policy from its spec.
+func BuildPolicy(spec PolicySpec) (Policy, error) {
+	return core.Build(spec)
 }
 
 // ErrNoCapacity is returned by Policy.PlaceVM when no node can host a VM.
@@ -107,9 +104,9 @@ type BatteryShare = sim.BatteryShare
 // 08:30–18:30 operating window.
 func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
 
-// NewSimulator builds a simulator running the given policy.
-func NewSimulator(cfg SimConfig, policy Policy) (*Simulator, error) {
-	return sim.New(cfg, policy)
+// NewSimulator builds a simulator running the policy named by cfg.Policy.
+func NewSimulator(cfg SimConfig) (*Simulator, error) {
+	return sim.New(cfg)
 }
 
 // Weather classifies a day's solar potential.

@@ -9,11 +9,9 @@ import (
 )
 
 func TestPublicQuickstart(t *testing.T) {
-	policy, err := baat.NewPolicy(baat.BAATFull, baat.DefaultPolicyConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	s, err := baat.NewSimulator(baat.DefaultSimConfig(), policy)
+	cfg := baat.DefaultSimConfig()
+	cfg.Policy = baat.PolicySpec{Name: "baat"}
+	s, err := baat.NewSimulator(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,18 +24,26 @@ func TestPublicQuickstart(t *testing.T) {
 	}
 }
 
-func TestPublicPolicyKinds(t *testing.T) {
-	if got := len(baat.PolicyKinds()); got != 4 {
-		t.Fatalf("PolicyKinds() = %d entries, want 4 (Table 4)", got)
+func TestPublicPolicyRegistry(t *testing.T) {
+	infos := baat.RegisteredPolicies()
+	if len(infos) < 4 {
+		t.Fatalf("RegisteredPolicies() = %d entries, want at least the 4 of Table 4", len(infos))
 	}
-	for _, k := range baat.PolicyKinds() {
-		p, err := baat.NewPolicy(k, baat.DefaultPolicyConfig())
+	for _, info := range infos {
+		p, err := baat.BuildPolicy(baat.PolicySpec{Name: info.Name})
 		if err != nil {
-			t.Fatalf("NewPolicy(%v): %v", k, err)
+			t.Fatalf("BuildPolicy(%q): %v", info.Name, err)
 		}
-		if p.Name() == "" {
-			t.Errorf("policy %v has empty name", k)
+		if p.Name() != info.Display {
+			t.Errorf("policy %q names itself %q, registry says %q", info.Name, p.Name(), info.Display)
 		}
+	}
+	spec, err := baat.ParsePolicySpec("baat,floor=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := baat.BuildPolicy(spec); err != nil {
+		t.Fatal(err)
 	}
 }
 

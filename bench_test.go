@@ -144,13 +144,10 @@ func BenchmarkTable3DemandSensitivity(b *testing.B) {
 // BenchmarkSimulatedDay measures one full prototype day (1440 ticks × six
 // nodes) under the full BAAT policy.
 func BenchmarkSimulatedDay(b *testing.B) {
-	policy, err := baat.NewPolicy(baat.BAATFull, baat.DefaultPolicyConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
 	cfg := baat.DefaultSimConfig()
+	cfg.Policy = baat.PolicySpec{Name: "baat"}
 	cfg.Services = baat.PrototypeServices()
-	sim, err := baat.NewSimulator(cfg, policy)
+	sim, err := baat.NewSimulator(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -14,6 +14,9 @@ fi
 echo "== docs check =="
 ./scripts/docs_check.sh
 
+echo "== policy registry check =="
+./scripts/policy_registry_check.sh
+
 echo "== go vet =="
 go vet ./...
 

@@ -47,6 +47,7 @@ func run() error {
 		faults   = flag.String("faults", "none", "fault-injection profile applied to every simulator: "+strings.Join(baat.FaultProfileNames(), " | "))
 		faultsSd = flag.Int64("faults-seed", 0, "fault injector seed (0 derives the simulation seed+4)")
 		battery  = flag.String("battery-model", "leadacid", "battery model tier for every harness-built simulator: leadacid | linear | lfp")
+		policy   = flag.String("policy", "", "treatment policy spec for the BAAT-treatment harnesses: name[,key=value...] (empty = the paper's full BAAT; see 'baatsim policies')")
 
 		benchJSON    = flag.String("bench-json", "", "run the benchmark-regression suite and write its JSON report to this path ('-' = stdout), then exit")
 		benchCompare = flag.String("bench-compare", "", "run the benchmark-regression suite, compare against this baseline JSON, and exit non-zero on regressions")
@@ -106,6 +107,16 @@ func run() error {
 		return err
 	}
 	cfg := baat.ExperimentConfig{Seed: *seed, Accel: *accel, Quick: *quick, Workers: *workers, BatteryModel: bk}
+	if *policy != "" {
+		spec, err := baat.ParsePolicySpec(*policy)
+		if err != nil {
+			return err
+		}
+		if _, err := baat.BuildPolicy(spec); err != nil {
+			return err
+		}
+		cfg.Policy = spec
+	}
 	fcfg, err := baat.FaultProfile(*faults, *faultsSd)
 	if err != nil {
 		return err

@@ -1,13 +1,15 @@
-// Command baatsim runs the simulated BAAT prototype under one of the four
-// Table 4 power-management policies and reports per-day and end-of-run
-// statistics. `baatsim serve` instead hosts many simulations behind an
-// HTTP/JSON control plane (see docs/SERVICE.md).
+// Command baatsim runs the simulated BAAT prototype under one of the
+// registered power-management policies and reports per-day and end-of-run
+// statistics. `baatsim policies` lists the registry; `baatsim serve` hosts
+// many simulations behind an HTTP/JSON control plane (see docs/SERVICE.md).
 //
 // Examples:
 //
 //	baatsim -policy baat -days 10 -sunshine 0.5
+//	baatsim -policy "baat,floor=0.25,trigger=0.40" -days 10
 //	baatsim -policy ebuff -weather cloudy -days 3 -csv trace.csv
-//	baatsim -policy baat -until-eol -accel 10 -sunshine 0.6
+//	baatsim -policy baat-f -until-eol -accel 10 -sunshine 0.6
+//	baatsim policies
 //	baatsim serve -addr 127.0.0.1:8080
 package main
 
@@ -18,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -28,9 +31,12 @@ import (
 func main() {
 	args := os.Args[1:]
 	var err error
-	if len(args) > 0 && args[0] == "serve" {
+	switch {
+	case len(args) > 0 && args[0] == "serve":
 		err = runServe(args[1:])
-	} else {
+	case len(args) > 0 && args[0] == "policies":
+		err = runPolicies(args[1:])
+	default:
 		err = run(args)
 	}
 	if err != nil {
@@ -74,7 +80,7 @@ type cliFlags struct {
 // registerFlags declares the single-run flag set.
 func registerFlags(fs *flag.FlagSet) *cliFlags {
 	f := &cliFlags{}
-	fs.StringVar(&f.policyName, "policy", "baat", "policy: ebuff | baat-s | baat-h | baat")
+	fs.StringVar(&f.policyName, "policy", "baat", "policy spec: name[,key=value...] (see 'baatsim policies')")
 	fs.IntVar(&f.days, "days", 7, "number of days to simulate")
 	fs.StringVar(&f.weather, "weather", "mix", "weather: sunny | cloudy | rainy | mix")
 	fs.Float64Var(&f.sunshine, "sunshine", 0.5, "sunshine fraction for -weather mix")
@@ -88,7 +94,7 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 	fs.IntVar(&f.jobsPerDay, "jobs", 2, "batch jobs submitted per day")
 	fs.Float64Var(&f.solarScale, "solar-scale", 1.5, "PV array scale relative to the prototype")
 	fs.StringVar(&f.csvPath, "csv", "", "write per-day stats to this CSV file")
-	fs.Float64Var(&f.planned, "planned-months", 0, "enable planned aging with this expected service life in months (0 = off)")
+	fs.Float64Var(&f.planned, "planned-months", 0, "shorthand for the policy option planned-months=N (0 = off)")
 	fs.StringVar(&f.faultsName, "faults", "none", "fault-injection profile: "+strings.Join(baat.FaultProfileNames(), " | "))
 	fs.Int64Var(&f.faultsSeed, "faults-seed", 0, "fault injector seed (0 derives from -seed via the named fault substream)")
 	fs.IntVar(&f.ckEvery, "checkpoint-every", 0, "write a checkpoint every N simulated days (requires -checkpoint; fixed-days runs only)")
@@ -158,20 +164,23 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	kind, err := parsePolicy(f.policyName)
+	spec, err := baat.ParsePolicySpec(f.policyName)
 	if err != nil {
 		return err
 	}
-	pcfg := baat.DefaultPolicyConfig()
 	if f.planned > 0 {
-		pcfg.Planned = baat.PlannedAgingConfig{
-			Enabled:      true,
-			ServiceLife:  monthsToDuration(f.planned),
-			CyclesPerDay: 1,
+		// The flag is sugar for the registry option; a planned-months set
+		// directly in -policy wins so the two spellings never fight.
+		if _, ok := spec.Options["planned-months"]; !ok {
+			if spec.Options == nil {
+				spec.Options = map[string]string{}
+			}
+			spec.Options["planned-months"] = strconv.FormatFloat(f.planned, 'g', -1, 64)
 		}
 	}
-	policy, err := baat.NewPolicy(kind, pcfg)
-	if err != nil {
+	// Build once up front so a bad option value fails before any simulator
+	// state (or telemetry endpoint) exists.
+	if _, err := baat.BuildPolicy(spec); err != nil {
 		return err
 	}
 
@@ -187,6 +196,7 @@ func run(args []string) error {
 	}
 
 	scfg := baat.DefaultSimConfig()
+	scfg.Policy = spec
 	scfg.Telemetry = rec
 	scfg.Seed = f.seed
 	scfg.Nodes = f.nodes
@@ -223,7 +233,7 @@ func run(args []string) error {
 		return err
 	}
 	scfg.Faults = fcfg
-	s, err := baat.NewSimulator(scfg, policy)
+	s, err := baat.NewSimulator(scfg)
 	if err != nil {
 		return err
 	}
@@ -293,19 +303,34 @@ func run(args []string) error {
 	return nil
 }
 
-func parsePolicy(name string) (baat.PolicyKind, error) {
-	switch strings.ToLower(name) {
-	case "ebuff", "e-buff":
-		return baat.EBuff, nil
-	case "baat-s", "baats":
-		return baat.BAATSlowdown, nil
-	case "baat-h", "baath":
-		return baat.BAATHiding, nil
-	case "baat":
-		return baat.BAATFull, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q (want ebuff, baat-s, baat-h, or baat)", name)
+// runPolicies is the `baatsim policies` subcommand: it renders the policy
+// registry — every name -policy (and the serve API) accepts, with each
+// policy's option vocabulary.
+func runPolicies(args []string) error {
+	fs := flag.NewFlagSet("baatsim policies", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	for _, info := range baat.RegisteredPolicies() {
+		fmt.Printf("%s (%s)\n", info.Name, info.Display)
+		if len(info.Aliases) > 0 {
+			fmt.Printf("  aliases: %s\n", strings.Join(info.Aliases, ", "))
+		}
+		fmt.Printf("  %s\n", info.Doc)
+		keys := make([]string, 0, len(info.Options))
+		for k := range info.Options {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  -policy %s,%s=...  %s\n", info.Name, k, info.Options[k])
+		}
+		fmt.Println()
+	}
+	return nil
 }
 
 // parseBatteryMix parses the -battery-mix syntax: comma-separated
@@ -336,10 +361,6 @@ func parseBatteryMix(s string) ([]baat.BatteryShare, error) {
 		return nil, fmt.Errorf("battery mix %q contains no model=fraction pairs", s)
 	}
 	return shares, nil
-}
-
-func monthsToDuration(months float64) time.Duration {
-	return time.Duration(months * 30 * 24 * float64(time.Hour))
 }
 
 func weatherSeq(name string, frac float64, days int, seed int64) ([]baat.Weather, error) {

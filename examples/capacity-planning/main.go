@@ -29,11 +29,11 @@ func main() {
 	fmt.Printf("%-12s %12s %12s %14s %14s %10s\n",
 		"ratio (W/Ah)", "e-Buff life", "BAAT life", "e-Buff $/yr", "BAAT $/yr", "saving")
 	for _, ratio := range []float64{2, 4, 6, 8, 10} {
-		eLife, err := lifetimeAtRatio(baat.EBuff, ratio)
+		eLife, err := lifetimeAtRatio("ebuff", ratio)
 		if err != nil {
 			log.Fatal(err)
 		}
-		bLife, err := lifetimeAtRatio(baat.BAATFull, ratio)
+		bLife, err := lifetimeAtRatio("baat", ratio)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -57,12 +57,9 @@ func main() {
 
 // lifetimeAtRatio sizes the per-node battery bank for the ratio and runs
 // the fleet to first battery end-of-life.
-func lifetimeAtRatio(kind baat.PolicyKind, ratio float64) (time.Duration, error) {
-	policy, err := baat.NewPolicy(kind, baat.DefaultPolicyConfig())
-	if err != nil {
-		return 0, err
-	}
+func lifetimeAtRatio(policy string, ratio float64) (time.Duration, error) {
 	cfg := baat.DefaultSimConfig()
+	cfg.Policy = baat.PolicySpec{Name: policy}
 	cfg.Services = baat.PrototypeServices()
 	cfg.JobsPerDay = 2
 	cfg.Solar.Scale = 1.5 // PV sized so sunny days fully recharge the bank
@@ -81,7 +78,7 @@ func lifetimeAtRatio(kind baat.PolicyKind, ratio float64) (time.Duration, error)
 	spec.InternalResistance = base.InternalResistance / factor
 	cfg.Node.BatterySpec = spec
 
-	sim, err := baat.NewSimulator(cfg, policy)
+	sim, err := baat.NewSimulator(cfg)
 	if err != nil {
 		return 0, err
 	}

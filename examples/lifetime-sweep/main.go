@@ -27,26 +27,27 @@ const accel = 10
 func main() {
 	fractions := []float64{0.4, 0.5, 0.6, 0.7, 0.8}
 
+	policies := baat.RegisteredPolicies()
 	fmt.Printf("%-9s", "sunshine")
-	for _, k := range baat.PolicyKinds() {
-		fmt.Printf("  %10s", k)
+	for _, p := range policies {
+		fmt.Printf("  %10s", p.Display)
 	}
 	fmt.Printf("  %10s\n", "BAAT gain")
 
 	for _, frac := range fractions {
-		lifetimes := map[baat.PolicyKind]time.Duration{}
-		for _, kind := range baat.PolicyKinds() {
-			life, err := fleetLifetime(kind, frac)
+		lifetimes := map[string]time.Duration{}
+		for _, p := range policies {
+			life, err := fleetLifetime(p.Name, frac)
 			if err != nil {
 				log.Fatal(err)
 			}
-			lifetimes[kind] = life
+			lifetimes[p.Name] = life
 		}
 		fmt.Printf("%-9.0f%%", frac*100)
-		for _, k := range baat.PolicyKinds() {
-			fmt.Printf("  %8.1fmo", lifetimes[k].Hours()/(30*24))
+		for _, p := range policies {
+			fmt.Printf("  %8.1fmo", lifetimes[p.Name].Hours()/(30*24))
 		}
-		gain := lifetimes[baat.BAATFull].Hours()/lifetimes[baat.EBuff].Hours() - 1
+		gain := lifetimes["baat"].Hours()/lifetimes["ebuff"].Hours() - 1
 		fmt.Printf("  %9.0f%%\n", gain*100)
 	}
 	fmt.Println("\n(lifetime = time until the first battery falls below 80% health;")
@@ -55,17 +56,14 @@ func main() {
 
 // fleetLifetime runs one policy at one site until the first battery hits
 // end-of-life and returns the real-equivalent lifetime.
-func fleetLifetime(kind baat.PolicyKind, sunshine float64) (time.Duration, error) {
-	policy, err := baat.NewPolicy(kind, baat.DefaultPolicyConfig())
-	if err != nil {
-		return 0, err
-	}
+func fleetLifetime(policy string, sunshine float64) (time.Duration, error) {
 	cfg := baat.DefaultSimConfig()
+	cfg.Policy = baat.PolicySpec{Name: policy}
 	cfg.Services = baat.PrototypeServices()
 	cfg.JobsPerDay = 2
 	cfg.Solar.Scale = 1.5 // PV sized so sunny days fully recharge the bank
 	cfg.Node.AgingConfig.AccelFactor = accel
-	sim, err := baat.NewSimulator(cfg, policy)
+	sim, err := baat.NewSimulator(cfg)
 	if err != nil {
 		return 0, err
 	}

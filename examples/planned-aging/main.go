@@ -15,7 +15,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"time"
 
 	baat "github.com/green-dc/baat"
 )
@@ -49,36 +48,29 @@ func main() {
 	fmt.Println()
 
 	type variant struct {
-		name    string
-		planned time.Duration // 0 = planning off
+		name   string
+		months string // planned-months policy option; "" = planning off
 	}
 	variants := []variant{
-		{"BAAT (no planning)", 0},
-		{"planned, 6-month service life", 6 * 30 * 24 * time.Hour},
-		{"planned, 12-month service life", 12 * 30 * 24 * time.Hour},
-		{"planned, 48-month service life", 48 * 30 * 24 * time.Hour},
+		{"BAAT (no planning)", ""},
+		{"planned, 6-month service life", "6"},
+		{"planned, 12-month service life", "12"},
+		{"planned, 48-month service life", "48"},
 	}
 
 	fmt.Printf("%-32s %12s %14s\n", "variant", "throughput", "worst health")
 	for _, v := range variants {
-		pcfg := baat.DefaultPolicyConfig()
-		if v.planned > 0 {
-			pcfg.Planned = baat.PlannedAgingConfig{
-				Enabled:      true,
-				ServiceLife:  v.planned,
-				CyclesPerDay: 1,
-			}
-		}
-		policy, err := baat.NewPolicy(baat.BAATFull, pcfg)
-		if err != nil {
-			log.Fatal(err)
+		spec := baat.PolicySpec{Name: "baat"}
+		if v.months != "" {
+			spec.Options = map[string]string{"planned-months": v.months}
 		}
 		cfg := baat.DefaultSimConfig()
+		cfg.Policy = spec
 		cfg.Services = baat.PrototypeServices()
 		cfg.JobsPerDay = 2
 		cfg.Solar.Scale = 1.15 // tight supply: depth decisions matter
 		cfg.Node.AgingConfig.AccelFactor = accel
-		sim, err := baat.NewSimulator(cfg, policy)
+		sim, err := baat.NewSimulator(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -14,20 +14,16 @@ import (
 )
 
 func main() {
-	// 1. Build the BAAT policy with the paper's parameters: slowdown
-	//    triggers below 40 % SoC, a 2-minute emergency reserve, and a
-	//    protective discharge floor.
-	policy, err := baat.NewPolicy(baat.BAATFull, baat.DefaultPolicyConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 2. Build the simulated prototype: six servers, each backed by two
+	// 1. Build the simulated prototype: six servers, each backed by two
 	//    12 V 35 Ah lead-acid batteries, fed by a shared PV array, running
-	//    the six paper workloads in VMs.
+	//    the six paper workloads in VMs. The policy is named by its registry
+	//    spec — "baat" is the full controller with the paper's parameters:
+	//    slowdown triggers below 40 % SoC, a 2-minute emergency reserve, and
+	//    a protective discharge floor.
 	cfg := baat.DefaultSimConfig()
+	cfg.Policy = baat.PolicySpec{Name: "baat"}
 	cfg.Services = baat.PrototypeServices()
-	sim, err := baat.NewSimulator(cfg, policy)
+	sim, err := baat.NewSimulator(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,17 +23,14 @@ func weekSequence(t *testing.T) []baat.Weather {
 	return seq
 }
 
-func runWeek(t *testing.T, kind baat.PolicyKind) *baat.SimResult {
+func runWeek(t *testing.T, policy string) *baat.SimResult {
 	t.Helper()
-	policy, err := baat.NewPolicy(kind, baat.DefaultPolicyConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
 	cfg := baat.DefaultSimConfig()
+	cfg.Policy = baat.PolicySpec{Name: policy}
 	cfg.Services = baat.PrototypeServices()
 	cfg.JobsPerDay = 2
 	cfg.Node.AgingConfig.AccelFactor = 10
-	sim, err := baat.NewSimulator(cfg, policy)
+	sim, err := baat.NewSimulator(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,10 +42,9 @@ func runWeek(t *testing.T, kind baat.PolicyKind) *baat.SimResult {
 }
 
 func TestIntegrationInvariantsEveryPolicy(t *testing.T) {
-	for _, kind := range baat.PolicyKinds() {
-		kind := kind
-		t.Run(kind.String(), func(t *testing.T) {
-			res := runWeek(t, kind)
+	for _, info := range baat.RegisteredPolicies() {
+		t.Run(info.Name, func(t *testing.T) {
+			res := runWeek(t, info.Name)
 
 			if res.Throughput <= 0 {
 				t.Fatal("a week of work produced no throughput")
@@ -118,16 +114,16 @@ func TestIntegrationBAATHealthierThanEBuff(t *testing.T) {
 		}
 		return w
 	}
-	eb := runWeek(t, baat.EBuff)
-	ba := runWeek(t, baat.BAATFull)
+	eb := runWeek(t, "ebuff")
+	ba := runWeek(t, "baat")
 	if worst(ba) < worst(eb) {
 		t.Errorf("BAAT worst health %.4f below e-Buff %.4f", worst(ba), worst(eb))
 	}
 }
 
 func TestIntegrationDeterministicPublicRun(t *testing.T) {
-	a := runWeek(t, baat.BAATFull)
-	b := runWeek(t, baat.BAATFull)
+	a := runWeek(t, "baat")
+	b := runWeek(t, "baat")
 	if a.Throughput != b.Throughput {
 		t.Errorf("same configuration diverged: %v vs %v", a.Throughput, b.Throughput)
 	}

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/green-dc/baat/internal/aging"
@@ -30,8 +33,51 @@ const balanceImbalanceFactor = 1.25
 // balanceMinScore avoids churning migrations between near-pristine nodes.
 const balanceMinScore = 0.05
 
+func init() {
+	Register("baat", Descriptor{
+		Display: "BAAT",
+		Rank:    4,
+		Doc:     "coordinated aging hiding + slowdown, with optional planned aging (Eq 7)",
+		Options: mergeOptionDocs(slowdownOptionDocs, migrationOptionDocs, plannedOptionDocs),
+		Build: func(spec PolicySpec) (Policy, error) {
+			cfg, err := configFromOptions(spec.Options)
+			if err != nil {
+				return nil, err
+			}
+			return &baat{cfg: cfg}, nil
+		},
+	})
+}
+
 // Name returns the Table 4 scheme name.
-func (*baat) Name() string { return BAATFull.String() }
+func (*baat) Name() string { return "BAAT" }
+
+// baatState is the serialized controller state: the DoD-goal hysteresis of
+// the planned-aging arm.
+type baatState struct {
+	LastDoDGoal float64 `json:"last_dod_goal"`
+}
+
+// Snapshot captures the controller state for the checkpoint envelope.
+func (p *baat) Snapshot() ([]byte, error) {
+	return json.Marshal(baatState{LastDoDGoal: p.lastDoDGoal})
+}
+
+// Restore rewinds the controller state from a snapshot, rejecting
+// malformed or out-of-range payloads before mutating anything.
+func (p *baat) Restore(data []byte) error {
+	var st baatState
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&st); err != nil {
+		return fmt.Errorf("core: restore baat state: %w", err)
+	}
+	if st.LastDoDGoal < 0 || st.LastDoDGoal > 1 || math.IsNaN(st.LastDoDGoal) {
+		return fmt.Errorf("core: restore baat state: DoD goal %v out of [0, 1]", st.LastDoDGoal)
+	}
+	p.lastDoDGoal = st.LastDoDGoal
+	return nil
+}
 
 // PlaceVM implements the aging-driven scheduler of Fig 8: classify the
 // workload per Table 3, evaluate Eq 6 on every candidate, and place on the

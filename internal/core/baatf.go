@@ -1,0 +1,181 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/vm"
+)
+
+// baatF is BAAT-f: full BAAT whose regulation pre-tightens ahead of
+// forecast low-sun days. It is the reference consumer of the signal plane
+// (ctx.Signals.Solar) and is wired in purely through the policy registry —
+// no engine change was needed to add it, which is the extension point this
+// file exists to prove.
+//
+// Mechanism: before each control pass it reads the minimum forecast solar
+// index over its lookahead window. When that minimum drops below the
+// low-sun threshold it latches "tightened" (with hysteresis on the way
+// out) and derives a stricter config from its base: the protective floor
+// and slowdown trigger rise by the tighten margin, and — when planned
+// aging is on — the DoD plan stretches its service-life horizon, shrinking
+// the per-cycle DoD goal before the weather arrives rather than after the
+// batteries have already cycled deep.
+type baatF struct {
+	inner   baat
+	base    Config
+	horizon int
+	lowSun  float64
+	tighten float64
+	// tightened is the forecast hysteresis latch: entered below lowSun,
+	// released only above lowSun + forecastHysteresis.
+	tightened bool
+}
+
+// forecastHysteresis keeps the latch from chattering when the forecast
+// minimum hovers around the low-sun threshold.
+const forecastHysteresis = 0.10
+
+// plannedStretch is the service-life multiplier applied while tightened:
+// planning as if the batteries had to last half again as long yields a
+// proportionally shallower DoD goal (Eq 7 divides the Ah budget by the
+// remaining cycles).
+const plannedStretch = 1.5
+
+var baatFOptionDocs = map[string]string{
+	"horizon": "forecast lookahead in days the low-sun scan covers (default 3)",
+	"low-sun": "forecast solar index below which regulation pre-tightens (default 0.45)",
+	"tighten": "how much the SoC floor and trigger rise while tightened (default 0.15)",
+}
+
+func init() {
+	Register("baat-f", Descriptor{
+		Display: "BAAT-f",
+		Aliases: []string{"baatf"},
+		Rank:    5,
+		Doc:     "BAAT with forecast-driven pre-tightening ahead of low-sun days (signal-plane reference)",
+		Options: mergeOptionDocs(slowdownOptionDocs, migrationOptionDocs, plannedOptionDocs, baatFOptionDocs),
+		Build:   buildBaatF,
+	})
+}
+
+func buildBaatF(spec PolicySpec) (Policy, error) {
+	p := &baatF{horizon: 3, lowSun: 0.45, tighten: 0.15}
+	rest := make(map[string]string, len(spec.Options))
+	for k, v := range spec.Options {
+		var err error
+		switch k {
+		case "horizon":
+			p.horizon, err = strconv.Atoi(v)
+			if err == nil && p.horizon < 1 {
+				err = fmt.Errorf("must be >= 1")
+			}
+		case "low-sun":
+			p.lowSun, err = parseUnitFraction(v)
+		case "tighten":
+			p.tighten, err = parseUnitFraction(v)
+			if err == nil && p.tighten > 0.5 {
+				err = fmt.Errorf("must be <= 0.5")
+			}
+		default:
+			rest[k] = v
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: option %s=%q: %v", k, v, err)
+		}
+	}
+	cfg, err := configFromOptions(rest)
+	if err != nil {
+		return nil, err
+	}
+	p.base = cfg
+	p.inner.cfg = cfg
+	return p, nil
+}
+
+// Name returns the scheme name.
+func (*baatF) Name() string { return "BAAT-f" }
+
+// PlaceVM delegates to BAAT's aging-driven scheduler.
+func (p *baatF) PlaceVM(ctx *Context, v *vm.VM) (*node.Node, error) {
+	return p.inner.PlaceVM(ctx, v)
+}
+
+// Control retunes against the forecast, then runs the full BAAT pass with
+// the (possibly tightened) config.
+func (p *baatF) Control(ctx *Context) error {
+	p.retune(ctx)
+	return p.inner.Control(ctx)
+}
+
+// retune updates the tightened latch from the forecast minimum and derives
+// the effective config. Without a forecast in the context the policy is
+// plain BAAT.
+func (p *baatF) retune(ctx *Context) {
+	sol := ctx.Signals.Solar
+	if sol == nil {
+		p.tightened = false
+		p.inner.cfg = p.base
+		return
+	}
+	days := p.horizon
+	if h := sol.Horizon(); h < days {
+		days = h
+	}
+	minIdx := math.Inf(1)
+	for d := 1; d <= days; d++ {
+		if idx := sol.SolarIndex(d); idx < minIdx {
+			minIdx = idx
+		}
+	}
+	if p.tightened {
+		if minIdx > p.lowSun+forecastHysteresis {
+			p.tightened = false
+		}
+	} else if minIdx < p.lowSun {
+		p.tightened = true
+	}
+	cfg := p.base
+	if p.tightened {
+		cfg.Slowdown.FloorSoC = clampFloor(cfg.Slowdown.FloorSoC + p.tighten)
+		cfg.Slowdown.TriggerSoC = clampTrigger(cfg.Slowdown.TriggerSoC + p.tighten)
+		if cfg.Planned.Enabled {
+			cfg.Planned.ServiceLife = time.Duration(float64(cfg.Planned.ServiceLife) * plannedStretch)
+		}
+	}
+	p.inner.cfg = cfg
+}
+
+// baatFState serializes both the inherited DoD-goal hysteresis and the
+// forecast latch.
+type baatFState struct {
+	LastDoDGoal float64 `json:"last_dod_goal"`
+	Tightened   bool    `json:"tightened"`
+}
+
+// Snapshot captures the controller state for the checkpoint envelope.
+func (p *baatF) Snapshot() ([]byte, error) {
+	return json.Marshal(baatFState{LastDoDGoal: p.inner.lastDoDGoal, Tightened: p.tightened})
+}
+
+// Restore rewinds the controller state from a snapshot.
+func (p *baatF) Restore(data []byte) error {
+	var st baatFState
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&st); err != nil {
+		return fmt.Errorf("core: restore baat-f state: %w", err)
+	}
+	if st.LastDoDGoal < 0 || st.LastDoDGoal > 1 || math.IsNaN(st.LastDoDGoal) {
+		return fmt.Errorf("core: restore baat-f state: DoD goal %v out of [0, 1]", st.LastDoDGoal)
+	}
+	p.inner.lastDoDGoal = st.LastDoDGoal
+	p.tightened = st.Tightened
+	return nil
+}

@@ -10,6 +10,12 @@
 // A policy interacts with the fleet through two hooks the simulator calls:
 // PlaceVM when a new workload arrives (aging-driven scheduling, Fig 8) and
 // Control every control period (slowdown checks, Fig 9).
+//
+// Policies are open: each one registers itself under a canonical name via
+// Register (registry.go), and every construction path in the system goes
+// through Build(PolicySpec). A policy with controller state additionally
+// implements StatefulPolicy so the simulator can carry that state through
+// its checkpoint envelope.
 package core
 
 import (
@@ -22,6 +28,7 @@ import (
 	"github.com/green-dc/baat/internal/aging"
 	"github.com/green-dc/baat/internal/fleet"
 	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/signal"
 	"github.com/green-dc/baat/internal/telemetry"
 	"github.com/green-dc/baat/internal/vm"
 	"github.com/green-dc/baat/internal/workload"
@@ -49,6 +56,11 @@ type Context struct {
 	// between otherwise-equal trace-visible decisions. Nil is valid:
 	// every policy must behave identically without it, just slower.
 	Summary *fleet.Summary
+	// Signals is the forward-looking signal plane: a deterministic solar
+	// forecast (24–72 h lookahead) and a time-of-use electricity tariff.
+	// Either field may be nil (unit-test contexts); policies must degrade
+	// to their signal-free behavior in that case.
+	Signals signal.Signals
 }
 
 // Policy is a battery power-management scheme.
@@ -65,36 +77,6 @@ type Policy interface {
 
 // ErrNoCapacity is returned by PlaceVM when no node can host the VM.
 var ErrNoCapacity = errors.New("core: no node has capacity for the VM")
-
-// Kind enumerates the four Table 4 policies.
-type Kind int
-
-// The four policies of Table 4.
-const (
-	EBuff Kind = iota + 1
-	BAATSlowdown
-	BAATHiding
-	BAATFull
-)
-
-// Kinds lists all policies in Table 4 order.
-func Kinds() []Kind { return []Kind{EBuff, BAATSlowdown, BAATHiding, BAATFull} }
-
-// String returns the Table 4 scheme name.
-func (k Kind) String() string {
-	switch k {
-	case EBuff:
-		return "e-Buff"
-	case BAATSlowdown:
-		return "BAAT-s"
-	case BAATHiding:
-		return "BAAT-h"
-	case BAATFull:
-		return "BAAT"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
-	}
-}
 
 // SlowdownConfig parameterizes the aging-slowdown algorithm (Fig 9).
 type SlowdownConfig struct {
@@ -205,25 +187,6 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: migration time must be positive, got %v", c.MigrationTime)
 	}
 	return nil
-}
-
-// New constructs one of the Table 4 policies.
-func New(kind Kind, cfg Config) (Policy, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	switch kind {
-	case EBuff:
-		return &eBuff{}, nil
-	case BAATSlowdown:
-		return &baatS{cfg: cfg}, nil
-	case BAATHiding:
-		return &baatH{cfg: cfg}, nil
-	case BAATFull:
-		return &baat{cfg: cfg}, nil
-	default:
-		return nil, fmt.Errorf("core: unknown policy kind %v", kind)
-	}
 }
 
 // migrate wraps MigrateVM with policy telemetry: a successful move counts

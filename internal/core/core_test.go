@@ -30,6 +30,17 @@ func newCtx(t *testing.T, n int) *Context {
 	return &Context{Nodes: newFleet(t, n), Rng: rand.New(rand.NewPCG(uint64(1), 0))}
 }
 
+// build constructs a policy through the public registry, the same path
+// every production caller uses.
+func build(t *testing.T, name string, opts map[string]string) Policy {
+	t.Helper()
+	p, err := Build(PolicySpec{Name: name, Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func newVM(t *testing.T, id string, k workload.Kind) *vm.VM {
 	t.Helper()
 	p, err := workload.ProfileFor(k)
@@ -86,9 +97,6 @@ func TestConfigValidate(t *testing.T) {
 			if err := cfg.Validate(); err == nil {
 				t.Error("Validate() = nil, want error")
 			}
-			if _, err := New(BAATFull, cfg); err == nil {
-				t.Error("New accepted invalid config")
-			}
 		})
 	}
 	// Disabled planned aging needs no parameters.
@@ -99,30 +107,24 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
-func TestNewAllKinds(t *testing.T) {
-	for _, k := range Kinds() {
-		p, err := New(k, DefaultConfig())
+func TestBuildAllRegistered(t *testing.T) {
+	for _, info := range Registered() {
+		p, err := Build(PolicySpec{Name: info.Name})
 		if err != nil {
-			t.Fatalf("New(%v): %v", k, err)
+			t.Fatalf("Build(%q): %v", info.Name, err)
 		}
-		if p.Name() != k.String() {
-			t.Errorf("Name() = %q, want %q", p.Name(), k.String())
+		if p.Name() != info.Display {
+			t.Errorf("%s: Name() = %q, want display name %q", info.Name, p.Name(), info.Display)
 		}
 	}
-	if _, err := New(Kind(99), DefaultConfig()); err == nil {
-		t.Error("unknown kind accepted")
-	}
-	if Kind(99).String() == "" {
-		t.Error("unknown kind should render")
+	if _, err := Build(PolicySpec{Name: "overclock"}); err == nil {
+		t.Error("unknown policy accepted")
 	}
 }
 
 func TestEBuffPlacesOnLeastLoaded(t *testing.T) {
 	ctx := newCtx(t, 3)
-	p, err := New(EBuff, DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := build(t, "ebuff", nil)
 	// Pre-load node 0 and 1.
 	if err := ctx.Nodes[0].Server().Attach(newVM(t, "x", workload.WebServing)); err != nil {
 		t.Fatal(err)
@@ -149,13 +151,10 @@ func TestPlaceVMNoCapacity(t *testing.T) {
 			}
 		}
 	}
-	for _, k := range Kinds() {
-		p, err := New(k, DefaultConfig())
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := p.PlaceVM(ctx, newVM(t, "big-"+k.String(), workload.SoftwareTesting)); !errors.Is(err, ErrNoCapacity) {
-			t.Errorf("%v: PlaceVM error = %v, want ErrNoCapacity", k, err)
+	for _, info := range Registered() {
+		p := build(t, info.Name, nil)
+		if _, err := p.PlaceVM(ctx, newVM(t, "big-"+info.Name, workload.SoftwareTesting)); !errors.Is(err, ErrNoCapacity) {
+			t.Errorf("%v: PlaceVM error = %v, want ErrNoCapacity", info.Name, err)
 		}
 	}
 }
@@ -164,10 +163,7 @@ func TestBAATPlacesOnSlowestAgingNode(t *testing.T) {
 	ctx := newCtx(t, 3)
 	// Node 0 is heavily aged (deep-discharged, never recharged).
 	drain(t, ctx.Nodes[0], 0.15)
-	p, err := New(BAATFull, DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := build(t, "baat", nil)
 	got, err := p.PlaceVM(ctx, newVM(t, "new", workload.SoftwareTesting))
 	if err != nil {
 		t.Fatal(err)
@@ -181,10 +177,7 @@ func TestBAATHAvoidsDeepDischargedNode(t *testing.T) {
 	ctx := newCtx(t, 3)
 	// Node a has spent real time below 40 % SoC; its DDT is visible.
 	drain(t, ctx.Nodes[0], 0.2)
-	p, err := New(BAATHiding, DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := build(t, "baat-h", nil)
 	got, err := p.PlaceVM(ctx, newVM(t, "new", workload.WordCount))
 	if err != nil {
 		t.Fatal(err)
@@ -282,10 +275,7 @@ func TestBAATSControlCapsFrequency(t *testing.T) {
 	ctx := newCtx(t, 1)
 	n := ctx.Nodes[0]
 	drain(t, n, 0.2)
-	p, err := New(BAATSlowdown, DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := build(t, "baat-s", nil)
 	before := n.Server().FrequencyIndex()
 	if err := p.Control(ctx); err != nil {
 		t.Fatal(err)
@@ -301,10 +291,7 @@ func TestBAATSControlRestoresFrequency(t *testing.T) {
 	if err := n.Server().SetFrequencyIndex(0); err != nil {
 		t.Fatal(err)
 	}
-	p, err := New(BAATSlowdown, DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := build(t, "baat-s", nil)
 	if err := p.Control(ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -318,10 +305,7 @@ func TestEBuffControlRestoresFullSpeed(t *testing.T) {
 	if err := ctx.Nodes[0].Server().SetFrequencyIndex(0); err != nil {
 		t.Fatal(err)
 	}
-	p, err := New(EBuff, DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := build(t, "ebuff", nil)
 	if err := p.Control(ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -338,10 +322,7 @@ func TestBAATControlMigratesBeforeThrottling(t *testing.T) {
 	if err := src.Server().Attach(v); err != nil {
 		t.Fatal(err)
 	}
-	p, err := New(BAATFull, DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := build(t, "baat", nil)
 	if err := p.Control(ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -367,10 +348,7 @@ func TestBAATControlThrottlesWhenMigrationBlocked(t *testing.T) {
 	if err := src.Server().Attach(v); err != nil {
 		t.Fatal(err)
 	}
-	p, err := New(BAATFull, DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := build(t, "baat", nil)
 	before := src.Server().FrequencyIndex()
 	if err := p.Control(ctx); err != nil {
 		t.Fatal(err)
@@ -391,10 +369,7 @@ func TestBAATHControlMigratesOffHighNATNode(t *testing.T) {
 	if err := src.Server().Attach(v); err != nil {
 		t.Fatal(err)
 	}
-	p, err := New(BAATHiding, DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := build(t, "baat-h", nil)
 	if err := p.Control(ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -405,10 +380,7 @@ func TestBAATHControlMigratesOffHighNATNode(t *testing.T) {
 
 func TestBAATHControlNoopOnBalancedFleet(t *testing.T) {
 	ctx := newCtx(t, 3)
-	p, err := New(BAATHiding, DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := build(t, "baat-h", nil)
 	if err := p.Control(ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -421,16 +393,8 @@ func TestBAATHControlNoopOnBalancedFleet(t *testing.T) {
 
 func TestPlannedAgingAdjustsFloorsAndTrigger(t *testing.T) {
 	ctx := newCtx(t, 2)
-	cfg := DefaultConfig()
-	cfg.Planned = PlannedAgingConfig{
-		Enabled:      true,
-		ServiceLife:  90 * 24 * time.Hour, // 90 days to DC end-of-life
-		CyclesPerDay: 1,
-	}
-	p, err := New(BAATFull, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	// 90 days (3 months) to DC end-of-life.
+	p := build(t, "baat", map[string]string{"planned-months": "3"})
 	if err := p.Control(ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -441,12 +405,9 @@ func TestPlannedAgingAdjustsFloorsAndTrigger(t *testing.T) {
 			t.Errorf("node %s floor = %v, want aggressive (≤0.11)", n.ID(), got)
 		}
 	}
-	// A long service life spends the budget slowly: conservative plan.
-	cfg.Planned.ServiceLife = 3000 * 24 * time.Hour
-	p2, err := New(BAATFull, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	// A long service life (3000 days) spends the budget slowly:
+	// conservative plan.
+	p2 := build(t, "baat", map[string]string{"planned-months": "100"})
 	if err := p2.Control(ctx); err != nil {
 		t.Fatal(err)
 	}
@@ -460,12 +421,7 @@ func TestPlannedAgingAdjustsFloorsAndTrigger(t *testing.T) {
 func TestPlannedTriggerPastEndOfLife(t *testing.T) {
 	ctx := newCtx(t, 1)
 	ctx.Clock = 400 * 24 * time.Hour
-	cfg := DefaultConfig()
-	cfg.Planned = PlannedAgingConfig{Enabled: true, ServiceLife: 90 * 24 * time.Hour, CyclesPerDay: 1}
-	p, err := New(BAATFull, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+	p := build(t, "baat", map[string]string{"planned-months": "3"})
 	// Past the planned end of life the policy must not panic or divide by
 	// zero; it keeps a one-day headroom.
 	if err := p.Control(ctx); err != nil {

@@ -12,8 +12,18 @@ import (
 // battery aging.
 type eBuff struct{}
 
+func init() {
+	Register("ebuff", Descriptor{
+		Display: "e-Buff",
+		Aliases: []string{"e-buff"},
+		Rank:    1,
+		Doc:     "aggressive green-energy buffering with no aging management (the paper's baseline)",
+		Build:   func(PolicySpec) (Policy, error) { return &eBuff{}, nil },
+	})
+}
+
 // Name returns the Table 4 scheme name.
-func (*eBuff) Name() string { return EBuff.String() }
+func (*eBuff) Name() string { return "e-Buff" }
 
 // PlaceVM picks the least-loaded node with capacity.
 func (*eBuff) PlaceVM(ctx *Context, v *vm.VM) (*node.Node, error) {

@@ -24,8 +24,25 @@ const ddtImbalanceFactor = 1.15
 // deep discharge: throughput imbalance.
 const natImbalanceFactor = 1.15
 
+func init() {
+	Register("baat-h", Descriptor{
+		Display: "BAAT-h",
+		Aliases: []string{"baath"},
+		Rank:    3,
+		Doc:     "aging-aware VM migration only (the hiding arm, single-metric DDT view)",
+		Options: migrationOptionDocs,
+		Build: func(spec PolicySpec) (Policy, error) {
+			cfg, err := configFromOptions(spec.Options)
+			if err != nil {
+				return nil, err
+			}
+			return &baatH{cfg: cfg}, nil
+		},
+	})
+}
+
 // Name returns the Table 4 scheme name.
-func (*baatH) Name() string { return BAATHiding.String() }
+func (*baatH) Name() string { return "BAAT-h" }
 
 // PlaceVM places new VMs on the node with the least deep-discharge exposure
 // (falling back to load on ties) — aging-aware but single-metric. Nodes

@@ -13,8 +13,25 @@ type baatS struct {
 	cfg Config
 }
 
+func init() {
+	Register("baat-s", Descriptor{
+		Display: "BAAT-s",
+		Aliases: []string{"baats"},
+		Rank:    2,
+		Doc:     "aging-aware CPU frequency throttling only (the slowdown arm, Fig 9)",
+		Options: slowdownOptionDocs,
+		Build: func(spec PolicySpec) (Policy, error) {
+			cfg, err := configFromOptions(spec.Options)
+			if err != nil {
+				return nil, err
+			}
+			return &baatS{cfg: cfg}, nil
+		},
+	})
+}
+
 // Name returns the Table 4 scheme name.
-func (*baatS) Name() string { return BAATSlowdown.String() }
+func (*baatS) Name() string { return "BAAT-s" }
 
 // PlaceVM is load-balance placement: BAAT-s has no aging-aware scheduler.
 func (*baatS) PlaceVM(ctx *Context, v *vm.VM) (*node.Node, error) {

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
-	"github.com/green-dc/baat/internal/core"
 	"github.com/green-dc/baat/internal/rack"
 	"github.com/green-dc/baat/internal/rng"
 	"github.com/green-dc/baat/internal/solar"
@@ -42,9 +42,10 @@ func AblationFloor(cfg Config) (*Table, error) {
 	}
 	cells := make([]cell, len(variants))
 	if err := runSweep(cfg.sweepWorkers(), len(variants), func(i int) error {
-		ccfg := core.DefaultConfig()
-		ccfg.Slowdown.FloorSoC = variants[i].floor
-		life, thr, err := fleetLifetime(cfg, core.BAATFull, ccfg, frac, nil)
+		spec := withOptions(cfg.treatment(), map[string]string{
+			"floor": strconv.FormatFloat(variants[i].floor, 'g', -1, 64),
+		})
+		life, thr, err := fleetLifetime(cfg, spec, frac, nil)
 		if err != nil {
 			return err
 		}
@@ -99,9 +100,10 @@ func AblationMigration(cfg Config) (*Table, error) {
 	}
 	cells := make([]cell, len(variants))
 	if err := runSweep(cfg.sweepWorkers(), len(variants), func(i int) error {
-		ccfg := core.DefaultConfig()
-		ccfg.MigrationTime = variants[i].transfer
-		life, thr, err := fleetLifetime(cfg, core.BAATFull, ccfg, frac, nil)
+		spec := withOptions(cfg.treatment(), map[string]string{
+			"migration-time": variants[i].transfer.String(),
+		})
+		life, thr, err := fleetLifetime(cfg, spec, frac, nil)
 		if err != nil {
 			return err
 		}
@@ -168,7 +170,7 @@ func ArchitectureComparison(cfg Config) (*Table, error) {
 			return nil
 		}
 		// Per-server: the standard simulated prototype under e-Buff.
-		s, err := prototypeSimWithScale(cfg, core.EBuff, core.DefaultConfig(), tightScale)
+		s, err := prototypeSimWithScale(cfg, specEBuff, tightScale)
 		if err != nil {
 			return err
 		}

@@ -27,34 +27,16 @@ func preAgeDays(cfg Config) int {
 // of the given weather under the target policy with fresh metric logs.
 // The measured day runs on a tighter PV array (the prototype's own scale)
 // so that weather actually stresses the batteries.
-func runOneDay(cfg Config, kind core.Kind, w solar.Weather, old bool) (*sim.Simulator, sim.DayStats, error) {
-	neutral, err := core.New(core.EBuff, core.DefaultConfig())
+func runOneDay(cfg Config, spec core.PolicySpec, w solar.Weather, old bool) (*sim.Simulator, sim.DayStats, error) {
+	s, err := prototypeSimWithScale(cfg, specEBuff, tightScale)
 	if err != nil {
-		return nil, sim.DayStats{}, err
-	}
-	s, err := prototypeSimWithScale(cfg, core.EBuff, core.DefaultConfig(), tightScale)
-	if err != nil {
-		return nil, sim.DayStats{}, err
-	}
-	if err := s.SetPolicy(neutral); err != nil {
 		return nil, sim.DayStats{}, err
 	}
 	if old {
 		// The neutral burn-in is identical for every (policy, weather)
 		// cell: run it once, then fast-forward via the checkpoint memo.
 		err := preAge(cfg, s, "neutral", func() (*sim.Simulator, error) {
-			fresh, err := prototypeSimWithScale(cfg, core.EBuff, core.DefaultConfig(), tightScale)
-			if err != nil {
-				return nil, err
-			}
-			np, err := core.New(core.EBuff, core.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
-			if err := fresh.SetPolicy(np); err != nil {
-				return nil, err
-			}
-			return fresh, nil
+			return prototypeSimWithScale(cfg, specEBuff, tightScale)
 		})
 		if err != nil {
 			return nil, sim.DayStats{}, err
@@ -63,11 +45,7 @@ func runOneDay(cfg Config, kind core.Kind, w solar.Weather, old bool) (*sim.Simu
 			n.ResetMetrics()
 		}
 	}
-	policy, err := core.New(kind, core.DefaultConfig())
-	if err != nil {
-		return nil, sim.DayStats{}, err
-	}
-	if err := s.SetPolicy(policy); err != nil {
+	if err := s.SetPolicy(spec); err != nil {
 		return nil, sim.DayStats{}, err
 	}
 	ds, err := s.RunDay(w)
@@ -82,16 +60,16 @@ func runOneDay(cfg Config, kind core.Kind, w solar.Weather, old bool) (*sim.Simu
 // October batteries reflect six months of that scheme's management — the
 // mechanism behind the paper's worst-case throughput gap (aged e-Buff
 // batteries cannot carry the cloudy day; BAAT's can).
-func runOneDayOwnAging(cfg Config, kind core.Kind, w solar.Weather, old bool) (*sim.Simulator, sim.DayStats, error) {
-	s, err := prototypeSimWithScale(cfg, kind, core.DefaultConfig(), tightScale)
+func runOneDayOwnAging(cfg Config, spec core.PolicySpec, w solar.Weather, old bool) (*sim.Simulator, sim.DayStats, error) {
+	s, err := prototypeSimWithScale(cfg, spec, tightScale)
 	if err != nil {
 		return nil, sim.DayStats{}, err
 	}
 	if old {
 		// Own-aging burn-ins differ per policy but repeat across weather
 		// scenarios; memoize one checkpoint per managing policy.
-		err := preAge(cfg, s, "own/"+kind.String(), func() (*sim.Simulator, error) {
-			return prototypeSimWithScale(cfg, kind, core.DefaultConfig(), tightScale)
+		err := preAge(cfg, s, "own/"+spec.String(), func() (*sim.Simulator, error) {
+			return prototypeSimWithScale(cfg, spec, tightScale)
 		})
 		if err != nil {
 			return nil, sim.DayStats{}, err
@@ -140,7 +118,7 @@ func WeatherProfile(cfg Config) (*Table, error) {
 	}
 	cells := make([]cell, len(weathers))
 	if err := runSweep(cfg.sweepWorkers(), len(weathers), func(i int) error {
-		s, ds, err := runOneDay(cfg, core.EBuff, weathers[i], false)
+		s, ds, err := runOneDay(cfg, specEBuff, weathers[i], false)
 		if err != nil {
 			return err
 		}
@@ -196,12 +174,11 @@ func AgingComparison(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		scenarios = scenarios[1:2] // young/cloudy only
 	}
-	kinds := core.Kinds()
 	type cell struct{ nat, cf, pc float64 }
-	cells := make([]cell, len(scenarios)*len(kinds))
+	cells := make([]cell, len(scenarios)*len(table4))
 	if err := runSweep(cfg.sweepWorkers(), len(cells), func(i int) error {
-		sc, k := scenarios[i/len(kinds)], kinds[i%len(kinds)]
-		s, _, err := runOneDay(cfg, k, sc.w, sc.old)
+		sc, spec := scenarios[i/len(table4)], table4[i%len(table4)]
+		s, _, err := runOneDay(cfg, spec, sc.w, sc.old)
 		if err != nil {
 			return err
 		}
@@ -213,11 +190,11 @@ func AgingComparison(cfg Config) (*Table, error) {
 	}
 	nats := map[string]float64{}
 	for i, c := range cells {
-		sc, k := scenarios[i/len(kinds)], kinds[i%len(kinds)]
+		sc, spec := scenarios[i/len(table4)], table4[i%len(table4)]
 		t.Rows = append(t.Rows, []string{
-			sc.name, k.String(), fmt.Sprintf("%.5f", c.nat), f2(c.cf), f3(c.pc),
+			sc.name, label(spec), fmt.Sprintf("%.5f", c.nat), f2(c.cf), f3(c.pc),
 		})
-		key := sc.name + "/" + k.String()
+		key := sc.name + "/" + label(spec)
 		nats[key] = c.nat
 		t.Values[key+"_nat"] = c.nat
 		t.Values[key+"_pc"] = c.pc
@@ -272,11 +249,10 @@ func LowSoCDuration(cfg Config) (*Table, error) {
 		Values:  map[string]float64{},
 	}
 	window := float64(days) * 10 // hours of operating window
-	kinds := core.Kinds()
 	type cell struct{ lowH, downH float64 }
-	cells := make([]cell, len(kinds))
-	if err := runSweep(cfg.sweepWorkers(), len(kinds), func(i int) error {
-		s, err := prototypeSimWithScale(cfg, kinds[i], core.DefaultConfig(), scale)
+	cells := make([]cell, len(table4))
+	if err := runSweep(cfg.sweepWorkers(), len(table4), func(i int) error {
+		s, err := prototypeSimWithScale(cfg, table4[i], scale)
 		if err != nil {
 			return err
 		}
@@ -294,20 +270,20 @@ func LowSoCDuration(cfg Config) (*Table, error) {
 	}); err != nil {
 		return nil, err
 	}
-	lows := map[core.Kind]float64{}
-	for i, k := range kinds {
+	lows := map[string]float64{}
+	for i, spec := range table4 {
 		lowH, downH := cells[i].lowH, cells[i].downH
-		lows[k] = lowH
+		lows[spec.Name] = lowH
 		t.Rows = append(t.Rows, []string{
-			k.String(),
+			label(spec),
 			(time.Duration(lowH * float64(time.Hour))).Round(time.Minute).String(),
 			pct(lowH / window),
 			(time.Duration(downH * float64(time.Hour))).Round(time.Minute).String(),
 		})
-		t.Values[k.String()+"_low_hours"] = lowH
+		t.Values[label(spec)+"_low_hours"] = lowH
 	}
-	if lows[core.EBuff] > 0 {
-		t.Values["availability_gain"] = (lows[core.EBuff] - lows[core.BAATFull]) / lows[core.EBuff]
+	if lows["ebuff"] > 0 {
+		t.Values["availability_gain"] = (lows["ebuff"] - lows["baat"]) / lows["ebuff"]
 	}
 	t.Notes = append(t.Notes, "paper: BAAT increases battery availability by 47% (worst node)")
 	return t, nil
@@ -333,10 +309,9 @@ func SoCDistribution(cfg Config) (*Table, error) {
 		Columns: append([]string{"SoC bin"}, policyNames()...),
 		Values:  map[string]float64{},
 	}
-	kinds := core.Kinds()
-	cells := make([][]float64, len(kinds))
-	if err := runSweep(cfg.sweepWorkers(), len(kinds), func(i int) error {
-		s, err := prototypeSim(cfg, kinds[i], core.DefaultConfig())
+	cells := make([][]float64, len(table4))
+	if err := runSweep(cfg.sweepWorkers(), len(table4), func(i int) error {
+		s, err := prototypeSim(cfg, table4[i])
 		if err != nil {
 			return err
 		}
@@ -349,30 +324,30 @@ func SoCDistribution(cfg Config) (*Table, error) {
 	}); err != nil {
 		return nil, err
 	}
-	fracs := map[core.Kind][]float64{}
-	for i, k := range kinds {
-		fracs[k] = cells[i]
+	fracs := map[string][]float64{}
+	for i, spec := range table4 {
+		fracs[spec.Name] = cells[i]
 	}
 	for bin := 0; bin < len(labels); bin++ {
 		row := []string{labels[bin]}
-		for _, k := range core.Kinds() {
-			row = append(row, pct(fracs[k][bin]))
+		for _, spec := range table4 {
+			row = append(row, pct(fracs[spec.Name][bin]))
 		}
 		t.Rows = append(t.Rows, row)
 	}
-	t.Values["ebuff_lowest_bin"] = fracs[core.EBuff][0]
-	t.Values["baat_lowest_bin"] = fracs[core.BAATFull][0]
-	t.Values["ebuff_top_bin"] = fracs[core.EBuff][6]
-	t.Values["baat_top_bin"] = fracs[core.BAATFull][6]
+	t.Values["ebuff_lowest_bin"] = fracs["ebuff"][0]
+	t.Values["baat_lowest_bin"] = fracs["baat"][0]
+	t.Values["ebuff_top_bin"] = fracs["ebuff"][6]
+	t.Values["baat_top_bin"] = fracs["baat"][6]
 	t.Notes = append(t.Notes,
 		"paper: e-Buff leaves batteries in low-SoC bins; BAAT shifts the mass toward 90-100%")
 	return t, nil
 }
 
 func policyNames() []string {
-	out := make([]string, 0, len(core.Kinds()))
-	for _, k := range core.Kinds() {
-		out = append(out, k.String())
+	out := make([]string, 0, len(table4))
+	for _, spec := range table4 {
+		out = append(out, label(spec))
 	}
 	return out
 }
@@ -404,11 +379,10 @@ func Throughput(cfg Config) (*Table, error) {
 	if cfg.Quick {
 		scenarios = scenarios[3:]
 	}
-	kinds := core.Kinds()
-	cells := make([]sim.DayStats, len(scenarios)*len(kinds))
+	cells := make([]sim.DayStats, len(scenarios)*len(table4))
 	if err := runSweep(cfg.sweepWorkers(), len(cells), func(i int) error {
-		sc, k := scenarios[i/len(kinds)], kinds[i%len(kinds)]
-		_, ds, err := runOneDayOwnAging(cfg, k, sc.w, sc.old)
+		sc, spec := scenarios[i/len(table4)], table4[i%len(table4)]
+		_, ds, err := runOneDayOwnAging(cfg, spec, sc.w, sc.old)
 		if err != nil {
 			return err
 		}
@@ -419,11 +393,11 @@ func Throughput(cfg Config) (*Table, error) {
 	}
 	thr := map[string]float64{}
 	for i, ds := range cells {
-		sc, k := scenarios[i/len(kinds)], kinds[i%len(kinds)]
-		key := sc.name + "/" + k.String()
+		sc, spec := scenarios[i/len(table4)], table4[i%len(table4)]
+		key := sc.name + "/" + label(spec)
 		thr[key] = ds.Throughput
 		t.Rows = append(t.Rows, []string{
-			sc.name, k.String(), fmt.Sprintf("%.1f", ds.Throughput), ds.Downtime.Round(time.Minute).String(),
+			sc.name, label(spec), fmt.Sprintf("%.1f", ds.Throughput), ds.Downtime.Round(time.Minute).String(),
 		})
 		t.Values[key] = ds.Throughput
 	}

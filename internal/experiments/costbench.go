@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/green-dc/baat/internal/core"
@@ -40,12 +41,13 @@ func DepreciationCost(cfg Config) (*Table, error) {
 	}
 	cells := make([]cell, 1+len(thresholds))
 	if err := runSweep(cfg.sweepWorkers(), len(cells), func(i int) error {
-		kind, ccfg := core.EBuff, core.DefaultConfig()
+		spec := specEBuff
 		if i > 0 {
-			kind = core.BAATFull
-			ccfg.Slowdown.FloorSoC = thresholds[i-1]
+			spec = withOptions(cfg.treatment(), map[string]string{
+				"floor": strconv.FormatFloat(thresholds[i-1], 'g', -1, 64),
+			})
 		}
-		life, thr, err := fleetLifetime(cfg, kind, ccfg, frac, nil)
+		life, thr, err := fleetLifetime(cfg, spec, frac, nil)
 		if err != nil {
 			return err
 		}
@@ -106,10 +108,10 @@ func ServerExpansion(cfg Config) (*Table, error) {
 		Columns: []string{"sunshine", "e-Buff life (mo)", "BAAT life (mo)", "cost-limited", "power-limited", "allowed"},
 		Values:  map[string]float64{},
 	}
-	kinds := []core.Kind{core.EBuff, core.BAATFull}
-	cells := make([]time.Duration, len(fracs)*len(kinds))
+	specs := []core.PolicySpec{specEBuff, cfg.treatment()}
+	cells := make([]time.Duration, len(fracs)*len(specs))
 	if err := runSweep(cfg.sweepWorkers(), len(cells), func(i int) error {
-		life, _, err := fleetLifetime(cfg, kinds[i%len(kinds)], core.DefaultConfig(), fracs[i/len(kinds)], nil)
+		life, _, err := fleetLifetime(cfg, specs[i%len(specs)], fracs[i/len(specs)], nil)
 		if err != nil {
 			return err
 		}

@@ -125,6 +125,14 @@ type Config struct {
 	// trades the measured fidelity error of the model-fidelity experiment
 	// for cheap capacity-planning sweeps.
 	BatteryModel battery.Kind
+	// Policy substitutes the treatment scheme in the harnesses that
+	// measure "BAAT vs. the rest" (the cost, planned-aging, and ablation
+	// figures): a registry spec whose options each sweep merges its own
+	// deviations on top of. The zero value means the paper's treatment,
+	// {Name: "baat"}. The four-way comparison figures always iterate the
+	// fixed Table 4 roster regardless, so registering a new policy (or
+	// picking one here) never silently reshapes the published tables.
+	Policy core.PolicySpec
 }
 
 // DefaultConfig returns the full-fidelity configuration.
@@ -143,8 +151,54 @@ func (c Config) Validate() error {
 	if !c.BatteryModel.Valid() {
 		return fmt.Errorf("experiments: unknown battery model %q", c.BatteryModel)
 	}
+	if c.Policy.Name != "" {
+		if _, err := core.Normalize(c.Policy); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
 	return nil
 }
+
+// table4 is the fixed Table 4 roster in the paper's listing order. The
+// comparison harnesses iterate this list, not core.Registered(): adding a
+// policy to the registry must never silently grow the published tables.
+var table4 = []core.PolicySpec{
+	{Name: "ebuff"},
+	{Name: "baat-s"},
+	{Name: "baat-h"},
+	{Name: "baat"},
+}
+
+// specEBuff is the neutral baseline spec the burn-in and reference rows use.
+var specEBuff = core.PolicySpec{Name: "ebuff"}
+
+// treatment resolves Config.Policy: the spec the BAAT-treatment harnesses
+// measure, defaulting to the paper's full BAAT.
+func (c Config) treatment() core.PolicySpec {
+	if c.Policy.Name != "" {
+		return c.Policy.Clone()
+	}
+	return core.PolicySpec{Name: "baat"}
+}
+
+// withOptions returns spec with the given options merged on top of its own
+// (sweep deviations win over the base spec's settings).
+func withOptions(spec core.PolicySpec, opts map[string]string) core.PolicySpec {
+	out := spec.Clone()
+	if len(opts) == 0 {
+		return out
+	}
+	if out.Options == nil {
+		out.Options = make(map[string]string, len(opts))
+	}
+	for k, v := range opts {
+		out.Options[k] = v
+	}
+	return out
+}
+
+// label renders a spec as the Table 4 display name ("e-Buff", "BAAT", ...).
+func label(spec core.PolicySpec) string { return core.DisplayName(spec.Name) }
 
 // sweepWorkers resolves Config.Workers into the width of the variant-level
 // worker pool: at least 1, negative values meaning all CPUs.
@@ -219,8 +273,8 @@ func runSweep(workers, n int, run func(i int) error) error {
 // workloads statically deployed as services (§V-B), a few batch jobs per
 // day, and a PV array sized so sunny days recharge the bank while rainy
 // days force battery cycling.
-func prototypeSim(cfg Config, kind core.Kind, coreCfg core.Config) (*sim.Simulator, error) {
-	return prototypeSimWithScale(cfg, kind, coreCfg, 1.5)
+func prototypeSim(cfg Config, spec core.PolicySpec) (*sim.Simulator, error) {
+	return prototypeSimWithScale(cfg, spec, 1.5)
 }
 
 // tightScale is the PV sizing for single-day measurements: close to the
@@ -229,12 +283,9 @@ const tightScale = 1.3
 
 // prototypeSimWithScale builds the prototype fleet with an explicit PV
 // array scale.
-func prototypeSimWithScale(cfg Config, kind core.Kind, coreCfg core.Config, scale float64) (*sim.Simulator, error) {
-	policy, err := core.New(kind, coreCfg)
-	if err != nil {
-		return nil, err
-	}
+func prototypeSimWithScale(cfg Config, spec core.PolicySpec, scale float64) (*sim.Simulator, error) {
 	scfg := sim.DefaultConfig()
+	scfg.Policy = spec
 	scfg.Seed = cfg.Seed
 	scfg.Node.AgingConfig.AccelFactor = cfg.Accel
 	if cfg.BatteryModel != "" {
@@ -254,7 +305,7 @@ func prototypeSimWithScale(cfg Config, kind core.Kind, coreCfg core.Config, scal
 	scfg.Telemetry = cfg.Telemetry
 	scfg.Workers = cfg.simWorkers()
 	scfg.Faults = cfg.Faults
-	return sim.New(scfg, policy)
+	return sim.New(scfg)
 }
 
 // weatherSequence draws a reproducible weather sequence for a location from

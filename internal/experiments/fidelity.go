@@ -26,7 +26,6 @@ import (
 	"time"
 
 	"github.com/green-dc/baat/internal/battery"
-	"github.com/green-dc/baat/internal/core"
 	"github.com/green-dc/baat/internal/faults"
 	"github.com/green-dc/baat/internal/rng"
 	"github.com/green-dc/baat/internal/sim"
@@ -54,7 +53,7 @@ func runTier(cfg Config, kind battery.Kind, chaos bool, seq []solar.Weather) (fi
 		}
 		tcfg.Faults = fcfg
 	}
-	s, err := prototypeSim(tcfg, core.BAATFull, core.DefaultConfig())
+	s, err := prototypeSim(tcfg, cfg.treatment())
 	if err != nil {
 		return fidelityCell{}, err
 	}
@@ -172,7 +171,6 @@ func MixedFleet(cfg Config) (*Table, error) {
 	}
 	seq := weatherSequence(cfg.Seed, rng.ExpMixedFleet, 0.5, days)
 
-	kinds := core.Kinds()
 	type cell struct {
 		throughput  float64
 		lowSoCHrs   float64
@@ -180,13 +178,10 @@ func MixedFleet(cfg Config) (*Table, error) {
 		lfpHealth   float64 // mean health of the LFP block
 		worstHealth float64
 	}
-	cells := make([]cell, len(kinds))
-	if err := runSweep(cfg.sweepWorkers(), len(kinds), func(i int) error {
-		policy, err := core.New(kinds[i], core.DefaultConfig())
-		if err != nil {
-			return err
-		}
+	cells := make([]cell, len(table4))
+	if err := runSweep(cfg.sweepWorkers(), len(table4), func(i int) error {
 		scfg := sim.DefaultConfig()
+		scfg.Policy = table4[i]
 		scfg.Seed = cfg.Seed
 		scfg.Node.AgingConfig.AccelFactor = cfg.Accel
 		scfg.Services = workload.PrototypeServices()
@@ -199,7 +194,7 @@ func MixedFleet(cfg Config) (*Table, error) {
 			{Model: battery.KindLeadAcid, Fraction: 0.5},
 			{Model: battery.KindLFP, Fraction: 0.5},
 		}
-		s, err := sim.New(scfg, policy)
+		s, err := sim.New(scfg)
 		if err != nil {
 			return err
 		}
@@ -248,18 +243,18 @@ func MixedFleet(cfg Config) (*Table, error) {
 		},
 		Values: map[string]float64{},
 	}
-	for i, k := range kinds {
+	for i, spec := range table4 {
 		c := cells[i]
 		t.Rows = append(t.Rows, []string{
-			k.String(),
+			label(spec),
 			fmt.Sprintf("%.1f", c.throughput),
 			(time.Duration(c.lowSoCHrs * float64(time.Hour))).Round(time.Minute).String(),
 			f3(c.leadHealth), f3(c.lfpHealth), f3(c.worstHealth),
 		})
-		t.Values[k.String()+"_throughput"] = c.throughput
-		t.Values[k.String()+"_worst_health"] = c.worstHealth
-		t.Values[k.String()+"_lead_health"] = c.leadHealth
-		t.Values[k.String()+"_lfp_health"] = c.lfpHealth
+		t.Values[label(spec)+"_throughput"] = c.throughput
+		t.Values[label(spec)+"_worst_health"] = c.worstHealth
+		t.Values[label(spec)+"_lead_health"] = c.leadHealth
+		t.Values[label(spec)+"_lfp_health"] = c.lfpHealth
 	}
 	t.Notes = append(t.Notes,
 		"50/50 contiguous split via sim.Config.BatteryFleet: nodes 0-2 lead-acid, 3-5 LFP on the prototype fleet",

@@ -43,11 +43,11 @@ func TestMixedFleetQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != len(core.Kinds()) {
-		t.Fatalf("got %d rows, want one per policy (%d)", len(tab.Rows), len(core.Kinds()))
+	if len(tab.Rows) != len(table4) {
+		t.Fatalf("got %d rows, want one per Table 4 policy (%d)", len(tab.Rows), len(table4))
 	}
-	for _, k := range core.Kinds() {
-		name := k.String()
+	for _, spec := range table4 {
+		name := label(spec)
 		lead := tab.Values[name+"_lead_health"]
 		lfp := tab.Values[name+"_lfp_health"]
 		worst := tab.Values[name+"_worst_health"]
@@ -64,7 +64,7 @@ func TestMixedFleetQuick(t *testing.T) {
 	// The chemistry gap the harness exists to expose: under the aging-
 	// oblivious baseline, the LFP retrofits outlast the legacy lead-acid
 	// block (slower fade under identical duty).
-	base := core.EBuff.String()
+	base := core.DisplayName("ebuff")
 	if tab.Values[base+"_lfp_health"] <= tab.Values[base+"_lead_health"] {
 		t.Errorf("under %s the LFP block (%v) should out-age the lead-acid block (%v)",
 			base, tab.Values[base+"_lfp_health"], tab.Values[base+"_lead_health"])

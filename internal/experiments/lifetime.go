@@ -23,7 +23,7 @@ const lifetimeReplicas = 3
 // fleetLifetime runs a policy until the first battery reaches end-of-life,
 // averaged over weather replicas, and returns the real-equivalent lifetime
 // plus per-day throughput.
-func fleetLifetime(cfg Config, kind core.Kind, coreCfg core.Config, frac float64,
+func fleetLifetime(cfg Config, spec core.PolicySpec, frac float64,
 	mutate func(*sim.Config)) (time.Duration, float64, error) {
 	replicas := lifetimeReplicas
 	maxDays := lifetimeMaxDays
@@ -34,11 +34,8 @@ func fleetLifetime(cfg Config, kind core.Kind, coreCfg core.Config, frac float64
 	var lifeSum time.Duration
 	var thrSum float64
 	for rep := 0; rep < replicas; rep++ {
-		policy, err := core.New(kind, coreCfg)
-		if err != nil {
-			return 0, 0, err
-		}
 		scfg := sim.DefaultConfig()
+		scfg.Policy = spec
 		scfg.Seed = cfg.Seed + int64(rep)*101
 		scfg.Node.AgingConfig.AccelFactor = cfg.Accel
 		scfg.Services = workload.PrototypeServices()
@@ -50,7 +47,7 @@ func fleetLifetime(cfg Config, kind core.Kind, coreCfg core.Config, frac float64
 		if mutate != nil {
 			mutate(&scfg)
 		}
-		s, err := sim.New(scfg, policy)
+		s, err := sim.New(scfg)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -90,11 +87,10 @@ func LifetimeVsSunshine(cfg Config) (*Table, error) {
 		Columns: []string{"sunshine", "e-Buff (mo)", "BAAT-s (mo)", "BAAT-h (mo)", "BAAT (mo)", "BAAT gain"},
 		Values:  map[string]float64{},
 	}
-	kinds := core.Kinds()
-	cells := make([]time.Duration, len(fracs)*len(kinds))
+	cells := make([]time.Duration, len(fracs)*len(table4))
 	if err := runSweep(cfg.sweepWorkers(), len(cells), func(i int) error {
-		frac, k := fracs[i/len(kinds)], kinds[i%len(kinds)]
-		life, _, err := fleetLifetime(cfg, k, core.DefaultConfig(), frac, nil)
+		frac, spec := fracs[i/len(table4)], table4[i%len(table4)]
+		life, _, err := fleetLifetime(cfg, spec, frac, nil)
 		if err != nil {
 			return err
 		}
@@ -103,29 +99,29 @@ func LifetimeVsSunshine(cfg Config) (*Table, error) {
 	}); err != nil {
 		return nil, err
 	}
-	gains := map[core.Kind][]float64{}
+	gains := map[string][]float64{}
 	for fi, frac := range fracs {
-		lives := map[core.Kind]time.Duration{}
-		for ki, k := range kinds {
-			lives[k] = cells[fi*len(kinds)+ki]
+		lives := map[string]time.Duration{}
+		for ki, spec := range table4 {
+			lives[spec.Name] = cells[fi*len(table4)+ki]
 		}
-		months := func(k core.Kind) string {
-			return fmt.Sprintf("%.1f", lives[k].Hours()/(30*24))
+		months := func(name string) string {
+			return fmt.Sprintf("%.1f", lives[name].Hours()/(30*24))
 		}
-		base := lives[core.EBuff].Hours()
-		gain := lives[core.BAATFull].Hours()/base - 1
+		base := lives["ebuff"].Hours()
+		gain := lives["baat"].Hours()/base - 1
 		t.Rows = append(t.Rows, []string{
-			pct(frac), months(core.EBuff), months(core.BAATSlowdown),
-			months(core.BAATHiding), months(core.BAATFull), pct(gain),
+			pct(frac), months("ebuff"), months("baat-s"),
+			months("baat-h"), months("baat"), pct(gain),
 		})
-		for _, k := range kinds[1:] {
-			gains[k] = append(gains[k], lives[k].Hours()/base-1)
+		for _, spec := range table4[1:] {
+			gains[spec.Name] = append(gains[spec.Name], lives[spec.Name].Hours()/base-1)
 		}
 		t.Values[fmt.Sprintf("ebuff_months_%.0f", frac*100)] = base / (30 * 24)
 	}
-	t.Values["baat_gain_avg"] = avg(gains[core.BAATFull])
-	t.Values["baat_s_gain_avg"] = avg(gains[core.BAATSlowdown])
-	t.Values["baat_h_gain_avg"] = avg(gains[core.BAATHiding])
+	t.Values["baat_gain_avg"] = avg(gains["baat"])
+	t.Values["baat_s_gain_avg"] = avg(gains["baat-s"])
+	t.Values["baat_h_gain_avg"] = avg(gains["baat-h"])
 	t.Notes = append(t.Notes,
 		"paper: BAAT extends battery life by 69% on average; BAAT-s 37%, BAAT-h 29%;",
 		"lifetime increases with solar availability")
@@ -178,11 +174,11 @@ func LifetimeVsRatio(cfg Config) (*Table, error) {
 		Values:  map[string]float64{},
 	}
 	const frac = 0.6
-	ratioKinds := []core.Kind{core.EBuff, core.BAATFull}
-	cells := make([]time.Duration, len(ratios)*len(ratioKinds))
+	ratioSpecs := []core.PolicySpec{specEBuff, cfg.treatment()}
+	cells := make([]time.Duration, len(ratios)*len(ratioSpecs))
 	if err := runSweep(cfg.sweepWorkers(), len(cells), func(i int) error {
-		r, k := ratios[i/len(ratioKinds)], ratioKinds[i%len(ratioKinds)]
-		life, _, err := fleetLifetime(cfg, k, core.DefaultConfig(), frac,
+		r, spec := ratios[i/len(ratioSpecs)], ratioSpecs[i%len(ratioSpecs)]
+		life, _, err := fleetLifetime(cfg, spec, frac,
 			func(sc *sim.Config) { scaleBatteryForRatio(sc, r) })
 		if err != nil {
 			return err

@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"time"
+	"strconv"
 
 	"github.com/green-dc/baat/internal/core"
 	"github.com/green-dc/baat/internal/rng"
@@ -30,12 +30,9 @@ func plannedWindowDays(cfg Config) int {
 
 // runWindowThroughput measures total throughput and worst-node health over
 // a fixed multi-day window at sunshine fraction 0.5.
-func runWindowThroughput(cfg Config, kind core.Kind, coreCfg core.Config) (thr float64, minHealth float64, err error) {
-	policy, err := core.New(kind, coreCfg)
-	if err != nil {
-		return 0, 0, err
-	}
+func runWindowThroughput(cfg Config, spec core.PolicySpec) (thr float64, minHealth float64, err error) {
 	scfg := sim.DefaultConfig()
+	scfg.Policy = spec
 	scfg.Seed = cfg.Seed
 	scfg.Node.AgingConfig.AccelFactor = cfg.Accel
 	scfg.Services = workload.PrototypeServices()
@@ -44,7 +41,7 @@ func runWindowThroughput(cfg Config, kind core.Kind, coreCfg core.Config) (thr f
 	scfg.Telemetry = cfg.Telemetry
 	scfg.Workers = cfg.simWorkers()
 	scfg.Faults = cfg.Faults
-	s, err := sim.New(scfg, policy)
+	s, err := sim.New(scfg)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -83,13 +80,14 @@ func PerfVsDoD(cfg Config) (*Table, error) {
 	type cell struct{ thr, health float64 }
 	cells := make([]cell, len(dods))
 	if err := runSweep(cfg.sweepWorkers(), len(dods), func(i int) error {
-		ccfg := core.DefaultConfig()
 		// Planned aging regulates discharge depth: floor = 1 − DoD, with
 		// the slowdown trigger just above it (§IV-D replaces the 40 %
 		// trigger with 1 − DoD_goal).
-		ccfg.Slowdown.FloorSoC = 1 - dods[i]
-		ccfg.Slowdown.TriggerSoC = clampTriggerAbove(1 - dods[i] + 0.10)
-		thr, health, err := runWindowThroughput(cfg, core.BAATFull, ccfg)
+		spec := withOptions(cfg.treatment(), map[string]string{
+			"floor":   strconv.FormatFloat(1-dods[i], 'g', -1, 64),
+			"trigger": strconv.FormatFloat(clampTriggerAbove(1-dods[i]+0.10), 'g', -1, 64),
+		})
+		thr, health, err := runWindowThroughput(cfg, spec)
 		if err != nil {
 			return err
 		}
@@ -164,19 +162,16 @@ func PlannedAgingBenefit(cfg Config) (*Table, error) {
 	type cell struct{ thr, health float64 }
 	cells := make([]cell, 1+len(monthsList))
 	if err := runSweep(cfg.sweepWorkers(), len(cells), func(i int) error {
-		kind, ccfg := core.EBuff, core.DefaultConfig()
+		spec := specEBuff
 		if i > 0 {
-			kind = core.BAATFull
-			ccfg.Planned = core.PlannedAgingConfig{
-				Enabled: true,
-				// The Ah budget Eq 7 divides is not accelerated (only damage
-				// rates are), so the planner receives the real service life:
-				// its cycle plan must count real cycles.
-				ServiceLife:  time.Duration(monthsList[i-1] * 30 * 24 * float64(time.Hour)),
-				CyclesPerDay: 1,
-			}
+			// The Ah budget Eq 7 divides is not accelerated (only damage
+			// rates are), so the planner receives the real service life:
+			// its cycle plan must count real cycles.
+			spec = withOptions(cfg.treatment(), map[string]string{
+				"planned-months": strconv.FormatFloat(monthsList[i-1], 'g', -1, 64),
+			})
 		}
-		thr, health, err := runWindowThroughput(cfg, kind, ccfg)
+		thr, health, err := runWindowThroughput(cfg, spec)
 		if err != nil {
 			return err
 		}

@@ -123,17 +123,16 @@ func RunSuite() (Report, error) {
 // history so the row slab stays within a sane footprint.
 func fleetStepBench(nodes, workers int, model battery.Kind) func(b *testing.B) {
 	return func(b *testing.B) {
-		policy, err := core.New(core.EBuff, core.DefaultConfig())
-		if err != nil {
-			b.Fatal(err)
-		}
 		cfg := sim.DefaultConfig()
+		cfg.Policy = core.PolicySpec{Name: "ebuff"}
 		cfg.Nodes = nodes
 		cfg.Workers = workers
 		cfg.Tick = suiteTick
-		if cfg.Node, err = cfg.Node.WithBatteryModel(model); err != nil {
+		ncfg, err := cfg.Node.WithBatteryModel(model)
+		if err != nil {
 			b.Fatal(err)
 		}
+		cfg.Node = ncfg
 		cfg.JobsPerDay = 0
 		cfg.ServiceVMs = nodes / 4
 		cfg.Solar.Scale = 1.5 * float64(nodes) / 6
@@ -142,7 +141,7 @@ func fleetStepBench(nodes, workers int, model battery.Kind) func(b *testing.B) {
 			cfg.ServiceVMs = 0 // provisioned directly below
 			cfg.Node.TableCapacity = 64
 		}
-		s, err := sim.New(cfg, policy)
+		s, err := sim.New(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -254,12 +253,8 @@ func batteryStepBench(kind battery.Kind) func(b *testing.B) {
 // sweep pays per variant instead of re-simulating the burn-in.
 func checkpointRoundtripBench(b *testing.B) {
 	build := func() *sim.Simulator {
-		policy, err := core.New(core.BAATFull, core.DefaultConfig())
-		if err != nil {
-			b.Fatal(err)
-		}
 		cfg := sim.DefaultConfig()
-		s, err := sim.New(cfg, policy)
+		s, err := sim.New(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

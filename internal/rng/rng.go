@@ -60,6 +60,11 @@ const (
 	// ExpMixedFleet draws the mixed-chemistry fleet experiment's weather
 	// sequence (shared across policies, §VI-B's matched-scenario method).
 	ExpMixedFleet = "experiments/mixed-fleet-weather"
+	// SignalForecast drives the solar forecaster's noise draws
+	// (internal/signal). The forecaster owns its substream so that adding
+	// or querying forecasts never perturbs the weather, jobs, or policy
+	// streams of an existing run.
+	SignalForecast = "signal/solar-forecast"
 
 	// shardPrefix namespaces the per-shard fleet substreams; see Shard.
 	shardPrefix = "fleet/shard/"

@@ -82,6 +82,38 @@ func TestErrorContract(t *testing.T) {
 			wantCode:   CodeBadRequest,
 		},
 		{
+			name: "create with unknown policy option key",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				return "POST", "/runs", `{"policy": "baat", "policy_options": {"bogus": "1"}}`
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "create with option on option-less policy",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				return "POST", "/runs", `{"policy": "ebuff", "policy_options": {"floor": "0.2"}}`
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "create with malformed policy option value",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				return "POST", "/runs", `{"policy": "baat", "policy_options": {"floor": "deep"}}`
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "create with out-of-range policy option value",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				return "POST", "/runs", `{"policy": "baat", "policy_options": {"floor": "1.5"}}`
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
 			name: "create with unknown weather",
 			setup: func(t *testing.T, c *testClient) (string, string, string) {
 				return "POST", "/runs", `{"weather": "hail"}`
@@ -211,6 +243,33 @@ func TestErrorContract(t *testing.T) {
 			setup: func(t *testing.T, c *testClient) (string, string, string) {
 				inf := c.create(RunSpec{Days: 2, Seed: 1})
 				return "POST", "/runs/" + inf.ID + "/mutate", `{"faults": "gremlins"}`
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "mutate to an unknown policy",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				inf := c.create(RunSpec{Days: 2, Seed: 1})
+				return "POST", "/runs/" + inf.ID + "/mutate", `{"policy": "overclock"}`
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "mutate with unknown policy option key",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				inf := c.create(RunSpec{Days: 2, Seed: 1})
+				return "POST", "/runs/" + inf.ID + "/mutate", `{"policy_options": {"bogus": "1"}}`
+			},
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeBadRequest,
+		},
+		{
+			name: "mutate with malformed policy option value",
+			setup: func(t *testing.T, c *testClient) (string, string, string) {
+				inf := c.create(RunSpec{Days: 2, Seed: 1})
+				return "POST", "/runs/" + inf.ID + "/mutate", `{"policy_options": {"trigger": "high"}}`
 			},
 			wantStatus: http.StatusBadRequest,
 			wantCode:   CodeBadRequest,

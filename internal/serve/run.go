@@ -110,7 +110,6 @@ type Run struct {
 	// replacing pointer fields, never writing through them, so checkpoint
 	// records that copied the struct stay frozen).
 	spec    RunSpec
-	kind    core.Kind
 	s       *sim.Simulator
 	weather []solar.Weather
 	state   State
@@ -138,7 +137,7 @@ type Run struct {
 // (idle until a start/step transition).
 func newRun(id string, sp RunSpec) (*Run, error) {
 	rec := telemetry.NewRecorder()
-	s, kind, err := buildSim(sp, rec)
+	s, err := buildSim(sp, rec)
 	if err != nil {
 		return nil, errf(http.StatusBadRequest, CodeBadRequest, "invalid run spec: %v", err)
 	}
@@ -147,7 +146,6 @@ func newRun(id string, sp RunSpec) (*Run, error) {
 		rec:         rec,
 		telemetry:   rec.Handler(),
 		spec:        sp,
-		kind:        kind,
 		s:           s,
 		weather:     weatherFor(sp),
 		state:       StateCreated,
@@ -166,7 +164,7 @@ func newRun(id string, sp RunSpec) (*Run, error) {
 // envelope, proving the restore lost nothing.
 func newForkedRun(id, parentID string, day int, ck checkpointRecord) (*Run, error) {
 	rec := telemetry.NewRecorder()
-	s, kind, err := buildSim(ck.spec, rec)
+	s, err := buildSim(ck.spec, rec)
 	if err != nil {
 		return nil, errf(http.StatusInternalServerError, CodeInternal, "fork: rebuild simulator: %v", err)
 	}
@@ -184,7 +182,6 @@ func newForkedRun(id, parentID string, day int, ck checkpointRecord) (*Run, erro
 		rec:         rec,
 		telemetry:   rec.Handler(),
 		spec:        ck.spec,
-		kind:        kind,
 		s:           s,
 		weather:     slices.Clone(ck.weather),
 		state:       StatePaused,
@@ -410,28 +407,36 @@ func (r *Run) mutate(m Mutation) (applied, noops []string, err error) {
 	if r.state == StateDone || r.state == StateFailed {
 		return nil, nil, errf(http.StatusConflict, CodeConflict, "run %s is %s and cannot mutate", r.id, r.state)
 	}
-	if m.Policy == "" && m.Sunshine == nil && m.Faults == nil {
-		return nil, nil, errf(http.StatusBadRequest, CodeBadRequest, "mutation names no knobs (policy, sunshine, faults)")
+	if m.Policy == "" && m.PolicyOptions == nil && m.Sunshine == nil && m.Faults == nil {
+		return nil, nil, errf(http.StatusBadRequest, CodeBadRequest, "mutation names no knobs (policy, policy_options, sunshine, faults)")
 	}
 
 	// Validate everything first.
 	var commit []func()
-	if m.Policy != "" {
-		kind, perr := parsePolicy(m.Policy)
+	if m.Policy != "" || m.PolicyOptions != nil {
+		// Omitting the name retunes the current policy's options; an empty
+		// options map resets the (possibly new) policy to its defaults.
+		name := m.Policy
+		if name == "" {
+			name = r.spec.Policy
+		}
+		norm, perr := core.Normalize(core.PolicySpec{Name: name, Options: m.PolicyOptions})
 		if perr != nil {
 			return nil, nil, errf(http.StatusBadRequest, CodeBadRequest, "%v", perr)
 		}
-		if kind == r.kind {
+		if _, perr := core.Build(norm); perr != nil {
+			return nil, nil, errf(http.StatusBadRequest, CodeBadRequest, "%v", perr)
+		}
+		if norm.Equal(r.spec.policySpec()) {
 			noops = append(noops, "policy")
 		} else {
-			policy, kind, perr := buildPolicy(m.Policy)
-			if perr != nil {
-				return nil, nil, errf(http.StatusBadRequest, CodeBadRequest, "%v", perr)
-			}
 			commit = append(commit, func() {
-				r.kind = kind
-				r.spec.Policy = canonicalPolicy(kind)
-				r.pending = append(r.pending, func(s *sim.Simulator) error { return s.SetPolicy(policy) })
+				r.spec.Policy = norm.Name
+				r.spec.PolicyOptions = norm.Options
+				// The engine re-validates the spec before touching the
+				// running policy, so a race with registry state cannot
+				// strand the run with a half-swapped scheme.
+				r.pending = append(r.pending, func(s *sim.Simulator) error { return s.SetPolicy(norm) })
 			})
 			applied = append(applied, "policy")
 		}
@@ -543,23 +548,26 @@ func (r *Run) subscribe() (ch chan struct{}, cancel func()) {
 
 // RunInfo is the status document of one run.
 type RunInfo struct {
-	ID           string  `json:"id"`
-	Name         string  `json:"name,omitempty"`
-	State        State   `json:"state"`
-	Day          int     `json:"day"`
-	Days         int     `json:"days"`
-	Policy       string  `json:"policy"`
-	Weather      string  `json:"weather"`
-	Sunshine     float64 `json:"sunshine"`
-	Faults       string  `json:"faults"`
-	BatteryModel string  `json:"battery_model"`
-	Seed         int64   `json:"seed"`
-	Nodes        int     `json:"nodes"`
-	Workers      int     `json:"workers,omitempty"`
-	ForkedFrom   string  `json:"forked_from,omitempty"`
-	ForkDay      int     `json:"fork_day,omitempty"`
-	Checkpoints  []int   `json:"checkpoints,omitempty"`
-	Error        string  `json:"error,omitempty"`
+	ID     string `json:"id"`
+	Name   string `json:"name,omitempty"`
+	State  State  `json:"state"`
+	Day    int    `json:"day"`
+	Days   int    `json:"days"`
+	Policy string `json:"policy"`
+	// PolicyOptions is present only when the run's policy carries non-default
+	// option knobs, so existing status documents stay byte-identical.
+	PolicyOptions map[string]string `json:"policy_options,omitempty"`
+	Weather       string            `json:"weather"`
+	Sunshine      float64           `json:"sunshine"`
+	Faults        string            `json:"faults"`
+	BatteryModel  string            `json:"battery_model"`
+	Seed          int64             `json:"seed"`
+	Nodes         int               `json:"nodes"`
+	Workers       int               `json:"workers,omitempty"`
+	ForkedFrom    string            `json:"forked_from,omitempty"`
+	ForkDay       int               `json:"fork_day,omitempty"`
+	Checkpoints   []int             `json:"checkpoints,omitempty"`
+	Error         string            `json:"error,omitempty"`
 }
 
 // info snapshots the run's status.
@@ -567,21 +575,22 @@ func (r *Run) info() RunInfo {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	inf := RunInfo{
-		ID:           r.id,
-		Name:         r.spec.Name,
-		State:        r.state,
-		Day:          r.day,
-		Days:         len(r.weather),
-		Policy:       r.spec.Policy,
-		Weather:      r.spec.Weather,
-		Sunshine:     *r.spec.Sunshine,
-		Faults:       r.spec.Faults,
-		BatteryModel: r.spec.BatteryModel,
-		Seed:         r.spec.Seed,
-		Nodes:        r.spec.Nodes,
-		Workers:      r.spec.Workers,
-		ForkedFrom:   r.forkedFrom,
-		ForkDay:      r.forkDay,
+		ID:            r.id,
+		Name:          r.spec.Name,
+		State:         r.state,
+		Day:           r.day,
+		Days:          len(r.weather),
+		Policy:        r.spec.Policy,
+		PolicyOptions: r.spec.PolicyOptions,
+		Weather:       r.spec.Weather,
+		Sunshine:      *r.spec.Sunshine,
+		Faults:        r.spec.Faults,
+		BatteryModel:  r.spec.BatteryModel,
+		Seed:          r.spec.Seed,
+		Nodes:         r.spec.Nodes,
+		Workers:       r.spec.Workers,
+		ForkedFrom:    r.forkedFrom,
+		ForkDay:       r.forkDay,
 	}
 	if len(r.checkpoints) > 0 {
 		inf.Checkpoints = make([]int, 0, len(r.checkpoints))

@@ -393,3 +393,76 @@ func TestMutateMidRun(t *testing.T) {
 	c.post("/runs/" + child.ID + "/resume")
 	c.waitState(child.ID, StateDone)
 }
+
+// TestMutatePolicyOptions drives the registry's option vocabulary through
+// the mutate endpoint: an options-only mutation retunes the current policy,
+// re-sending the identical spec is a no-op (name AND options compared),
+// a rejected spec leaves the run untouched, and a swap without options
+// resets the policy to its defaults.
+func TestMutatePolicyOptions(t *testing.T) {
+	c := newTestClient(t)
+	inf := c.create(RunSpec{Days: 6, Seed: 9})
+	id := inf.ID
+	c.post("/runs/" + id + "/step?to=2")
+	c.waitState(id, StatePaused)
+
+	var mres struct {
+		Applied []string `json:"applied"`
+		Noop    []string `json:"noop"`
+		Run     RunInfo  `json:"run"`
+	}
+	// Options-only: the policy name is omitted and defaults to the run's
+	// current policy (baat), retuned with a deeper floor.
+	mut := Mutation{PolicyOptions: map[string]string{"floor": "0.25"}}
+	if st := c.doJSON("POST", "/runs/"+id+"/mutate", mut, &mres); st != http.StatusOK {
+		t.Fatalf("options-only mutate: status %d", st)
+	}
+	if !slices.Equal(mres.Applied, []string{"policy"}) || len(mres.Noop) != 0 {
+		t.Fatalf("options-only mutation report applied=%v noop=%v", mres.Applied, mres.Noop)
+	}
+	if mres.Run.Policy != "baat" || mres.Run.PolicyOptions["floor"] != "0.25" {
+		t.Fatalf("retuned spec not reflected in status: %+v", mres.Run)
+	}
+
+	// The same spec again — this time with the name spelled out via an
+	// alias — is a pure no-op: equality covers the options too.
+	mut = Mutation{Policy: "BAAT", PolicyOptions: map[string]string{"floor": "0.25"}}
+	if st := c.doJSON("POST", "/runs/"+id+"/mutate", mut, &mres); st != http.StatusOK {
+		t.Fatalf("no-op mutate: status %d", st)
+	}
+	if len(mres.Applied) != 0 || !slices.Equal(mres.Noop, []string{"policy"}) {
+		t.Fatalf("no-op mutation report applied=%v noop=%v", mres.Applied, mres.Noop)
+	}
+
+	// A spec the registry rejects (floor above trigger) must not disturb
+	// the run: 400 now, and the previous retune stays live.
+	if st, body := c.do("POST", "/runs/"+id+"/mutate", []byte(`{"policy_options": {"floor": "0.9"}}`)); st != http.StatusBadRequest {
+		t.Fatalf("invalid retune: status %d, body %s", st, body)
+	}
+	if inf = c.info(id); inf.Policy != "baat" || inf.PolicyOptions["floor"] != "0.25" {
+		t.Fatalf("rejected mutation disturbed the spec: %+v", inf)
+	}
+
+	// Swapping the name without options resets to the policy's defaults —
+	// the old options do not leak onto the new policy.
+	mut = Mutation{Policy: "baat-s"}
+	mres.Run = RunInfo{} // a fresh target: omitted fields must read as absent
+	if st := c.doJSON("POST", "/runs/"+id+"/mutate", mut, &mres); st != http.StatusOK {
+		t.Fatalf("swap mutate: status %d", st)
+	}
+	if !slices.Equal(mres.Applied, []string{"policy"}) {
+		t.Fatalf("swap mutation report applied=%v noop=%v", mres.Applied, mres.Noop)
+	}
+	if mres.Run.Policy != "baat-s" || len(mres.Run.PolicyOptions) != 0 {
+		t.Fatalf("swap carried stale options: %+v", mres.Run)
+	}
+	if inf = c.info(id); inf.Policy != "baat-s" || len(inf.PolicyOptions) != 0 {
+		t.Fatalf("status still reports stale options after the swap: %+v", inf)
+	}
+
+	// The run is still healthy: it completes under the swapped policy.
+	c.post("/runs/" + id + "/resume")
+	if inf = c.waitState(id, StateDone); inf.Day != 6 {
+		t.Fatalf("mutated run finished at day %d, want 6", inf.Day)
+	}
+}

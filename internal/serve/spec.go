@@ -31,9 +31,14 @@ const maxDays = 3650
 type RunSpec struct {
 	// Name is a free-form label echoed in statuses and listings.
 	Name string `json:"name,omitempty"`
-	// Policy selects the power-management scheme: ebuff | baat-s |
-	// baat-h | baat (default baat).
+	// Policy selects the power-management scheme by registry name (any
+	// name `baatsim policies` lists, aliases accepted; default baat).
 	Policy string `json:"policy,omitempty"`
+	// PolicyOptions are the policy's option knobs (the same key=value
+	// vocabulary as the CLI's -policy flag, e.g. {"floor": "0.25"}).
+	// Normalization validates them against the policy's registered option
+	// set before any run state exists.
+	PolicyOptions map[string]string `json:"policy_options,omitempty"`
 	// Days is the simulated horizon (default 7, max 3650).
 	Days int `json:"days,omitempty"`
 	// Nodes is the fleet size (default 6, the prototype).
@@ -128,11 +133,17 @@ func ptr[T any](v T) *T { return &v }
 // before any state exists.
 func (sp RunSpec) normalize() (RunSpec, error) {
 	sp = sp.withDefaults()
-	kind, err := parsePolicy(sp.Policy)
+	norm, err := core.Normalize(core.PolicySpec{Name: sp.Policy, Options: sp.PolicyOptions})
 	if err != nil {
 		return sp, err
 	}
-	sp.Policy = canonicalPolicy(kind)
+	// Build validates option *values* too (Normalize only checks keys), so
+	// a bad floor or duration fails here with a 400, not at run start.
+	if _, err := core.Build(norm); err != nil {
+		return sp, err
+	}
+	sp.Policy = norm.Name
+	sp.PolicyOptions = norm.Options
 	if sp.Days < 0 || sp.Days > maxDays {
 		return sp, fmt.Errorf("days must be in [1, %d], got %d", maxDays, sp.Days)
 	}
@@ -167,50 +178,11 @@ func (sp RunSpec) normalize() (RunSpec, error) {
 	return sp, nil
 }
 
-// parsePolicy maps the user-facing policy tokens (the same set cmd/baatsim
-// accepts) onto the Table 4 scheme.
-func parsePolicy(name string) (core.Kind, error) {
-	switch strings.ToLower(name) {
-	case "ebuff", "e-buff":
-		return core.EBuff, nil
-	case "baat-s", "baats":
-		return core.BAATSlowdown, nil
-	case "baat-h", "baath":
-		return core.BAATHiding, nil
-	case "baat":
-		return core.BAATFull, nil
-	default:
-		return 0, fmt.Errorf("unknown policy %q (want ebuff, baat-s, baat-h, or baat)", name)
-	}
-}
-
-// canonicalPolicy is the spelling a normalized spec stores, chosen so that
-// mutating a run to the policy it already has is recognized as a no-op
-// regardless of which accepted alias the client sent.
-func canonicalPolicy(kind core.Kind) string {
-	switch kind {
-	case core.EBuff:
-		return "ebuff"
-	case core.BAATSlowdown:
-		return "baat-s"
-	case core.BAATHiding:
-		return "baat-h"
-	default:
-		return "baat"
-	}
-}
-
-// buildPolicy constructs the named Table 4 policy with default parameters.
-func buildPolicy(name string) (core.Policy, core.Kind, error) {
-	kind, err := parsePolicy(name)
-	if err != nil {
-		return nil, 0, err
-	}
-	p, err := core.New(kind, core.DefaultConfig())
-	if err != nil {
-		return nil, 0, err
-	}
-	return p, kind, nil
+// policySpec assembles the spec's registry identity. Normalization stored
+// the canonical name and options, so the result round-trips through
+// core.Normalize unchanged.
+func (sp RunSpec) policySpec() core.PolicySpec {
+	return core.PolicySpec{Name: sp.Policy, Options: sp.PolicyOptions}.Clone()
 }
 
 // weatherFor materializes the run's full weather sequence up front — the
@@ -242,6 +214,7 @@ func weatherFor(sp RunSpec) []solar.Weather {
 // simConfig converts a normalized spec into the engine configuration.
 func simConfig(sp RunSpec) (sim.Config, error) {
 	cfg := sim.DefaultConfig()
+	cfg.Policy = sp.policySpec()
 	cfg.Seed = sp.Seed
 	cfg.Nodes = sp.Nodes
 	cfg.Workers = sp.Workers
@@ -268,23 +241,16 @@ func simConfig(sp RunSpec) (sim.Config, error) {
 	return cfg, nil
 }
 
-// buildSim constructs the simulator (and its policy) for a normalized
-// spec, instrumented with the run's own telemetry recorder.
-func buildSim(sp RunSpec, rec *telemetry.Recorder) (*sim.Simulator, core.Kind, error) {
-	policy, kind, err := buildPolicy(sp.Policy)
-	if err != nil {
-		return nil, 0, err
-	}
+// buildSim constructs the simulator for a normalized spec, instrumented
+// with the run's own telemetry recorder. The policy itself is built by the
+// engine from cfg.Policy via the registry.
+func buildSim(sp RunSpec, rec *telemetry.Recorder) (*sim.Simulator, error) {
 	cfg, err := simConfig(sp)
 	if err != nil {
-		return nil, 0, err
+		return nil, err
 	}
 	cfg.Telemetry = rec
-	s, err := sim.New(cfg, policy)
-	if err != nil {
-		return nil, 0, err
-	}
-	return s, kind, nil
+	return sim.New(cfg)
 }
 
 // Mutation is the JSON body of POST /runs/{id}/mutate: each present field
@@ -292,8 +258,14 @@ func buildSim(sp RunSpec, rec *telemetry.Recorder) (*sim.Simulator, core.Kind, e
 // current spec are reported as no-ops and change nothing — the guarantee
 // the concurrent-hammering tests lean on.
 type Mutation struct {
-	// Policy swaps the power-management scheme between days.
+	// Policy swaps the power-management scheme between days (any registry
+	// name). Omitting it while sending PolicyOptions retunes the *current*
+	// policy's options.
 	Policy string `json:"policy,omitempty"`
+	// PolicyOptions are the option knobs for the (possibly new) policy.
+	// They replace the run's current option set wholesale; a policy swap
+	// without options resets to the policy's defaults.
+	PolicyOptions map[string]string `json:"policy_options,omitempty"`
 	// Sunshine re-rolls the remaining weather suffix at a new sunshine
 	// fraction (mix-weather runs only).
 	Sunshine *float64 `json:"sunshine,omitempty"`

@@ -13,7 +13,6 @@ import (
 	"testing"
 
 	"github.com/green-dc/baat/internal/battery"
-	"github.com/green-dc/baat/internal/core"
 	"github.com/green-dc/baat/internal/solar"
 )
 
@@ -28,7 +27,7 @@ func allocSim(t *testing.T) *Simulator {
 // electrochemical path.
 func allocSimModel(t *testing.T, kind battery.Kind) *Simulator {
 	t.Helper()
-	s := newSim(t, core.EBuff, func(c *Config) {
+	s := newSim(t, "ebuff", func(c *Config) {
 		c.Nodes = 8
 		c.Workers = 1
 		// No batch jobs: submitJobs legitimately allocates fresh VMs, and
@@ -79,7 +78,7 @@ func TestStepOfflineAllocFree(t *testing.T) {
 // homogeneous one — the mixed columns are sized at construction, never
 // grown on the tick path.
 func TestRunDayAllocBudgetMixedFleet(t *testing.T) {
-	s := newSim(t, core.EBuff, func(c *Config) {
+	s := newSim(t, "ebuff", func(c *Config) {
 		c.Nodes = 8
 		c.Workers = 1
 		c.JobsPerDay = 0

@@ -38,11 +38,8 @@ const largeFleetNodes = 16384
 // paths like a real consolidated datacenter.
 func benchFleet(b *testing.B, nodes, workers int) *Simulator {
 	b.Helper()
-	policy, err := core.New(core.EBuff, core.DefaultConfig())
-	if err != nil {
-		b.Fatal(err)
-	}
 	cfg := DefaultConfig()
+	cfg.Policy = core.PolicySpec{Name: "ebuff"}
 	cfg.Nodes = nodes
 	cfg.Workers = workers
 	cfg.Tick = 5 * time.Minute
@@ -56,7 +53,7 @@ func benchFleet(b *testing.B, nodes, workers int) *Simulator {
 			cfg.Node.TableCapacity = 16
 		}
 	}
-	s, err := New(cfg, policy)
+	s, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}

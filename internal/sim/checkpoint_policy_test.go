@@ -1,0 +1,282 @@
+package sim
+
+// Checkpoint coverage for policy controller state. Stateful policies
+// (BAAT's DoD-goal hysteresis, BAAT-f's forecast latch) serialize their
+// state into the envelope's policy_state field; these tests pin that the
+// bytes are really there, that they are validated loudly on the way back
+// in, and that a split resume taken while BAAT-f's latch is engaged —
+// mid-hysteresis, under the chaos fault profile — continues byte-identical
+// to the uninterrupted run at every worker count.
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/green-dc/baat/internal/core"
+	"github.com/green-dc/baat/internal/solar"
+)
+
+// envelopePolicyState extracts and decodes the policy_state blob from a
+// serialized checkpoint. The second return reports whether the field was
+// present at all.
+func envelopePolicyState(t *testing.T, ck []byte) ([]byte, bool) {
+	t.Helper()
+	var env struct {
+		State map[string]json.RawMessage `json:"state"`
+	}
+	if err := json.Unmarshal(ck, &env); err != nil {
+		t.Fatal(err)
+	}
+	raw, ok := env.State["policy_state"]
+	if !ok {
+		return nil, false
+	}
+	var b64 string
+	if err := json.Unmarshal(raw, &b64); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := base64.StdEncoding.DecodeString(b64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob, true
+}
+
+// setEnvelopePolicyState rewrites (or, with nil, deletes) the policy_state
+// field of a serialized checkpoint.
+func setEnvelopePolicyState(t *testing.T, ck, blob []byte) []byte {
+	t.Helper()
+	var env map[string]json.RawMessage
+	if err := json.Unmarshal(ck, &env); err != nil {
+		t.Fatal(err)
+	}
+	var st map[string]json.RawMessage
+	if err := json.Unmarshal(env["state"], &st); err != nil {
+		t.Fatal(err)
+	}
+	if blob == nil {
+		delete(st, "policy_state")
+	} else {
+		enc, err := json.Marshal(base64.StdEncoding.EncodeToString(blob))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st["policy_state"] = enc
+	}
+	stOut, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env["state"] = stOut
+	out, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCheckpointEnvelopeCarriesPolicyState(t *testing.T) {
+	s := goldenSim(t, nil) // golden config runs the stateful full BAAT
+	for _, w := range goldenWeather()[:2] {
+		if _, err := s.RunDay(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob, ok := envelopePolicyState(t, buf.Bytes())
+	if !ok {
+		t.Fatal("BAAT checkpoint envelope carries no policy_state")
+	}
+	var st struct {
+		LastDoDGoal *float64 `json:"last_dod_goal"`
+	}
+	if err := json.Unmarshal(blob, &st); err != nil {
+		t.Fatalf("policy_state is not the BAAT state document: %v", err)
+	}
+	if st.LastDoDGoal == nil {
+		t.Error("policy_state lacks last_dod_goal")
+	}
+
+	// A stateless policy serializes no policy_state at all — the field is
+	// omitted, not empty, so stateless envelopes stay byte-stable.
+	eb := goldenSim(t, func(c *Config) { c.Policy = core.PolicySpec{Name: "ebuff"} })
+	if _, err := eb.RunDay(goldenWeather()[0]); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := eb.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := envelopePolicyState(t, buf.Bytes()); ok {
+		t.Error("stateless e-Buff checkpoint envelope carries policy_state")
+	}
+}
+
+func TestResumeRejectsBadPolicyState(t *testing.T) {
+	s := goldenSim(t, nil)
+	if _, err := s.RunDay(goldenWeather()[0]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string]struct {
+		data    []byte
+		wantSub string
+	}{
+		"stateful policy, state missing": {
+			data:    setEnvelopePolicyState(t, good, nil),
+			wantSub: "stateful",
+		},
+		"not json": {
+			data:    setEnvelopePolicyState(t, good, []byte("junk")),
+			wantSub: "restore baat state",
+		},
+		"unknown field": {
+			data:    setEnvelopePolicyState(t, good, []byte(`{"last_dod_goal":0.5,"extra":1}`)),
+			wantSub: "restore baat state",
+		},
+		"out of range": {
+			data:    setEnvelopePolicyState(t, good, []byte(`{"last_dod_goal":7}`)),
+			wantSub: "out of [0, 1]",
+		},
+	}
+	for name, tc := range cases {
+		fresh := goldenSim(t, nil)
+		err := fresh.ResumeFrom(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: corrupt policy state resumed without error", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not contain %q", name, err, tc.wantSub)
+		}
+	}
+
+	// The inverse mismatch: a blob appearing in a stateless policy's
+	// checkpoint is equally loud.
+	eb := goldenSim(t, func(c *Config) { c.Policy = core.PolicySpec{Name: "ebuff"} })
+	if _, err := eb.RunDay(goldenWeather()[0]); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := eb.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tainted := setEnvelopePolicyState(t, buf.Bytes(), []byte(`{"last_dod_goal":0.5}`))
+	fresh := goldenSim(t, func(c *Config) { c.Policy = core.PolicySpec{Name: "ebuff"} })
+	err := fresh.ResumeFrom(bytes.NewReader(tainted))
+	if err == nil {
+		t.Fatal("policy state accepted by a stateless policy's resume")
+	}
+	if !strings.Contains(err.Error(), "stateless") {
+		t.Errorf("error %q does not explain the stateless mismatch", err)
+	}
+}
+
+// hysteresisWeather is a fixed sky that drives BAAT-f's forecast latch: two
+// bright days, then a long rainy stretch that pulls the forecast minimum
+// under the low-sun threshold, then recovery. The split lands inside the
+// stretch, so the checkpoint is taken with the latch engaged.
+func hysteresisWeather() []solar.Weather {
+	seq := make([]solar.Weather, 0, 20)
+	seq = append(seq, solar.Sunny, solar.Sunny)
+	for i := 0; i < 10; i++ {
+		seq = append(seq, solar.Rainy)
+	}
+	for i := 0; i < 8; i++ {
+		seq = append(seq, solar.Sunny)
+	}
+	return seq
+}
+
+const hysteresisSplitDay = 8 // six rainy days observed: latch engaged
+
+// baatFMutate points the golden config at BAAT-f with planned aging on, so
+// the checkpoint crosses both pieces of controller state (DoD-goal memory
+// and the forecast latch), under the chaos fault profile.
+func baatFMutate(t *testing.T) func(*Config) {
+	return func(c *Config) {
+		faulted := faultedMutate(t)
+		faulted(c)
+		c.Policy = core.PolicySpec{
+			Name:    "baat-f",
+			Options: map[string]string{"planned-months": "12"},
+		}
+	}
+}
+
+// TestResumeMidHysteresisChaos is the stateful-policy acceptance check:
+// split a chaos-faulted BAAT-f run while the forecast latch is engaged and
+// the continuation must be byte-identical to the uninterrupted run for
+// serial and sharded resumes alike. A latch lost (or re-derived wrongly)
+// across the boundary changes the effective floor/trigger and shows up as
+// a trace diff immediately.
+func TestResumeMidHysteresisChaos(t *testing.T) {
+	weathers := hysteresisWeather()
+	mutate := baatFMutate(t)
+
+	// Uninterrupted reference.
+	ref := goldenSim(t, mutate)
+	want := &goldenTrace{Seed: goldenSeed, Days: len(weathers), Policy: ref.policy.Name()}
+	traceDays(t, ref, weathers, want)
+	traceFinish(ref, want)
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		first := goldenSim(t, mutate)
+		trace := &goldenTrace{Seed: goldenSeed, Days: len(weathers), Policy: first.policy.Name()}
+		traceDays(t, first, weathers[:hysteresisSplitDay], trace)
+
+		var buf bytes.Buffer
+		if err := first.Checkpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		blob, ok := envelopePolicyState(t, buf.Bytes())
+		if !ok {
+			t.Fatal("BAAT-f checkpoint envelope carries no policy_state")
+		}
+		var st struct {
+			Tightened bool `json:"tightened"`
+		}
+		if err := json.Unmarshal(blob, &st); err != nil {
+			t.Fatal(err)
+		}
+		if !st.Tightened {
+			t.Fatal("split day is not mid-hysteresis: the forecast latch is not engaged (scenario setup broken)")
+		}
+
+		second := goldenSim(t, func(c *Config) {
+			mutate(c)
+			c.Workers = workers
+			if workers > 1 {
+				c.ShardSize = 2
+				c.ParallelThreshold = -1
+			}
+		})
+		if err := second.ResumeFrom(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		traceDays(t, second, weathers[hysteresisSplitDay:], trace)
+		traceFinish(second, trace)
+		gotJSON, err := json.Marshal(trace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantJSON, gotJSON) {
+			t.Errorf("workers=%d: mid-hysteresis resume diverged from the uninterrupted run", workers)
+		}
+	}
+}

@@ -24,10 +24,10 @@ import (
 // node 0 and the quarantine window aligned to the control period, so
 // "recovers within one control window" is exactly what the timing
 // assertions check.
-func degradedSim(t *testing.T, kind core.Kind, rule faults.Rule) (*Simulator, *telemetry.Recorder) {
+func degradedSim(t *testing.T, policy string, rule faults.Rule) (*Simulator, *telemetry.Recorder) {
 	t.Helper()
 	rec := telemetry.NewRecorder()
-	s := newSim(t, kind, func(c *Config) {
+	s := newSim(t, policy, func(c *Config) {
 		c.Nodes = 4
 		c.Seed = 17
 		c.Telemetry = rec
@@ -54,7 +54,7 @@ func TestDegradedModeScenarios(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			s, rec := degradedSim(t, core.BAATFull, faults.Rule{
+			s, rec := degradedSim(t, "baat", faults.Rule{
 				Kind: tt.kind, Node: 0, Day: 1, At: faultStart, Duration: faultLen,
 			})
 			ds, err := s.RunDay(solar.Sunny)
@@ -130,11 +130,11 @@ func TestDegradedModeScenarios(t *testing.T) {
 // rule: while a node's metrics are quarantined, the aging-aware policies
 // must not hand it new VMs as long as a trusted node has capacity.
 func TestSuspectNodeReceivesNoPlacements(t *testing.T) {
-	for _, kind := range []core.Kind{core.BAATFull, core.BAATHiding} {
-		t.Run(kind.String(), func(t *testing.T) {
+	for _, policy := range []string{"baat", "baat-h"} {
+		t.Run(policy, func(t *testing.T) {
 			// The fault runs through end of day, so node 0 is still
 			// quarantined when the day finishes.
-			s, _ := degradedSim(t, kind, faults.Rule{
+			s, _ := degradedSim(t, policy, faults.Rule{
 				Kind: faults.SensorNaN, Node: 0, Day: 1, At: 12 * time.Hour, Duration: 12 * time.Hour,
 			})
 			if _, err := s.RunDay(solar.Sunny); err != nil {
@@ -168,7 +168,7 @@ func TestSuspectNodeReceivesNoPlacements(t *testing.T) {
 // node's metrics are quarantined, placement must fall back to the suspect
 // pool rather than rejecting work — degraded, not dead.
 func TestFleetWideSuspectStillPlaces(t *testing.T) {
-	s, _ := degradedSim(t, core.BAATFull, faults.Rule{
+	s, _ := degradedSim(t, "baat", faults.Rule{
 		Kind: faults.SensorNaN, Node: -1, Day: 1, At: 12 * time.Hour, Duration: 12 * time.Hour,
 	})
 	if _, err := s.RunDay(solar.Sunny); err != nil {
@@ -199,14 +199,11 @@ func TestFleetWideSuspectStillPlaces(t *testing.T) {
 func TestFaultsSeedDefaultIsDerived(t *testing.T) {
 	run := func(faultSeed int64) []byte {
 		rule := faults.Rule{Kind: faults.SensorNoise, Node: -1, Probability: 0.05, Duration: 10 * time.Minute}
-		policy, err := core.New(core.BAATFull, core.DefaultConfig())
-		if err != nil {
-			t.Fatal(err)
-		}
 		cfg := DefaultConfig()
+		cfg.Policy = core.PolicySpec{Name: "baat"}
 		cfg.Seed = 40
 		cfg.Faults = faults.Config{Seed: faultSeed, Rules: []faults.Rule{rule}}
-		s, err := New(cfg, policy)
+		s, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -104,11 +104,8 @@ const (
 // before construction.
 func goldenSim(t *testing.T, mutate func(*Config)) *Simulator {
 	t.Helper()
-	policy, err := core.New(core.BAATFull, core.DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
 	cfg := DefaultConfig()
+	cfg.Policy = core.PolicySpec{Name: "baat"}
 	cfg.Seed = goldenSeed
 	cfg.Services = workload.PrototypeServices()
 	cfg.JobsPerDay = 2
@@ -117,7 +114,7 @@ func goldenSim(t *testing.T, mutate func(*Config)) *Simulator {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	s, err := New(cfg, policy)
+	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

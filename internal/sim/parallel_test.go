@@ -38,11 +38,8 @@ func marshaledResult(t *testing.T, res *Result) []byte {
 // small size, so shard claiming genuinely interleaves across workers.
 func equivalenceRun(t *testing.T, seed int64, workers int) []byte {
 	t.Helper()
-	policy, err := core.New(core.BAATFull, core.DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
 	cfg := DefaultConfig()
+	cfg.Policy = core.PolicySpec{Name: "baat"}
 	cfg.Nodes = 12
 	cfg.Seed = seed
 	cfg.Workers = workers
@@ -53,7 +50,7 @@ func equivalenceRun(t *testing.T, seed int64, workers int) []byte {
 	cfg.RecordSeries = true
 	cfg.Node.AgingConfig.AccelFactor = 25
 	cfg.Solar.Scale = 1.5 * float64(cfg.Nodes) / 6
-	s, err := New(cfg, policy)
+	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +92,7 @@ func TestWorkersResolution(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			s := newSim(t, core.EBuff, func(c *Config) { c.Workers = tt.workers })
+			s := newSim(t, "ebuff", func(c *Config) { c.Workers = tt.workers })
 			if s.workers < tt.min || s.workers > s.cfg.Nodes {
 				t.Errorf("resolved workers = %d, want within [%d, %d]", s.workers, tt.min, s.cfg.Nodes)
 			}
@@ -110,7 +107,7 @@ func TestWorkersResolution(t *testing.T) {
 // grants of every node from index 3 up (a negative solar allocation is a
 // physics-contract violation node.Step rejects).
 func TestParallelErrorDeterministic(t *testing.T) {
-	s := newSim(t, core.EBuff, func(c *Config) {
+	s := newSim(t, "ebuff", func(c *Config) {
 		c.Nodes = 8
 		c.Workers = 4
 		c.ShardSize = 2

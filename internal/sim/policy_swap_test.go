@@ -8,15 +8,11 @@ import (
 )
 
 func TestSetPolicyMidRun(t *testing.T) {
-	s := newSim(t, core.EBuff)
+	s := newSim(t, "ebuff")
 	if _, err := s.RunDay(solar.Cloudy); err != nil {
 		t.Fatal(err)
 	}
-	policy, err := core.New(core.BAATFull, core.DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := s.SetPolicy(policy); err != nil {
+	if err := s.SetPolicy(core.PolicySpec{Name: "baat"}); err != nil {
 		t.Fatal(err)
 	}
 	ds, err := s.RunDay(solar.Cloudy)
@@ -35,18 +31,36 @@ func TestSetPolicyMidRun(t *testing.T) {
 	}
 }
 
-func TestSetPolicyNil(t *testing.T) {
-	s := newSim(t, core.EBuff)
-	if err := s.SetPolicy(nil); err == nil {
-		t.Error("nil policy accepted")
+func TestSetPolicyInvalidSpecLeavesRunUntouched(t *testing.T) {
+	s := newSim(t, "ebuff")
+	if err := s.SetPolicy(core.PolicySpec{}); err == nil {
+		t.Error("empty policy spec accepted")
+	}
+	if err := s.SetPolicy(core.PolicySpec{Name: "no-such-policy"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if err := s.SetPolicy(core.PolicySpec{Name: "baat", Options: map[string]string{"bogus": "1"}}); err == nil {
+		t.Error("unknown option accepted")
+	}
+	if err := s.SetPolicy(core.PolicySpec{Name: "baat", Options: map[string]string{"floor": "2"}}); err == nil {
+		t.Error("out-of-range option value accepted")
+	}
+	// A failed swap must leave the running policy in place (validate
+	// before teardown): the run continues under the original scheme.
+	res, err := s.Run([]solar.Weather{solar.Sunny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Policy != "e-Buff" {
+		t.Errorf("result policy = %q, want e-Buff after rejected swaps", res.Policy)
 	}
 }
 
 func TestIdenticalWeatherAcrossPolicies(t *testing.T) {
 	// The whole §VI-B methodology rests on this: two simulators with the
 	// same seed but different policies must see byte-identical solar days.
-	a := newSim(t, core.EBuff)
-	b := newSim(t, core.BAATFull)
+	a := newSim(t, "ebuff")
+	b := newSim(t, "baat")
 	ra, err := a.Run([]solar.Weather{solar.Cloudy, solar.Rainy})
 	if err != nil {
 		t.Fatal(err)
@@ -68,16 +82,16 @@ func TestIdenticalWeatherAcrossPolicies(t *testing.T) {
 func TestRunUntilEndOfLifeSameWeatherAcrossPolicies(t *testing.T) {
 	// RunUntilEndOfLife draws weather from the dedicated stream; the draw
 	// sequence must not depend on the policy's own randomness.
-	mk := func(kind core.Kind) *Result {
-		s := newSim(t, kind, func(c *Config) { c.Node.AgingConfig.AccelFactor = 50 })
+	mk := func(policy string) *Result {
+		s := newSim(t, policy, func(c *Config) { c.Node.AgingConfig.AccelFactor = 50 })
 		res, err := s.RunUntilEndOfLife(solar.Location{SunshineFraction: 0.5}, 6)
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res
 	}
-	ra := mk(core.EBuff)
-	rb := mk(core.BAATHiding) // BAAT-h consumes policy randomness (rng.Perm)
+	ra := mk("ebuff")
+	rb := mk("baat-h") // BAAT-h consumes policy randomness (rng.Perm)
 	n := len(ra.Days)
 	if len(rb.Days) < n {
 		n = len(rb.Days)

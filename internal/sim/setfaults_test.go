@@ -101,7 +101,10 @@ func TestSetFaultsDisable(t *testing.T) {
 	if _, err := s.RunDay(weathers[3]); err != nil {
 		t.Fatal(err)
 	}
-	st := s.Snapshot()
+	st, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if st.Faults != nil || st.Degraded != nil {
 		t.Fatal("disabled fault plan still serializes injector state")
 	}

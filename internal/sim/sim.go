@@ -30,6 +30,7 @@ import (
 	"github.com/green-dc/baat/internal/fleet"
 	"github.com/green-dc/baat/internal/node"
 	"github.com/green-dc/baat/internal/rng"
+	"github.com/green-dc/baat/internal/signal"
 	"github.com/green-dc/baat/internal/solar"
 	"github.com/green-dc/baat/internal/stats"
 	"github.com/green-dc/baat/internal/telemetry"
@@ -40,6 +41,13 @@ import (
 
 // Config parameterizes a simulation.
 type Config struct {
+	// Policy selects the power-management policy from the core registry:
+	// a canonical name plus optional string options (see core.PolicySpec
+	// and `baatsim policies`). It is the single serializable policy
+	// identity — the simulator builds the controller itself via
+	// core.Build, and the normalized spec participates in the checkpoint
+	// config hash so a resume under a different policy is rejected.
+	Policy core.PolicySpec
 	// Nodes is the number of battery nodes (the prototype has six).
 	Nodes int
 	// Node configures each battery node.
@@ -141,6 +149,7 @@ const DefaultParallelThreshold = 256
 // five-minute control, 08:30–18:30 window.
 func DefaultConfig() Config {
 	return Config{
+		Policy:             core.PolicySpec{Name: "baat"},
 		Nodes:              6,
 		Node:               node.DefaultConfig(),
 		Solar:              solar.DefaultConfig(),
@@ -320,6 +329,12 @@ type Simulator struct {
 	wxRng     *rng.Stream
 	policyRng *rng.Stream
 	gen       *workload.Generator
+	// forecast is the deterministic solar forecaster feeding the policy
+	// signal plane (core.Context.Signals). It observes each day's weather
+	// as RunDay opens it and draws forecast noise from its own named
+	// substream of Config.Seed, so adding forecasts perturbed no existing
+	// stream and golden traces held.
+	forecast *signal.SolarForecaster
 
 	clock     time.Duration
 	day       int
@@ -409,15 +424,22 @@ type Simulator struct {
 	telSuspect     *telemetry.Gauge
 }
 
-// New builds a simulator. The policy is injected so experiments construct
-// all four Table 4 schemes against identical fleets.
-func New(cfg Config, policy core.Policy) (*Simulator, error) {
+// New builds a simulator. The controller comes from the policy registry
+// via cfg.Policy, so experiments construct every Table 4 scheme against
+// identical fleets by varying only the spec.
+func New(cfg Config) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if policy == nil {
-		return nil, fmt.Errorf("sim: policy must not be nil")
+	spec, err := core.Normalize(cfg.Policy)
+	if err != nil {
+		return nil, err
 	}
+	policy, err := core.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Policy = spec
 	mfgRng := rng.New(cfg.Seed, rng.Manufacturing)
 	jobRng := rng.New(cfg.Seed, rng.Jobs)
 	wxRng := rng.New(cfg.Seed, rng.Weather)
@@ -449,6 +471,7 @@ func New(cfg Config, policy core.Policy) (*Simulator, error) {
 		wxRng:     wxRng,
 		policyRng: policyRng,
 		gen:       gen,
+		forecast:  signal.NewSolarForecaster(cfg.Seed, signal.DefaultHorizon),
 		socHist:   hist,
 		workers:   workers,
 		history:   make([]DayStats, 0, 64),
@@ -575,7 +598,13 @@ func New(cfg Config, policy core.Policy) (*Simulator, error) {
 	s.dayDown = make([]time.Duration, n)
 	s.daySolar = make([]units.WattHour, n)
 	s.dayLow = make([]time.Duration, n)
-	s.pctx = core.Context{Nodes: s.nodes, Rng: s.policyRng.Rand, Telemetry: s.tel, Summary: &s.fleetSum}
+	s.pctx = core.Context{
+		Nodes:     s.nodes,
+		Rng:       s.policyRng.Rand,
+		Telemetry: s.tel,
+		Summary:   &s.fleetSum,
+		Signals:   signal.Signals{Solar: s.forecast, Price: signal.DefaultTOUTariff()},
+	}
 	return s, nil
 }
 
@@ -586,11 +615,30 @@ func (s *Simulator) Nodes() []*node.Node { return append([]*node.Node(nil), s.no
 // all batteries synchronously under a neutral scheme and then measures one
 // day per policy on the shared aged state (§VI-B); SetPolicy is how a
 // harness reproduces that on a single fleet.
-func (s *Simulator) SetPolicy(p core.Policy) error {
-	if p == nil {
-		return fmt.Errorf("sim: policy must not be nil")
+//
+// The spec is normalized and built *before* the running controller is
+// touched: a spec that fails validation (unknown name, bad option) leaves
+// the current policy in place and the run unharmed, so a control plane can
+// reject a bad mid-flight swap without losing the simulation.
+//
+// The policy spec participates in the checkpoint config hash, so swapping
+// it changes the simulator's ConfigHash: checkpoints written after the
+// swap resume only into simulators configured with the new spec (and older
+// checkpoints only into the old one). Callers that checkpoint across
+// mutations must keep the config that was live at each checkpoint —
+// internal/serve snapshots its run spec alongside every envelope for
+// exactly this reason.
+func (s *Simulator) SetPolicy(spec core.PolicySpec) error {
+	norm, err := core.Normalize(spec)
+	if err != nil {
+		return err
+	}
+	p, err := core.Build(norm)
+	if err != nil {
+		return err
 	}
 	s.policy = p
+	s.cfg.Policy = norm
 	return nil
 }
 
@@ -783,6 +831,11 @@ func (s *Simulator) RunDay(w solar.Weather) (DayStats, error) {
 		return DayStats{}, err
 	}
 	s.day++
+	// The morning forecast update: record today's conditions so the signal
+	// plane's lookahead (ctx.Signals.Solar) is conditioned on them. The
+	// forecaster owns its rng substream, so this read-and-redraw never
+	// shifts the weather, job, or policy streams.
+	s.forecast.ObserveDay(signal.WeatherIndex(w))
 	if s.inj != nil {
 		// Scheduled PV dropouts derate the solar profile itself;
 		// probabilistic dips ride through TickState.PVFactor instead.

@@ -8,17 +8,14 @@ import (
 	"github.com/green-dc/baat/internal/solar"
 )
 
-func newSim(t *testing.T, kind core.Kind, mutate ...func(*Config)) *Simulator {
+func newSim(t *testing.T, policy string, mutate ...func(*Config)) *Simulator {
 	t.Helper()
 	cfg := DefaultConfig()
+	cfg.Policy = core.PolicySpec{Name: policy}
 	for _, m := range mutate {
 		m(&cfg)
 	}
-	policy, err := core.New(kind, core.DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	s, err := New(cfg, policy)
+	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,20 +51,23 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestNewValidation(t *testing.T) {
-	policy, err := core.New(core.EBuff, core.DefaultConfig())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := New(Config{}, policy); err == nil {
+	if _, err := New(Config{}); err == nil {
 		t.Error("zero config accepted")
 	}
-	if _, err := New(DefaultConfig(), nil); err == nil {
-		t.Error("nil policy accepted")
+	cfg := DefaultConfig()
+	cfg.Policy = core.PolicySpec{Name: "no-such-policy"}
+	if _, err := New(cfg); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Policy = core.PolicySpec{Name: "baat", Options: map[string]string{"floor": "1.5"}}
+	if _, err := New(cfg); err == nil {
+		t.Error("out-of-range policy option accepted")
 	}
 }
 
 func TestRunDayProducesThroughput(t *testing.T) {
-	s := newSim(t, core.EBuff)
+	s := newSim(t, "ebuff")
 	ds, err := s.RunDay(solar.Sunny)
 	if err != nil {
 		t.Fatal(err)
@@ -87,8 +87,8 @@ func TestRunDayProducesThroughput(t *testing.T) {
 }
 
 func TestWorseWeatherLessThroughputMoreBatteryUse(t *testing.T) {
-	sunny := newSim(t, core.EBuff)
-	rainy := newSim(t, core.EBuff)
+	sunny := newSim(t, "ebuff")
+	rainy := newSim(t, "ebuff")
 	dsSunny, err := sunny.RunDay(solar.Sunny)
 	if err != nil {
 		t.Fatal(err)
@@ -118,7 +118,7 @@ func TestWorseWeatherLessThroughputMoreBatteryUse(t *testing.T) {
 }
 
 func TestRunCollectsResult(t *testing.T) {
-	s := newSim(t, core.BAATFull)
+	s := newSim(t, "baat")
 	res, err := s.Run([]solar.Weather{solar.Sunny, solar.Cloudy})
 	if err != nil {
 		t.Fatal(err)
@@ -144,8 +144,8 @@ func TestRunCollectsResult(t *testing.T) {
 }
 
 func TestDeterministicAcrossRuns(t *testing.T) {
-	a := newSim(t, core.BAATFull)
-	b := newSim(t, core.BAATFull)
+	a := newSim(t, "baat")
+	b := newSim(t, "baat")
 	ra, err := a.Run([]solar.Weather{solar.Cloudy})
 	if err != nil {
 		t.Fatal(err)
@@ -165,7 +165,7 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 }
 
 func TestSeriesRecording(t *testing.T) {
-	s := newSim(t, core.EBuff, func(c *Config) { c.RecordSeries = true })
+	s := newSim(t, "ebuff", func(c *Config) { c.RecordSeries = true })
 	res, err := s.Run([]solar.Weather{solar.Cloudy})
 	if err != nil {
 		t.Fatal(err)
@@ -180,7 +180,7 @@ func TestSeriesRecording(t *testing.T) {
 }
 
 func TestRunUntilEndOfLife(t *testing.T) {
-	s := newSim(t, core.EBuff, func(c *Config) {
+	s := newSim(t, "ebuff", func(c *Config) {
 		c.Node.AgingConfig.AccelFactor = 400 // compress months into days
 	})
 	res, err := s.RunUntilEndOfLife(solar.Location{SunshineFraction: 0.3}, 60)
@@ -207,7 +207,7 @@ func worstHealth(res *Result) float64 {
 }
 
 func TestRunUntilEndOfLifeValidation(t *testing.T) {
-	s := newSim(t, core.EBuff)
+	s := newSim(t, "ebuff")
 	if _, err := s.RunUntilEndOfLife(solar.Location{SunshineFraction: 2}, 10); err == nil {
 		t.Error("invalid location accepted")
 	}
@@ -217,7 +217,7 @@ func TestRunUntilEndOfLifeValidation(t *testing.T) {
 }
 
 func TestManufacturingVariationCreatesSpread(t *testing.T) {
-	s := newSim(t, core.EBuff, func(c *Config) { c.ManufacturingSigma = 0.1 })
+	s := newSim(t, "ebuff", func(c *Config) { c.ManufacturingSigma = 0.1 })
 	res, err := s.Run([]solar.Weather{solar.Cloudy, solar.Cloudy})
 	if err != nil {
 		t.Fatal(err)
@@ -238,7 +238,7 @@ func TestManufacturingVariationCreatesSpread(t *testing.T) {
 }
 
 func TestNodesAccessor(t *testing.T) {
-	s := newSim(t, core.EBuff)
+	s := newSim(t, "ebuff")
 	nodes := s.Nodes()
 	if len(nodes) != 6 {
 		t.Fatalf("Nodes() = %d, want 6", len(nodes))

@@ -10,8 +10,10 @@ import (
 	"slices"
 	"time"
 
+	"github.com/green-dc/baat/internal/core"
 	"github.com/green-dc/baat/internal/faults"
 	"github.com/green-dc/baat/internal/node"
+	"github.com/green-dc/baat/internal/signal"
 	"github.com/green-dc/baat/internal/solar"
 	"github.com/green-dc/baat/internal/stats"
 	"github.com/green-dc/baat/internal/vm"
@@ -20,8 +22,9 @@ import (
 
 // CheckpointFormat versions the checkpoint envelope. It bumps whenever the
 // serialized State shape changes incompatibly; ResumeFrom rejects any other
-// version explicitly rather than guessing.
-const CheckpointFormat = 1
+// version explicitly rather than guessing. Format 2 added the solar
+// forecaster state and the policy's own controller state (StatefulPolicy).
+const CheckpointFormat = 2
 
 // State is the serializable state of a Simulator: the full state of every
 // node, the pending job queue, every named RNG stream position, the fault
@@ -43,6 +46,18 @@ type State struct {
 	WxRNG     []byte                  `json:"wx_rng"`
 	PolicyRNG []byte                  `json:"policy_rng"`
 	Generator workload.GeneratorState `json:"generator"`
+
+	// Forecast is the solar forecaster feeding the policy signal plane: its
+	// climatology, persistence anchor, noise batch, and rng substream all
+	// round-trip so a resumed run forecasts exactly what the original would
+	// have.
+	Forecast signal.ForecasterState `json:"forecast"`
+	// PolicyState is the controller's own serialized state when the active
+	// policy implements core.StatefulPolicy (e.g. BAAT's DoD-goal
+	// hysteresis, BAAT-f's forecast latch); absent for stateless policies.
+	// Restore rejects a mismatch in either direction rather than resuming
+	// with silently reset controller state.
+	PolicyState []byte `json:"policy_state,omitempty"`
 
 	Faults   *faults.InjectorState `json:"faults,omitempty"`
 	Degraded []bool                `json:"degraded,omitempty"`
@@ -94,8 +109,9 @@ func (s *Simulator) ConfigHash() (string, error) {
 
 // Snapshot captures the simulator's full state. It must not be called
 // concurrently with Run/RunDay (the engine is single-threaded between
-// ticks, so day boundaries are natural checkpoint sites).
-func (s *Simulator) Snapshot() State {
+// ticks, so day boundaries are natural checkpoint sites). It can fail only
+// when the active policy's own Snapshot does (core.StatefulPolicy).
+func (s *Simulator) Snapshot() (State, error) {
 	st := State{
 		Clock:     s.clock,
 		Day:       s.day,
@@ -108,6 +124,18 @@ func (s *Simulator) Snapshot() State {
 	st.MfgRNG, _ = s.mfgRng.MarshalBinary() // never fails for PCG sources
 	st.WxRNG, _ = s.wxRng.MarshalBinary()
 	st.PolicyRNG, _ = s.policyRng.MarshalBinary()
+	fst, err := s.forecast.Snapshot()
+	if err != nil {
+		return State{}, fmt.Errorf("sim: snapshot: forecaster: %w", err)
+	}
+	st.Forecast = fst
+	if sp, ok := s.policy.(core.StatefulPolicy); ok {
+		blob, err := sp.Snapshot()
+		if err != nil {
+			return State{}, fmt.Errorf("sim: snapshot: policy %s: %w", s.policy.Name(), err)
+		}
+		st.PolicyState = blob
+	}
 	for _, n := range s.nodes {
 		st.Nodes = append(st.Nodes, n.Snapshot())
 	}
@@ -125,7 +153,7 @@ func (s *Simulator) Snapshot() State {
 	if len(s.history) > 0 {
 		st.History = append([]DayStats(nil), s.history...)
 	}
-	return st
+	return st, nil
 }
 
 // Restore overwrites the simulator's state from a snapshot taken from a
@@ -156,6 +184,19 @@ func (s *Simulator) Restore(st State) error {
 	if len(st.History) != st.Day {
 		return fmt.Errorf("sim: restore: %d history entries for %d completed days", len(st.History), st.Day)
 	}
+	// Controller state and policy statefulness must agree in both
+	// directions: resuming a stateful policy without its state would
+	// silently reset mid-run hysteresis, and a state blob for a stateless
+	// policy means the snapshot came from a different controller.
+	sp, stateful := s.policy.(core.StatefulPolicy)
+	if stateful && len(st.PolicyState) == 0 {
+		return fmt.Errorf("sim: restore: policy %s is stateful but the snapshot carries no policy state",
+			s.policy.Name())
+	}
+	if !stateful && len(st.PolicyState) > 0 {
+		return fmt.Errorf("sim: restore: snapshot carries policy state but policy %s is stateless",
+			s.policy.Name())
+	}
 
 	// Rebuild the pending queue first: vm.FromState validates each entry
 	// without touching live state.
@@ -184,6 +225,14 @@ func (s *Simulator) Restore(st State) error {
 	}
 	if err := s.gen.Restore(st.Generator); err != nil {
 		return fmt.Errorf("sim: restore: %w", err)
+	}
+	if err := s.forecast.Restore(st.Forecast); err != nil {
+		return fmt.Errorf("sim: restore: forecaster: %w", err)
+	}
+	if stateful {
+		if err := sp.Restore(st.PolicyState); err != nil {
+			return fmt.Errorf("sim: restore: policy %s: %w", s.policy.Name(), err)
+		}
 	}
 	if err := s.socHist.Restore(st.SoCHist); err != nil {
 		return fmt.Errorf("sim: restore: %w", err)
@@ -214,7 +263,11 @@ func (s *Simulator) Checkpoint(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	env := envelope{Format: CheckpointFormat, ConfigHash: hash, State: s.Snapshot()}
+	st, err := s.Snapshot()
+	if err != nil {
+		return err
+	}
+	env := envelope{Format: CheckpointFormat, ConfigHash: hash, State: st}
 	if err := json.NewEncoder(w).Encode(env); err != nil {
 		return fmt.Errorf("sim: checkpoint: %w", err)
 	}

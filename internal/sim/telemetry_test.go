@@ -4,7 +4,6 @@ import (
 	"testing"
 	"time"
 
-	"github.com/green-dc/baat/internal/core"
 	"github.com/green-dc/baat/internal/solar"
 	"github.com/green-dc/baat/internal/telemetry"
 )
@@ -12,10 +11,10 @@ import (
 // telemetrySim builds a simulator with its own recorder under harsh
 // conditions: accelerated aging, a tight PV array, and default services, so
 // batteries spend real time below the slowdown trigger.
-func telemetrySim(t *testing.T, kind core.Kind) (*Simulator, *telemetry.Recorder) {
+func telemetrySim(t *testing.T, policy string) (*Simulator, *telemetry.Recorder) {
 	t.Helper()
 	rec := telemetry.NewRecorder()
-	s := newSim(t, kind, func(c *Config) {
+	s := newSim(t, policy, func(c *Config) {
 		c.Telemetry = rec
 		c.Node.AgingConfig.AccelFactor = 50
 		c.Solar.Scale = 0.8
@@ -35,8 +34,8 @@ var stressWeather = []solar.Weather{
 // frequency) and BAAT (which does both, Figs 8/9) must produce different
 // policy counters while agreeing on the pure engine counters.
 func TestTelemetryPolicyDivergence(t *testing.T) {
-	ebuffSim, ebuffRec := telemetrySim(t, core.EBuff)
-	baatSim, baatRec := telemetrySim(t, core.BAATFull)
+	ebuffSim, ebuffRec := telemetrySim(t, "ebuff")
+	baatSim, baatRec := telemetrySim(t, "baat")
 
 	if _, err := ebuffSim.Run(stressWeather); err != nil {
 		t.Fatal(err)
@@ -99,7 +98,7 @@ func TestTelemetryPolicyDivergence(t *testing.T) {
 // derivable from the configuration.
 func TestTelemetryEngineCounters(t *testing.T) {
 	rec := telemetry.NewRecorder()
-	s := newSim(t, core.BAATFull, func(c *Config) { c.Telemetry = rec })
+	s := newSim(t, "baat", func(c *Config) { c.Telemetry = rec })
 	if _, err := s.RunDay(solar.Sunny); err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +151,7 @@ func TestTelemetryEngineCounters(t *testing.T) {
 // TestTelemetryNilRecorder ensures a full run with no recorder works and
 // allocates no telemetry state.
 func TestTelemetryNilRecorder(t *testing.T) {
-	s := newSim(t, core.BAATFull)
+	s := newSim(t, "baat")
 	if s.tel != nil {
 		t.Fatal("nil config produced a recorder")
 	}

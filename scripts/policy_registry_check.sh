@@ -1,0 +1,47 @@
+#!/bin/sh
+# policy_registry_check.sh — registry hygiene, part of `make check`.
+#
+# The policy registry (internal/core/registry.go) is the single construction
+# path for control policies: everything outside internal/core must go
+# through core.Build/core.Normalize with a core.PolicySpec. This guard fails
+# when code reintroduces the pre-registry idioms:
+#   1. the deleted closed enum (core.Kind, core.New, the Kind constants);
+#   2. direct construction of a concrete policy type outside internal/core
+#      (which would bypass option validation and the Stateful wiring);
+#   3. a hand-rolled policy-name table outside the registry (switch/map on
+#      literal policy names decides behavior the registry should own).
+# Usage: ./scripts/policy_registry_check.sh  (from the repository root)
+set -eu
+
+fail=0
+
+# Go sources outside internal/core (tests included: they must use the
+# public surface too).
+files=$(find . -name '*.go' -not -path './internal/core/*' -not -path './.git/*')
+
+# 1. The deleted enum API. Any of these means a migration sweep was undone.
+if echo "$files" | xargs grep -nE 'core\.(Kind|New\(|EBuff|BAATSlowdown|BAATHiding|BAATFull|PolicyKinds|Kinds\()' /dev/null; then
+    echo "policy-registry-check: deleted core.Kind enum API referenced outside internal/core" >&2
+    fail=1
+fi
+
+# 2. Concrete policy construction. The concrete types are unexported, so
+# this can only appear as a freshly exported leak — catch it by name.
+if echo "$files" | xargs grep -nE 'core\.(eBuff|baatSlowdown|baatHiding|baat|baatF)\{' /dev/null; then
+    echo "policy-registry-check: concrete policy constructed outside internal/core" >&2
+    fail=1
+fi
+
+# 3. Hand-rolled policy-name dispatch: a switch or map keyed on the literal
+# canonical names duplicates the registry's lookup table. (The experiments
+# package pins the paper's fixed Table 4 roster as PolicySpec literals —
+# that is data, not dispatch, and does not match these patterns.)
+if echo "$files" | xargs grep -nE 'case "(ebuff|e-buff|baat-s|baat-h|baat-f|baats|baath|baatf)"' /dev/null; then
+    echo "policy-registry-check: switch on literal policy names outside internal/core (use core.Normalize/core.Build)" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "policy-registry-check: OK"
